@@ -1,0 +1,147 @@
+// Command taurus-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	taurus-bench                 # everything
+//	taurus-bench -exp table5     # one experiment
+//	taurus-bench -packets 100000 # smaller Table 8 run
+//
+// Experiments: table1 table2 table3 table4 table5 table6 table7 table8
+// fig9 fig10 fig11 fig13 fig14 mats.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"taurus/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (all, table1..table8, fig9..fig14, mats)")
+	packets := flag.Int("packets", 400_000, "packets for the Table 8 simulation")
+	seed := flag.Int64("seed", 1, "training seed")
+	flag.Parse()
+
+	if err := run(*exp, *packets, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "taurus-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, packets int, seed int64) error {
+	want := func(name string) bool { return exp == "all" || strings.EqualFold(exp, name) }
+
+	needModels := exp == "all" || want("table5") || want("table8") || want("fig11") || want("mats")
+	var models *experiments.Models
+	if needModels {
+		fmt.Fprintln(os.Stderr, "training application models...")
+		m, err := experiments.TrainModels(seed)
+		if err != nil {
+			return err
+		}
+		models = m
+	}
+
+	ran := false
+	emit := func(text string) {
+		fmt.Println(text)
+		ran = true
+	}
+
+	if want("table1") {
+		emit(experiments.Table1())
+	}
+	if want("table2") {
+		_, text, err := experiments.Table2()
+		if err != nil {
+			return err
+		}
+		emit(text)
+	}
+	if want("table3") {
+		_, text, err := experiments.Table3(seed)
+		if err != nil {
+			return err
+		}
+		emit(text)
+	}
+	if want("table4") {
+		_, text := experiments.Table4()
+		emit(text)
+	}
+	if want("fig9") {
+		_, text := experiments.Figure9()
+		emit(text)
+	}
+	if want("fig10") {
+		_, text, err := experiments.Figure10()
+		if err != nil {
+			return err
+		}
+		emit(text)
+	}
+	if want("table5") {
+		_, text, err := experiments.Table5(models)
+		if err != nil {
+			return err
+		}
+		emit(text)
+	}
+	if want("fig11") {
+		text, err := experiments.Figure11(models)
+		if err != nil {
+			return err
+		}
+		emit(text)
+	}
+	if want("table6") {
+		_, text, err := experiments.Table6()
+		if err != nil {
+			return err
+		}
+		emit(text)
+	}
+	if want("table7") {
+		_, text, err := experiments.Table7()
+		if err != nil {
+			return err
+		}
+		emit(text)
+	}
+	if want("mats") {
+		text, err := experiments.MATComparison(models)
+		if err != nil {
+			return err
+		}
+		emit(text)
+	}
+	if want("table8") {
+		fmt.Fprintln(os.Stderr, "running end-to-end simulation...")
+		_, text, err := experiments.Table8(models, packets)
+		if err != nil {
+			return err
+		}
+		emit(text)
+	}
+	if want("fig13") {
+		_, text, err := experiments.Figure13()
+		if err != nil {
+			return err
+		}
+		emit(text)
+	}
+	if want("fig14") {
+		_, text, err := experiments.Figure14()
+		if err != nil {
+			return err
+		}
+		emit(text)
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	return nil
+}

@@ -1,0 +1,86 @@
+// Command taurus-compile trains one of the paper's models, lowers it to
+// MapReduce, places it on the CGRA grid, and prints the compilation report:
+// units used, latency, initiation interval, area and power.
+//
+// Usage:
+//
+//	taurus-compile -model dnn|svm|kmeans|lstm [-maxcus N] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"taurus/internal/cgra"
+	"taurus/internal/compiler"
+	"taurus/internal/experiments"
+	mr "taurus/internal/mapreduce"
+)
+
+func main() {
+	model := flag.String("model", "dnn", "model to compile: dnn, svm, kmeans, lstm")
+	maxCUs := flag.Int("maxcus", 0, "cap on compute units (0 = whole grid); forces unit sharing")
+	seed := flag.Int64("seed", 1, "training seed")
+	flag.Parse()
+
+	if err := run(*model, *maxCUs, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "taurus-compile:", err)
+		os.Exit(1)
+	}
+}
+
+func run(model string, maxCUs int, seed int64) error {
+	fmt.Fprintln(os.Stderr, "training models...")
+	m, err := experiments.TrainModels(seed)
+	if err != nil {
+		return err
+	}
+	var g *mr.Graph
+	switch model {
+	case "dnn":
+		g = m.DNNGraph
+	case "svm":
+		g = m.SVMGraph
+	case "kmeans":
+		g = m.KMeansGraph
+	case "lstm":
+		g = m.LSTMGraph
+	default:
+		return fmt.Errorf("unknown model %q", model)
+	}
+
+	res, err := compiler.Compile(g, compiler.Options{MaxCUs: maxCUs})
+	if err != nil {
+		return err
+	}
+	grid := cgra.DefaultGrid()
+	fmt.Printf("model:            %s (%d IR nodes)\n", g.Name, len(g.Nodes))
+	fmt.Printf("grid:             %dx%d units, %d-lane %d-stage CUs, %v datapath\n",
+		grid.Rows, grid.Cols, grid.Lanes, grid.Stages, grid.Precision)
+	fmt.Printf("compute units:    %d of %d\n", res.Usage.CUs, grid.CUCount())
+	fmt.Printf("memory units:     %d of %d (%d weight bytes, %d LUTs)\n",
+		res.Usage.MUs, grid.MUCount(), res.WeightBytes, res.LUTCount)
+	fmt.Printf("latency:          %d cycles = %.0f ns at 1 GHz\n",
+		res.Stats.LatencyCycles, res.Stats.LatencyNs())
+	fmt.Printf("initiation intvl: %d (%.3f of line rate)\n",
+		res.Stats.II, res.Stats.LineRateFraction())
+	fmt.Printf("area:             %.3f mm^2 (+%.2f%% of a 500 mm^2 switch, 4 pipelines)\n",
+		res.AreaMM2(), res.Usage.AreaOverheadPct())
+	fmt.Printf("power:            %.0f mW (+%.2f%% of 270 W)\n",
+		res.PowerMW(), res.Usage.PowerOverheadPct())
+
+	// Placement dump: groups per column.
+	perCol := map[int]int{}
+	for _, grp := range res.Placement.Groups {
+		if grp.Kind != cgra.GroupWire {
+			perCol[grp.Pos.Col]++
+		}
+	}
+	fmt.Printf("placement:        ")
+	for c := 0; c < grid.Cols; c++ {
+		fmt.Printf("col%d:%d ", c, perCol[c])
+	}
+	fmt.Println()
+	return nil
+}

@@ -1,0 +1,142 @@
+// Indigo-style congestion control on a Taurus NIC (§5.1.2): an LSTM picks a
+// congestion-window action from recent network measurements. The paper's
+// point is reaction time: in software the LSTM updates every ~10 ms; on the
+// MapReduce block a decision is ready in hundreds of nanoseconds.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"taurus"
+)
+
+// simpleLink models a bottleneck link: the sender's window w against a
+// capacity that drifts over time; reward is throughput minus queueing.
+type simpleLink struct {
+	capacity float64
+	queue    float64
+	rng      *rand.Rand
+}
+
+func (l *simpleLink) step(window float64) (throughput, delay float64) {
+	l.capacity += l.rng.NormFloat64() * 0.5
+	if l.capacity < 4 {
+		l.capacity = 4
+	}
+	if l.capacity > 20 {
+		l.capacity = 20
+	}
+	sent := window
+	served := l.capacity
+	l.queue += sent - served
+	if l.queue < 0 {
+		l.queue = 0
+	}
+	throughput = sent
+	if sent > served {
+		throughput = served
+	}
+	delay = l.queue / l.capacity
+	return throughput, delay
+}
+
+func main() {
+	rng := rand.New(rand.NewSource(5))
+	// 4 features: normalised window, throughput, delay, capacity estimate.
+	// 5 actions: window x0.5, -1, hold, +1, x1.5 (Indigo-style discrete
+	// cwnd actions).
+	lstm := taurus.NewLSTM(4, 32, 5, rng)
+
+	// Teach the LSTM a reasonable policy from a hand-written oracle
+	// (decrease when delay is high, increase when under-utilised). The
+	// paper trains Indigo offline too; the data plane only runs inference.
+	oracle := func(delay, util float64) int {
+		switch {
+		case delay > 1.5:
+			return 0
+		case delay > 0.5:
+			return 1
+		case util < 0.6:
+			return 4
+		case util < 0.9:
+			return 3
+		default:
+			return 2
+		}
+	}
+	link := &simpleLink{capacity: 10, rng: rng}
+	window := 8.0
+	for epoch := 0; epoch < 2500; epoch++ {
+		var seq []taurus.Vec
+		var lastDelay, lastUtil float64
+		for t := 0; t < 6; t++ {
+			tp, d := link.step(window)
+			util := tp / link.capacity
+			seq = append(seq, taurus.Vec{
+				float32(window / 20), float32(tp / 20), float32(d / 3), float32(link.capacity / 20),
+			})
+			lastDelay, lastUtil = d, util
+		}
+		target := oracle(lastDelay, lastUtil)
+		lstm.TrainLSTMSequence(seq, target, 0.03)
+	}
+
+	// Lower one LSTM step to MapReduce and compile: this is the Table 5
+	// Indigo row.
+	program, err := taurus.LowerLSTMStep(lstm, taurus.NewQuantizer(1.0), "indigo-lstm")
+	if err != nil {
+		log.Fatal(err)
+	}
+	compiled, err := taurus.Compile(program, taurus.CompileOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("LSTM step on the grid: %d CUs, %d MUs, %d ns, 1/%d line rate, %.2f mm^2\n",
+		compiled.Usage.CUs, compiled.Usage.MUs, compiled.Stats.LatencyCycles,
+		compiled.Stats.II, compiled.AreaMM2())
+	fmt.Printf("software Indigo decides every ~10 ms; Taurus every %d ns — %.0fx faster reactions\n",
+		compiled.Stats.LatencyCycles, 10e6/float64(compiled.Stats.LatencyCycles))
+
+	// Run the control loop with the float model (the data-plane step is the
+	// quantised mirror of the same weights).
+	link = &simpleLink{capacity: 10, rng: rng}
+	window = 8.0
+	st := lstm.ZeroState()
+	var sumTP, sumDelay float64
+	const steps = 400
+	for t := 0; t < steps; t++ {
+		tp, d := link.step(window)
+		sumTP += tp
+		sumDelay += d
+		var probs taurus.Vec
+		probs, st = lstm.Step(taurus.Vec{
+			float32(window / 20), float32(tp / 20), float32(d / 3), float32(link.capacity / 20),
+		}, st)
+		best := 0
+		for i, p := range probs {
+			if p > probs[best] {
+				best = i
+			}
+		}
+		switch best {
+		case 0:
+			window *= 0.5
+		case 1:
+			window -= 1
+		case 3:
+			window += 1
+		case 4:
+			window *= 1.5
+		}
+		if window < 1 {
+			window = 1
+		}
+		if window > 40 {
+			window = 40
+		}
+	}
+	fmt.Printf("closed loop over %d steps: mean throughput %.1f (capacity ~10), mean queueing delay %.2f\n",
+		steps, sumTP/steps, sumDelay/steps)
+}

@@ -1,0 +1,156 @@
+// Package apps implements the non-ML MapReduce applications of §3.3.2
+// ("Broader Application Support"): Elastic RSS core selection, Count-Min
+// sketches, and in-network gradient aggregation. They demonstrate that the
+// MapReduce abstraction covers a class of data-plane programs wider than
+// inference — each lowers to the same IR the compiler places on the grid.
+package apps
+
+import (
+	"fmt"
+
+	mr "taurus/internal/mapreduce"
+	"taurus/internal/pisa"
+)
+
+// ERSS builds the Elastic RSS program (Rucker et al., cited in §3.3.2):
+// "map evaluates cores' suitability, and reduce selects the closest core."
+// The graph takes the packet's flow-hash point on the consistent-hash ring
+// (width 1, broadcast) plus a per-core load vector, computes per-core
+// suitability = ring_distance + loadWeight*load, and arg-min-reduces to the
+// chosen core index. corePos are the cores' ring positions.
+func ERSS(corePos []int32, loadWeight int32, name string) (*mr.Graph, error) {
+	if len(corePos) == 0 {
+		return nil, fmt.Errorf("apps: eRSS needs at least one core")
+	}
+	if loadWeight < 0 {
+		return nil, fmt.Errorf("apps: loadWeight must be non-negative")
+	}
+	b := mr.NewBuilder(name)
+	hash := b.Input("flow_hash", 1)
+	load := b.Input("core_load", len(corePos))
+	pos := b.Const("core_pos", corePos)
+
+	// Ring distance |hash - pos| per core (hash broadcasts across lanes).
+	ones := make([]int32, len(corePos))
+	for i := range ones {
+		ones[i] = 1
+	}
+	splat := b.Map(mr.MMul, b.Const("splat", ones), hash)
+	dist := b.Unary(mr.UAbs, b.Map(mr.MSub, splat, pos))
+
+	// Suitability = distance + loadWeight * load.
+	weighted := b.Map(mr.MMul, load, b.Scalar("load_w", loadWeight))
+	suit := b.Map(mr.MAdd, dist, weighted)
+	b.Output(b.Reduce(mr.RArgMin, suit))
+	return b.Build()
+}
+
+// ERSSReference computes the same selection in plain Go for testing.
+func ERSSReference(corePos []int32, loadWeight, hash int32, load []int32) int {
+	best, bestSuit := 0, int64(1)<<62
+	for i, p := range corePos {
+		d := int64(hash) - int64(p)
+		if d < 0 {
+			d = -d
+		}
+		s := d + int64(loadWeight)*int64(load[i])
+		if s < bestSuit {
+			best, bestSuit = i, s
+		}
+	}
+	return best
+}
+
+// GradientAggregate builds the in-network gradient aggregation program
+// (§3.3.2, §7 "Networking for ML": "MapReduce can aggregate numeric
+// weights, contained in packets, more efficiently than MATs"): k worker
+// gradient fragments of the given width are summed element-wise at line
+// rate.
+func GradientAggregate(workers, width int, name string) (*mr.Graph, error) {
+	if workers < 2 {
+		return nil, fmt.Errorf("apps: aggregation needs >= 2 workers, got %d", workers)
+	}
+	if width <= 0 {
+		return nil, fmt.Errorf("apps: width must be positive, got %d", width)
+	}
+	b := mr.NewBuilder(name)
+	acc := b.Input("grad0", width)
+	for w := 1; w < workers; w++ {
+		acc = b.Map(mr.MAdd, acc, b.Input(fmt.Sprintf("grad%d", w), width))
+	}
+	b.Output(acc)
+	return b.Build()
+}
+
+// CountMinSketch is the data-plane flow-size estimator of §3.3.2: d rows of
+// w counters in stateful register arrays (the MAT side), with the per-row
+// hash mixing expressed as the multiply-shift family hardware uses. Update
+// and query are per-packet operations.
+type CountMinSketch struct {
+	rows  []*pisa.RegisterArray
+	seeds []uint32
+	width uint32
+}
+
+// NewCountMinSketch builds a d x w sketch.
+func NewCountMinSketch(depth, width int) (*CountMinSketch, error) {
+	if depth <= 0 || width <= 1 {
+		return nil, fmt.Errorf("apps: bad sketch dims %dx%d", depth, width)
+	}
+	s := &CountMinSketch{width: uint32(width)}
+	for d := 0; d < depth; d++ {
+		s.rows = append(s.rows, pisa.NewRegisterArray(fmt.Sprintf("cms%d", d), width))
+		// Odd multipliers from a fixed LCG: the multiply-shift hash family.
+		s.seeds = append(s.seeds, uint32(2654435761)*uint32(2*d+1)|1)
+	}
+	return s, nil
+}
+
+// hash mixes a flow key into row d's index space.
+func (s *CountMinSketch) hash(d int, key uint32) uint32 {
+	x := key * s.seeds[d]
+	x ^= x >> 15
+	x *= 2246822519
+	x ^= x >> 13
+	return x % s.width
+}
+
+// Update adds count to the flow's estimate (per-packet register action).
+func (s *CountMinSketch) Update(key uint32, count int32) {
+	for d := range s.rows {
+		s.rows[d].Add(s.hash(d, key), count)
+	}
+}
+
+// Estimate returns the count-min estimate for a flow: the minimum across
+// rows (never an underestimate).
+func (s *CountMinSketch) Estimate(key uint32) int32 {
+	est := s.rows[0].Read(s.hash(0, key))
+	for d := 1; d < len(s.rows); d++ {
+		if v := s.rows[d].Read(s.hash(d, key)); v < est {
+			est = v
+		}
+	}
+	return est
+}
+
+// Reset clears all counters.
+func (s *CountMinSketch) Reset() {
+	for _, r := range s.rows {
+		r.Reset()
+	}
+}
+
+// CMSQuery lowers the sketch's *query* reduction to MapReduce: given the d
+// per-row counter reads (gathered by the preprocessing MATs into the PHV),
+// the min-reduce picks the estimate. This is the piece §3.3.2 maps onto the
+// grid; updates stay in the MAT register arrays.
+func CMSQuery(depth int, name string) (*mr.Graph, error) {
+	if depth <= 0 {
+		return nil, fmt.Errorf("apps: depth must be positive")
+	}
+	b := mr.NewBuilder(name)
+	counters := b.Input("row_counters", depth)
+	b.Output(b.Reduce(mr.RMin, counters))
+	return b.Build()
+}

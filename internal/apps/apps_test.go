@@ -1,0 +1,258 @@
+package apps
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"taurus/internal/compiler"
+	mr "taurus/internal/mapreduce"
+)
+
+func TestERSSMatchesReference(t *testing.T) {
+	corePos := []int32{0, 32, 64, 96, 128, 160, 192, 224}
+	g, err := ERSS(corePos, 4, "erss")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		hash := int32(rng.Intn(256))
+		load := make([]int32, len(corePos))
+		for i := range load {
+			load[i] = int32(rng.Intn(16))
+		}
+		outs, err := g.Eval([]int32{hash}, load)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := ERSSReference(corePos, 4, hash, load)
+		if int(outs[0][0]) != want {
+			t.Fatalf("eRSS picked core %d, reference %d (hash %d load %v)",
+				outs[0][0], want, hash, load)
+		}
+	}
+}
+
+func TestERSSCompilesAtLineRate(t *testing.T) {
+	corePos := []int32{0, 64, 128, 192}
+	g, err := ERSS(corePos, 2, "erss")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := compiler.Compile(g, compiler.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.II != 1 {
+		t.Errorf("eRSS II = %d, want line rate", res.Stats.II)
+	}
+	// A scheduling decision should be a handful of CUs at most.
+	if res.Usage.CUs > 4 {
+		t.Errorf("eRSS uses %d CUs", res.Usage.CUs)
+	}
+}
+
+func TestERSSValidation(t *testing.T) {
+	if _, err := ERSS(nil, 1, "x"); err == nil {
+		t.Error("no cores should fail")
+	}
+	if _, err := ERSS([]int32{1}, -1, "x"); err == nil {
+		t.Error("negative weight should fail")
+	}
+}
+
+func TestGradientAggregate(t *testing.T) {
+	g, err := GradientAggregate(4, 16, "agg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := make([][]int32, 4)
+	want := make([]int32, 16)
+	rng := rand.New(rand.NewSource(2))
+	for w := range ins {
+		ins[w] = make([]int32, 16)
+		for i := range ins[w] {
+			ins[w][i] = int32(rng.Intn(2000) - 1000)
+			want[i] += ins[w][i]
+		}
+	}
+	outs, err := g.Eval(ins...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if outs[0][i] != want[i] {
+			t.Fatalf("lane %d: %d != %d", i, outs[0][i], want[i])
+		}
+	}
+	res, err := compiler.Compile(g, compiler.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.II != 1 {
+		t.Errorf("aggregation II = %d, want line rate", res.Stats.II)
+	}
+}
+
+func TestGradientAggregateValidation(t *testing.T) {
+	if _, err := GradientAggregate(1, 16, "x"); err == nil {
+		t.Error("single worker should fail")
+	}
+	if _, err := GradientAggregate(2, 0, "x"); err == nil {
+		t.Error("zero width should fail")
+	}
+}
+
+func TestCMSNeverUnderestimates(t *testing.T) {
+	s, err := NewCountMinSketch(4, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	truth := map[uint32]int32{}
+	for i := 0; i < 5000; i++ {
+		key := uint32(rng.Intn(400))
+		truth[key]++
+		s.Update(key, 1)
+	}
+	for key, want := range truth {
+		if got := s.Estimate(key); got < want {
+			t.Fatalf("CMS underestimated key %d: %d < %d", key, got, want)
+		}
+	}
+}
+
+func TestCMSErrorBound(t *testing.T) {
+	// With d=4 rows of w=1024 counters over N=10000 increments, the
+	// classic bound says overestimates beyond e*N/w ≈ 27 happen with
+	// probability e^-d ≈ 1.8% per key; check the average overshoot is tiny.
+	s, err := NewCountMinSketch(4, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	truth := map[uint32]int32{}
+	const n = 10000
+	for i := 0; i < n; i++ {
+		key := uint32(rng.Intn(2000))
+		truth[key]++
+		s.Update(key, 1)
+	}
+	var overshoot, keys int
+	for key, want := range truth {
+		overshoot += int(s.Estimate(key) - want)
+		keys++
+	}
+	if avg := float64(overshoot) / float64(keys); avg > 27 {
+		t.Errorf("mean overshoot %.2f exceeds e*N/w", avg)
+	}
+}
+
+func TestCMSReset(t *testing.T) {
+	s, err := NewCountMinSketch(2, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Update(7, 5)
+	if s.Estimate(7) < 5 {
+		t.Fatal("update lost")
+	}
+	s.Reset()
+	if got := s.Estimate(7); got != 0 {
+		t.Errorf("after reset estimate = %d", got)
+	}
+}
+
+func TestCMSValidation(t *testing.T) {
+	if _, err := NewCountMinSketch(0, 64); err == nil {
+		t.Error("zero depth should fail")
+	}
+	if _, err := NewCountMinSketch(2, 1); err == nil {
+		t.Error("width 1 should fail")
+	}
+}
+
+func TestCMSQueryGraph(t *testing.T) {
+	g, err := CMSQuery(4, "cms-query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs, err := g.Eval([]int32{9, 3, 7, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outs[0][0] != 3 {
+		t.Errorf("min = %d, want 3", outs[0][0])
+	}
+	if _, err := CMSQuery(0, "x"); err == nil {
+		t.Error("zero depth should fail")
+	}
+}
+
+// Property: CMS estimate is monotone in updates.
+func TestCMSMonotoneProperty(t *testing.T) {
+	s, err := NewCountMinSketch(3, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(key uint32, add uint8) bool {
+		before := s.Estimate(key)
+		s.Update(key, int32(add))
+		return s.Estimate(key) >= before
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: gradient aggregation is order-independent (addition commutes).
+func TestAggregationCommutes(t *testing.T) {
+	g, err := GradientAggregate(3, 4, "agg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(a, b, c [4]int8) bool {
+		mk := func(v [4]int8) []int32 {
+			out := make([]int32, 4)
+			for i := range v {
+				out[i] = int32(v[i])
+			}
+			return out
+		}
+		o1, err1 := g.Eval(mk(a), mk(b), mk(c))
+		o2, err2 := g.Eval(mk(c), mk(a), mk(b))
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		for i := range o1[0] {
+			if o1[0][i] != o2[0][i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The eRSS graph validates and its structure is a pure map/reduce pattern.
+func TestERSSGraphStructure(t *testing.T) {
+	g, err := ERSS([]int32{0, 128}, 1, "erss")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	hasArgMin := false
+	for _, n := range g.Nodes {
+		if n.Kind == mr.KReduce && n.Reduce == mr.RArgMin {
+			hasArgMin = true
+		}
+	}
+	if !hasArgMin {
+		t.Error("eRSS should end in an arg-min reduce")
+	}
+}

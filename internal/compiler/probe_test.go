@@ -1,0 +1,108 @@
+package compiler
+
+import (
+	"math/rand"
+	"testing"
+
+	"taurus/internal/dataset"
+	"taurus/internal/fixed"
+	"taurus/internal/lower"
+	mr "taurus/internal/mapreduce"
+	"taurus/internal/ml"
+)
+
+// TestProbeModels prints the compiled footprint of the Table 5 models and
+// Table 6 microbenchmarks; run with -v to inspect. Numeric assertions live
+// in compiler_test.go; this is the calibration window.
+func TestProbeModels(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+
+	// Anomaly DNN 6-12-6-3-1.
+	gen, _ := dataset.NewAnomalyGenerator(dataset.DefaultAnomalyConfig(), rng)
+	X, y := dataset.Split(gen.Records(400))
+	n := ml.NewDNN([]int{6, 12, 6, 3, 1}, ml.ReLU, ml.Sigmoid, rng)
+	ml.NewTrainer(n, ml.SGDConfig{LearningRate: 0.05, Momentum: 0.9, BatchSize: 32, Epochs: 5}, rng).Fit(X, y)
+	q, err := ml.Quantize(n, X[:100])
+	if err != nil {
+		t.Fatal(err)
+	}
+	dnnG, err := lower.DNN(q, "dnn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	report(t, "DNN", dnnG)
+
+	// KMeans 11 features, 5 clusters.
+	ig, _ := dataset.NewIoTGenerator(dataset.KMeansIoTConfig(), rng)
+	XI, _ := ig.Samples(300)
+	km, err := ml.TrainKMeans(XI, 5, 30, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var flat []float32
+	for _, x := range XI {
+		flat = append(flat, x...)
+	}
+	kmG, err := lower.KMeans(km, fixed.QuantizerFor(flat), "kmeans")
+	if err != nil {
+		t.Fatal(err)
+	}
+	report(t, "KMeans", kmG)
+
+	// SVM 8 features.
+	genS, _ := dataset.NewAnomalyGenerator(dataset.AnomalyConfig{NumFeatures: 8, AnomalyFraction: 0.4, Separation: 1.2}, rng)
+	XS, yS := dataset.SplitPM(genS.Records(200))
+	svm, err := ml.TrainSVM(XS, yS, ml.DefaultSVMConfig(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var flatS []float32
+	for _, x := range XS {
+		flatS = append(flatS, x...)
+	}
+	svmG, err := lower.SVM(svm, fixed.QuantizerFor(flatS), 12, "svm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	report(t, "SVM", svmG)
+
+	// LSTM 4-32-5.
+	l := ml.NewLSTM(4, 32, 5, rng)
+	lstmG, err := lower.LSTMStep(l, fixed.NewQuantizer(1.0), "lstm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	report(t, "LSTM", lstmG)
+
+	// Microbenchmarks.
+	suite, err := lower.Microbenchmarks(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, g := range suite {
+		report(t, "micro/"+name, g)
+	}
+
+	// Conv1D unrolling sweep (Table 7).
+	conv, _ := lower.Conv1D(8, 2)
+	for _, maxCU := range []int{1, 2, 4, 8} {
+		res, err := Compile(conv, Options{MaxCUs: maxCU})
+		if err != nil {
+			t.Fatalf("conv unroll %d: %v", maxCU, err)
+		}
+		t.Logf("Conv1D maxCU=%d: II=%d rate=%.3f CUs=%d area=%.3f lat=%dns",
+			maxCU, res.Stats.II, res.Stats.LineRateFraction(), res.Usage.CUs, res.AreaMM2(), res.Stats.LatencyCycles)
+	}
+}
+
+func report(t *testing.T, name string, g *mr.Graph) {
+	t.Helper()
+	res, err := Compile(g, Options{})
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	t.Logf("%-18s II=%-3d lat=%4dns CUs=%-3d MUs=%-2d area=%.3fmm2 (+%.2f%%) power=%.0fmW (+%.2f%%) weights=%dB luts=%d",
+		name, res.Stats.II, res.Stats.LatencyCycles, res.Usage.CUs, res.Usage.MUs,
+		res.AreaMM2(), res.Usage.AreaOverheadPct(), res.PowerMW(), res.Usage.PowerOverheadPct(),
+		res.WeightBytes, res.LUTCount)
+}

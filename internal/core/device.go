@@ -1,0 +1,385 @@
+// Package core integrates the Taurus device (§3, §4, Figure 6): a PISA
+// pipeline — parser, preprocessing MATs with stateful feature registers —
+// feeding the MapReduce block for per-packet inference, with a bypass path
+// for non-ML traffic, a round-robin merge, postprocessing MATs that turn
+// the model output into a forwarding verdict, and out-of-band weight
+// updates from the control plane (Figure 1).
+package core
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"taurus/internal/cgra"
+	"taurus/internal/compiler"
+	"taurus/internal/fixed"
+	mr "taurus/internal/mapreduce"
+	"taurus/internal/pisa"
+)
+
+// Verdict is the postprocessing decision for a packet (§3.2: drop, flag, or
+// forward).
+type Verdict int
+
+const (
+	// Forward lets the packet through unchanged.
+	Forward Verdict = iota
+	// Flag forwards but marks the packet for monitoring.
+	Flag
+	// Drop discards the packet.
+	Drop
+)
+
+// String names the verdict.
+func (v Verdict) String() string {
+	return [...]string{"forward", "flag", "drop"}[v]
+}
+
+// Decision is the per-packet outcome.
+type Decision struct {
+	Verdict  Verdict
+	Bypassed bool
+	// MLScore is the raw model output code (meaningless when Bypassed).
+	MLScore int32
+	// LatencyNs is the modelled switch transit time for this packet.
+	LatencyNs float64
+}
+
+// Stats counts device activity.
+type Stats struct {
+	Processed, MLInferences, Bypassed int
+	Forwarded, Flagged, Dropped       int
+	ParseErrors                       int
+}
+
+// BaseSwitchLatencyNs is the transit latency of the conventional pipeline
+// (§5.1.2 assumes a 1 µs datacenter switch).
+const BaseSwitchLatencyNs = 1000.0
+
+// Config parameterises a device.
+type Config struct {
+	// Grid is the MapReduce block configuration (DefaultGrid if zero).
+	Grid cgra.GridSpec
+	// FlowTableSize is the number of per-flow register slots for feature
+	// accumulation (power of two recommended).
+	FlowTableSize int
+	// NumFeatures is the model's input width.
+	NumFeatures int
+	// Threshold is the post-processing cut on the model's output code:
+	// score >= Threshold is treated as anomalous (Drop), below as benign.
+	Threshold int32
+	// DropOnAnomaly selects Drop (true) or Flag (false) for anomalous
+	// packets.
+	DropOnAnomaly bool
+}
+
+// DefaultConfig returns the anomaly-detection configuration of §5.2.2.
+func DefaultConfig(numFeatures int) Config {
+	return Config{FlowTableSize: 4096, NumFeatures: numFeatures, Threshold: 64, DropOnAnomaly: false}
+}
+
+// Device is a Taurus switch.
+type Device struct {
+	cfg    Config
+	layout *pisa.Layout
+	parser *pisa.Parser
+	preMAT *pisa.Table
+	post   *pisa.Table
+
+	// featureRegs[i] holds feature i for every tracked flow (§3.1 stateful
+	// registers; values are int8 codes from the preprocessing MATs).
+	featureRegs []*pisa.RegisterArray
+	// flowValid marks slots whose features have been accumulated.
+	flowValid *pisa.RegisterArray
+
+	model     *compiler.Result
+	inQ       fixed.Quantizer
+	modelLat  float64
+	modelII   int
+	phv       *pisa.PHV
+	featureID []pisa.FieldID
+	bypassID  pisa.FieldID
+	scoreID   pisa.FieldID
+	verdictID pisa.FieldID
+
+	stats Stats
+}
+
+// NewDevice builds a device; a model must be loaded before ML packets can be
+// classified (packets bypass until then).
+func NewDevice(cfg Config) (*Device, error) {
+	if cfg.NumFeatures <= 0 {
+		return nil, fmt.Errorf("core: NumFeatures must be positive, got %d", cfg.NumFeatures)
+	}
+	if cfg.FlowTableSize <= 0 {
+		cfg.FlowTableSize = 4096
+	}
+	if cfg.Grid == (cgra.GridSpec{}) {
+		cfg.Grid = cgra.DefaultGrid()
+	}
+
+	names := pisa.StandardLayoutFields()
+	names = append(names, "meta.bypass", "meta.score", "meta.verdict")
+	for i := 0; i < cfg.NumFeatures; i++ {
+		names = append(names, fmt.Sprintf("meta.f%d", i))
+	}
+	layout := pisa.NewLayout(names...)
+	parser, err := pisa.StandardParser(layout)
+	if err != nil {
+		return nil, err
+	}
+
+	d := &Device{
+		cfg:       cfg,
+		layout:    layout,
+		parser:    parser,
+		phv:       pisa.NewPHV(layout),
+		flowValid: pisa.NewRegisterArray("flow_valid", cfg.FlowTableSize),
+		bypassID:  layout.ID("meta.bypass"),
+		scoreID:   layout.ID("meta.score"),
+		verdictID: layout.ID("meta.verdict"),
+	}
+	for i := 0; i < cfg.NumFeatures; i++ {
+		d.featureID = append(d.featureID, layout.ID(fmt.Sprintf("meta.f%d", i)))
+		d.featureRegs = append(d.featureRegs,
+			pisa.NewRegisterArray(fmt.Sprintf("feat%d", i), cfg.FlowTableSize))
+	}
+
+	// Preprocessing MAT: non-IPv4/TCP traffic bypasses the MapReduce block
+	// (Figure 6). Default action marks bypass; a TCP rule clears it.
+	d.preMAT = pisa.NewTable("pre_bypass", []pisa.Key{
+		{Field: layout.ID("eth.type"), Kind: pisa.Exact},
+		{Field: layout.ID("ipv4.proto"), Kind: pisa.Exact},
+	}, 16)
+	d.preMAT.Default = &pisa.VLIWAction{Name: "set_bypass", Ops: []pisa.ActionOp{
+		{Op: pisa.OpSet, Dst: d.bypassID, Imm: 1, UseImm: true},
+	}}
+	if err := d.preMAT.Insert(&pisa.Entry{
+		Values: []int32{0x0800, 6},
+		Action: &pisa.VLIWAction{Name: "ml_path", Ops: []pisa.ActionOp{
+			{Op: pisa.OpSet, Dst: d.bypassID, Imm: 0, UseImm: true},
+		}},
+	}); err != nil {
+		return nil, err
+	}
+
+	// Postprocessing MAT (§3.2): subtract the threshold from the score,
+	// then a ternary match on the sign bit separates benign from anomalous.
+	d.post = pisa.NewTable("post_verdict", []pisa.Key{
+		{Field: layout.ID("meta.score"), Kind: pisa.Ternary},
+	}, 4)
+	anomalyVerdict := int32(Flag)
+	if cfg.DropOnAnomaly {
+		anomalyVerdict = int32(Drop)
+	}
+	// Negative (sign bit set) -> benign/forward.
+	if err := d.post.Insert(&pisa.Entry{
+		Values: []int32{-0x80000000}, Masks: []int32{-0x80000000}, Priority: 10,
+		Action: &pisa.VLIWAction{Name: "benign", Ops: []pisa.ActionOp{
+			{Op: pisa.OpSet, Dst: d.verdictID, Imm: int32(Forward), UseImm: true},
+		}},
+	}); err != nil {
+		return nil, err
+	}
+	// Non-negative -> anomalous.
+	if err := d.post.Insert(&pisa.Entry{
+		Values: []int32{0}, Masks: []int32{0}, Priority: 1,
+		Action: &pisa.VLIWAction{Name: "anomalous", Ops: []pisa.ActionOp{
+			{Op: pisa.OpSet, Dst: d.verdictID, Imm: anomalyVerdict, UseImm: true},
+		}},
+	}); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// LoadModel compiles a MapReduce program onto the device's grid and
+// installs it, together with the feature quantiser the preprocessing MATs
+// use. The graph must take a single input of width NumFeatures and produce
+// a single-lane score output.
+func (d *Device) LoadModel(g *mr.Graph, inQ fixed.Quantizer, opts compiler.Options) error {
+	if len(g.Inputs) != 1 || g.Node(g.Inputs[0]).Width != d.cfg.NumFeatures {
+		return fmt.Errorf("core: model wants %d inputs of width %d, device has %d features",
+			len(g.Inputs), g.Node(g.Inputs[0]).Width, d.cfg.NumFeatures)
+	}
+	if len(g.Outputs) != 1 || g.Node(g.Outputs[0]).Width != 1 {
+		return fmt.Errorf("core: model must produce one single-lane output")
+	}
+	if opts.Grid == (cgra.GridSpec{}) {
+		opts.Grid = d.cfg.Grid
+	}
+	res, err := compiler.Compile(g, opts)
+	if err != nil {
+		return err
+	}
+	d.model = res
+	d.inQ = inQ
+	d.modelLat = res.Stats.LatencyNs()
+	d.modelII = res.Stats.II
+	return nil
+}
+
+// Model returns the installed compiled model (nil before LoadModel).
+func (d *Device) Model() *compiler.Result { return d.model }
+
+// UpdateWeights swaps the constants and LUT tables of the installed model
+// for those of newGraph without re-placing the design — the out-of-band
+// weight update of §3.3.1/Figure 1. The new graph must be structurally
+// identical (same node kinds, widths and wiring).
+func (d *Device) UpdateWeights(newGraph *mr.Graph) error {
+	if d.model == nil {
+		return fmt.Errorf("core: no model installed")
+	}
+	old := d.model.Graph
+	if len(old.Nodes) != len(newGraph.Nodes) {
+		return fmt.Errorf("core: weight update changes node count (%d vs %d)", len(newGraph.Nodes), len(old.Nodes))
+	}
+	for i, n := range newGraph.Nodes {
+		o := old.Nodes[i]
+		if n.Kind != o.Kind || n.Width != o.Width || len(n.Args) != len(o.Args) {
+			return fmt.Errorf("core: weight update changes structure at node %d", i)
+		}
+		for j := range n.Args {
+			if n.Args[j] != o.Args[j] {
+				return fmt.Errorf("core: weight update rewires node %d", i)
+			}
+		}
+	}
+	for i, n := range newGraph.Nodes {
+		o := old.Nodes[i]
+		switch n.Kind {
+		case mr.KConst:
+			copy(o.Const, n.Const)
+		case mr.KLUT:
+			o.LUT.Mult = n.LUT.Mult
+			o.LUT.Table = n.LUT.Table
+		case mr.KRequant, mr.KScale:
+			o.Mult = n.Mult
+		}
+	}
+	return nil
+}
+
+// FlowKey hashes a five-tuple into the register index space.
+func (d *Device) FlowKey(srcIP, dstIP uint32, sport, dport uint16, proto uint8) uint32 {
+	h := fnv.New32a()
+	var b [13]byte
+	b[0] = byte(srcIP >> 24)
+	b[1] = byte(srcIP >> 16)
+	b[2] = byte(srcIP >> 8)
+	b[3] = byte(srcIP)
+	b[4] = byte(dstIP >> 24)
+	b[5] = byte(dstIP >> 16)
+	b[6] = byte(dstIP >> 8)
+	b[7] = byte(dstIP)
+	b[8] = byte(sport >> 8)
+	b[9] = byte(sport)
+	b[10] = byte(dport >> 8)
+	b[11] = byte(dport)
+	b[12] = proto
+	_, _ = h.Write(b[:])
+	return h.Sum32()
+}
+
+// AccumulateFeatures installs a flow's feature vector into the stateful
+// registers (the role of INT and cross-packet accumulation in §3.1). In the
+// testbed the features arrive with the expanded trace (§5.2.2).
+func (d *Device) AccumulateFeatures(flowKey uint32, features []float32) error {
+	if len(features) != d.cfg.NumFeatures {
+		return fmt.Errorf("core: got %d features, want %d", len(features), d.cfg.NumFeatures)
+	}
+	for i, f := range features {
+		d.featureRegs[i].Write(flowKey, int32(d.inQ.Quantize(f)))
+	}
+	d.flowValid.Write(flowKey, 1)
+	return nil
+}
+
+// PacketIn is one packet presented to the device.
+type PacketIn struct {
+	// Data is the raw packet.
+	Data []byte
+	// Features optionally carries INT/telemetry features to accumulate
+	// before inference (nil = use whatever the registers hold).
+	Features []float32
+}
+
+// Process runs one packet through the full pipeline.
+func (d *Device) Process(in PacketIn) (Decision, error) {
+	d.stats.Processed++
+	phv := d.phv
+	phv.Reset()
+	if _, err := d.parser.Parse(in.Data, phv); err != nil {
+		d.stats.ParseErrors++
+		return Decision{}, err
+	}
+
+	// Preprocessing MAT: bypass decision.
+	d.preMAT.Lookup(phv)
+	bypass := phv.Get(d.bypassID) != 0
+
+	key := d.FlowKey(
+		uint32(phv.GetName("ipv4.src")), uint32(phv.GetName("ipv4.dst")),
+		uint16(phv.GetName("l4.sport")), uint16(phv.GetName("l4.dport")),
+		uint8(phv.GetName("ipv4.proto")))
+
+	if !bypass {
+		if in.Features != nil {
+			if err := d.AccumulateFeatures(key, in.Features); err != nil {
+				return Decision{}, err
+			}
+		}
+		if d.model == nil || d.flowValid.Read(key) == 0 {
+			bypass = true // nothing to infer from yet
+		}
+	}
+
+	dec := Decision{Bypassed: bypass, LatencyNs: BaseSwitchLatencyNs}
+	if !bypass {
+		// Read accumulated feature codes into the PHV, then hand the dense
+		// feature slice to the MapReduce block (Figure 7).
+		codes := make([]int32, d.cfg.NumFeatures)
+		for i := range codes {
+			c := d.featureRegs[i].Read(key)
+			phv.Set(d.featureID[i], c)
+			codes[i] = c
+		}
+		outs, err := d.model.Graph.Eval(codes)
+		if err != nil {
+			return Decision{}, fmt.Errorf("core: inference: %w", err)
+		}
+		score := outs[0][0]
+		dec.MLScore = score
+		d.stats.MLInferences++
+		// Threshold shift happens in the MAT action domain: score-threshold.
+		phv.Set(d.scoreID, score-d.cfg.Threshold)
+		dec.LatencyNs += d.modelLat
+	} else {
+		d.stats.Bypassed++
+		// Bypass packets skip MapReduce entirely: no added latency (§4).
+		phv.Set(d.scoreID, -1) // negative -> forward
+	}
+
+	// Postprocessing MAT interprets the score.
+	d.post.Lookup(phv)
+	dec.Verdict = Verdict(phv.Get(d.verdictID))
+	switch dec.Verdict {
+	case Forward:
+		d.stats.Forwarded++
+	case Flag:
+		d.stats.Flagged++
+	case Drop:
+		d.stats.Dropped++
+	}
+	return dec, nil
+}
+
+// Stats returns a copy of the device counters.
+func (d *Device) Stats() Stats { return d.stats }
+
+// ModelLatencyNs returns the compiled model's pipeline latency (0 before
+// LoadModel).
+func (d *Device) ModelLatencyNs() float64 { return d.modelLat }
+
+// ModelII returns the compiled model's initiation interval.
+func (d *Device) ModelII() int { return d.modelII }

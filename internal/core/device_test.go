@@ -1,0 +1,263 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"taurus/internal/compiler"
+	"taurus/internal/dataset"
+	"taurus/internal/lower"
+	"taurus/internal/ml"
+	"taurus/internal/pisa"
+)
+
+// buildAnomalyDevice trains the 6-12-6-3-1 DNN, lowers it and installs it.
+func buildAnomalyDevice(t *testing.T) (*Device, *ml.QuantizedDNN, *dataset.AnomalyGenerator) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(200))
+	gen, err := dataset.NewAnomalyGenerator(dataset.DefaultAnomalyConfig(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	X, y := dataset.Split(gen.Records(800))
+	n := ml.NewDNN([]int{6, 12, 6, 3, 1}, ml.ReLU, ml.Sigmoid, rng)
+	ml.NewTrainer(n, ml.SGDConfig{LearningRate: 0.05, Momentum: 0.9, BatchSize: 32, Epochs: 20}, rng).Fit(X, y)
+	q, err := ml.Quantize(n, X[:200])
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := lower.DNN(q, "anomaly")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := NewDevice(DefaultConfig(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.LoadModel(g, q.InputQ, compiler.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	return dev, q, gen
+}
+
+func TestDeviceConfigValidation(t *testing.T) {
+	if _, err := NewDevice(Config{NumFeatures: 0}); err == nil {
+		t.Error("zero features should fail")
+	}
+}
+
+func TestDeviceClassifiesLikeReference(t *testing.T) {
+	dev, q, gen := buildAnomalyDevice(t)
+	agree, total := 0, 0
+	var sport uint16 = 1000
+	for i := 0; i < 300; i++ {
+		rec := gen.Record()
+		sport++
+		pkt := pisa.BuildTCPPacket(0x0a000001+uint32(i), 0x0a800001, sport, 443, 0x10, 64)
+		dec, err := dev.Process(PacketIn{Data: pkt, Features: rec.Features})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dec.Bypassed {
+			t.Fatal("TCP packet with features should take the ML path")
+		}
+		// The device verdict must equal thresholding the reference model.
+		codes := q.InputQ.QuantizeSlice(rec.Features)
+		want := q.ForwardCodes(codes)[0]
+		wantAnom := int32(want) >= 64
+		gotAnom := dec.Verdict != Forward
+		if wantAnom == gotAnom {
+			agree++
+		}
+		total++
+	}
+	if agree != total {
+		t.Errorf("device verdicts agree with reference on %d/%d", agree, total)
+	}
+}
+
+func TestDeviceLatencyAccounting(t *testing.T) {
+	dev, _, gen := buildAnomalyDevice(t)
+	rec := gen.Record()
+	pkt := pisa.BuildTCPPacket(1, 2, 3, 4, 0, 64)
+	dec, err := dev.Process(PacketIn{Data: pkt, Features: rec.Features})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.LatencyNs <= BaseSwitchLatencyNs {
+		t.Errorf("ML packet latency %v should exceed base %v", dec.LatencyNs, BaseSwitchLatencyNs)
+	}
+	if dev.ModelLatencyNs() <= 0 || dev.ModelII() != 1 {
+		t.Errorf("model stats: lat=%v II=%d", dev.ModelLatencyNs(), dev.ModelII())
+	}
+	// Same flow, second packet: features already accumulated.
+	dec2, err := dev.Process(PacketIn{Data: pkt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec2.Bypassed {
+		t.Error("second packet of known flow should take ML path")
+	}
+}
+
+func TestDeviceBypassNonTCP(t *testing.T) {
+	dev, _, _ := buildAnomalyDevice(t)
+	// ARP-ish frame: bypass with no added latency and a Forward verdict.
+	pkt := make([]byte, 14)
+	pkt[12], pkt[13] = 0x08, 0x06
+	dec, err := dev.Process(PacketIn{Data: pkt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Bypassed || dec.Verdict != Forward {
+		t.Errorf("non-IP packet: bypassed=%v verdict=%v", dec.Bypassed, dec.Verdict)
+	}
+	if dec.LatencyNs != BaseSwitchLatencyNs {
+		t.Errorf("bypass latency = %v, want base only", dec.LatencyNs)
+	}
+}
+
+func TestDeviceBypassUnknownFlow(t *testing.T) {
+	dev, _, _ := buildAnomalyDevice(t)
+	pkt := pisa.BuildTCPPacket(9, 9, 9, 9, 0, 0)
+	dec, err := dev.Process(PacketIn{Data: pkt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Bypassed {
+		t.Error("flow with no accumulated features should bypass")
+	}
+}
+
+func TestDeviceNoModelBypasses(t *testing.T) {
+	dev, err := NewDevice(DefaultConfig(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkt := pisa.BuildTCPPacket(1, 2, 3, 4, 0, 0)
+	dec, err := dev.Process(PacketIn{Data: pkt, Features: make([]float32, 6)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Bypassed {
+		t.Error("device without a model should bypass")
+	}
+}
+
+func TestDeviceStats(t *testing.T) {
+	dev, _, gen := buildAnomalyDevice(t)
+	for i := 0; i < 20; i++ {
+		rec := gen.Record()
+		pkt := pisa.BuildTCPPacket(uint32(i), 2, 3, 4, 0, 0)
+		if _, err := dev.Process(PacketIn{Data: pkt, Features: rec.Features}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := dev.Stats()
+	if s.Processed != 20 || s.MLInferences != 20 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.Forwarded+s.Flagged+s.Dropped != 20 {
+		t.Errorf("verdict counts don't add up: %+v", s)
+	}
+}
+
+func TestDeviceParseError(t *testing.T) {
+	dev, _, _ := buildAnomalyDevice(t)
+	if _, err := dev.Process(PacketIn{Data: []byte{1, 2}}); err == nil {
+		t.Error("truncated packet should error")
+	}
+	if dev.Stats().ParseErrors != 1 {
+		t.Error("parse error not counted")
+	}
+}
+
+func TestLoadModelValidation(t *testing.T) {
+	dev, err := NewDevice(DefaultConfig(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wrong input width.
+	g, err := lower.InnerProduct(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.LoadModel(g, dev.inQ, compiler.Options{}); err == nil {
+		t.Error("width-16 model on 6-feature device should fail")
+	}
+}
+
+func TestUpdateWeights(t *testing.T) {
+	dev, q, gen := buildAnomalyDevice(t)
+
+	// Retrain a structurally identical model with different weights.
+	rng := rand.New(rand.NewSource(201))
+	X, y := dataset.Split(gen.Records(400))
+	n2 := ml.NewDNN([]int{6, 12, 6, 3, 1}, ml.ReLU, ml.Sigmoid, rng)
+	ml.NewTrainer(n2, ml.SGDConfig{LearningRate: 0.05, Momentum: 0.9, BatchSize: 32, Epochs: 10}, rng).Fit(X, y)
+	q2, err := ml.Quantize(n2, X[:100])
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := lower.DNN(q2, "anomaly-v2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.UpdateWeights(g2); err != nil {
+		t.Fatal(err)
+	}
+	// After the update the device computes with the new weights. (Input
+	// quantisers calibrate to the same feature range, so codes agree.)
+	rec := gen.Record()
+	pkt := pisa.BuildTCPPacket(77, 2, 3, 4, 0, 0)
+	dec, err := dev.Process(PacketIn{Data: pkt, Features: rec.Features})
+	if err != nil {
+		t.Fatal(err)
+	}
+	codes := q.InputQ.QuantizeSlice(rec.Features)
+	want := q2.ForwardCodes(codes)[0]
+	if dec.MLScore != int32(want) {
+		t.Errorf("score after update = %d, want %d", dec.MLScore, want)
+	}
+
+	// Structural change must be rejected.
+	small := ml.NewDNN([]int{6, 4, 1}, ml.ReLU, ml.Sigmoid, rng)
+	qs, err := ml.Quantize(small, X[:50])
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs, err := lower.DNN(qs, "small")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.UpdateWeights(gs); err == nil {
+		t.Error("structural change should be rejected")
+	}
+}
+
+func TestUpdateWeightsNoModel(t *testing.T) {
+	dev, err := NewDevice(DefaultConfig(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ := lower.InnerProduct(6)
+	if err := dev.UpdateWeights(g); err == nil {
+		t.Error("update without a model should fail")
+	}
+}
+
+func TestFlowKeyStability(t *testing.T) {
+	dev, err := NewDevice(DefaultConfig(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := dev.FlowKey(1, 2, 3, 4, 6)
+	b := dev.FlowKey(1, 2, 3, 4, 6)
+	c := dev.FlowKey(1, 2, 3, 5, 6)
+	if a != b {
+		t.Error("same tuple should hash identically")
+	}
+	if a == c {
+		t.Error("different tuples should (almost surely) differ")
+	}
+}

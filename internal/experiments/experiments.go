@@ -1,0 +1,173 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§5) from the repository's own substrates: trained models,
+// the MapReduce compiler, the CGRA timing model, the analytic hardware
+// model, and the end-to-end simulators. Each generator returns the data and
+// a formatted rendering shaped like the paper's table.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"taurus/internal/compiler"
+	"taurus/internal/dataset"
+	"taurus/internal/fixed"
+	"taurus/internal/lower"
+	mr "taurus/internal/mapreduce"
+	"taurus/internal/ml"
+)
+
+// Models bundles the four §5.1.2 application models, trained and lowered.
+type Models struct {
+	// KMeans: IoT traffic classification, 11 features, 5 categories.
+	KMeans      *ml.KMeans
+	KMeansGraph *mr.Graph
+	// SVM: anomaly detection, 8 KDD features, RBF kernel.
+	SVM      *ml.SVM
+	SVMGraph *mr.Graph
+	// DNN: anomaly detection, 6 features, hidden 12/6/3.
+	DNN      *ml.QuantizedDNN
+	DNNFloat *ml.DNN
+	DNNGraph *mr.Graph
+	// LSTM: Indigo congestion control, 32 units.
+	LSTM      *ml.LSTM
+	LSTMGraph *mr.Graph
+}
+
+// TrainModels trains and lowers the full application suite.
+func TrainModels(seed int64) (*Models, error) {
+	rng := rand.New(rand.NewSource(seed))
+	m := &Models{}
+
+	// KMeans.
+	ig, err := dataset.NewIoTGenerator(dataset.KMeansIoTConfig(), rng)
+	if err != nil {
+		return nil, err
+	}
+	XI, _ := ig.Samples(600)
+	m.KMeans, err = ml.TrainKMeans(XI, 5, 50, rng)
+	if err != nil {
+		return nil, err
+	}
+	var flat []float32
+	for _, x := range XI {
+		flat = append(flat, x...)
+	}
+	m.KMeansGraph, err = lower.KMeans(m.KMeans, fixed.QuantizerFor(flat), "iot-kmeans")
+	if err != nil {
+		return nil, err
+	}
+
+	// SVM.
+	genS, err := dataset.NewAnomalyGenerator(dataset.AnomalyConfig{
+		NumFeatures: dataset.NumSVMFeatures, AnomalyFraction: 0.4, Separation: 1.2,
+	}, rng)
+	if err != nil {
+		return nil, err
+	}
+	XS, yS := dataset.SplitPM(genS.Records(250))
+	m.SVM, err = ml.TrainSVM(XS, yS, ml.DefaultSVMConfig(), rng)
+	if err != nil {
+		return nil, err
+	}
+	var flatS []float32
+	for _, x := range XS {
+		flatS = append(flatS, x...)
+	}
+	m.SVMGraph, err = lower.SVM(m.SVM, fixed.QuantizerFor(flatS), 12, "anomaly-svm")
+	if err != nil {
+		return nil, err
+	}
+
+	// DNN.
+	gen, err := dataset.NewAnomalyGenerator(dataset.DefaultAnomalyConfig(), rng)
+	if err != nil {
+		return nil, err
+	}
+	X, y := dataset.Split(gen.Records(2000))
+	m.DNNFloat = ml.NewDNN([]int{6, 12, 6, 3, 1}, ml.ReLU, ml.Sigmoid, rng)
+	ml.NewTrainer(m.DNNFloat, ml.SGDConfig{LearningRate: 0.05, Momentum: 0.9, BatchSize: 32, Epochs: 25}, rng).Fit(X, y)
+	m.DNN, err = ml.Quantize(m.DNNFloat, X[:300])
+	if err != nil {
+		return nil, err
+	}
+	m.DNNGraph, err = lower.DNN(m.DNN, "anomaly-dnn")
+	if err != nil {
+		return nil, err
+	}
+
+	// LSTM.
+	m.LSTM = ml.NewLSTM(4, 32, 5, rng)
+	m.LSTMGraph, err = lower.LSTMStep(m.LSTM, fixed.NewQuantizer(1.0), "indigo-lstm")
+	if err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// CompileAll compiles the four models with default options and returns
+// results keyed by the Table 5 row names.
+func (m *Models) CompileAll() (map[string]*compiler.Result, error) {
+	out := map[string]*compiler.Result{}
+	for name, g := range map[string]*mr.Graph{
+		"KMeans": m.KMeansGraph,
+		"SVM":    m.SVMGraph,
+		"DNN":    m.DNNGraph,
+		"LSTM":   m.LSTMGraph,
+	} {
+		res, err := compiler.Compile(g, compiler.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: compile %s: %w", name, err)
+		}
+		out[name] = res
+	}
+	return out, nil
+}
+
+// table renders rows with a header, aligning columns.
+func table(title string, header []string, rows [][]string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			fmt.Fprintf(&b, "%-*s  ", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	line(header)
+	for _, r := range rows {
+		line(r)
+	}
+	return b.String()
+}
+
+// Table1 renders the reaction-time taxonomy (Table 1). It is a literature
+// summary in the paper; we encode it for completeness.
+func Table1() string {
+	rows := [][]string{
+		{"Heavy Hitters", "pkt"},
+		{"DoS (e.g., SYN Flood)", "pkt, flowlet, flow"},
+		{"Probes (e.g., Port Scan)", "flow"},
+		{"U2R: Unauth. Access to Root", "flow"},
+		{"R2L: Unauth. Remote Access", "flow"},
+		{"Congestion Control", "pkt"},
+		{"Active Queue Mgmt (AQM)", "pkt"},
+		{"Traffic Classification", "flowlet, flow"},
+		{"Load Balancing", "pkt, flowlet"},
+		{"Switching and Routing", "pkt, flow"},
+	}
+	return table("Table 1: in-network applications and reaction times",
+		[]string{"Application", "Reaction time"}, rows)
+}

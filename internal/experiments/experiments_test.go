@@ -1,0 +1,245 @@
+package experiments
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	once sync.Once
+	mdls *Models
+	merr error
+)
+
+func sharedModels(t *testing.T) *Models {
+	t.Helper()
+	once.Do(func() { mdls, merr = TrainModels(1) })
+	if merr != nil {
+		t.Fatal(merr)
+	}
+	return mdls
+}
+
+func TestTable1Renders(t *testing.T) {
+	s := Table1()
+	for _, want := range []string{"Heavy Hitters", "Congestion Control", "Load Balancing"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Table 1 missing %q", want)
+		}
+	}
+}
+
+func TestTable2(t *testing.T) {
+	rows, text, err := Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Paper ordering: CPU < GPU < TPU unbatched.
+	if !(rows[0].LatencyMs < rows[1].LatencyMs && rows[1].LatencyMs < rows[2].LatencyMs) {
+		t.Errorf("ordering violated: %+v", rows)
+	}
+	if !strings.Contains(text, "Taurus") {
+		t.Error("rendering should include the Taurus comparison row")
+	}
+}
+
+func TestTable3QuantisationLossSmall(t *testing.T) {
+	rows, _, err := Table3(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		// Paper: |diff| <= 0.07 points. Allow 1.5 for the synthetic set.
+		if r.Diff > 1.5 || r.Diff < -1.5 {
+			t.Errorf("%s: fix8 diff %.2f too large", r.Kernel, r.Diff)
+		}
+		// Accuracy near the paper's ~67% operating point.
+		if r.Float32 < 60 || r.Float32 > 80 {
+			t.Errorf("%s: float accuracy %.1f out of band", r.Kernel, r.Float32)
+		}
+	}
+}
+
+func TestTable4(t *testing.T) {
+	rows, text := Table4()
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].AreaUM2 != 670 {
+		t.Errorf("fix8 anchor = %v", rows[0].AreaUM2)
+	}
+	// Monotone growth with precision.
+	if !(rows[0].AreaUM2 < rows[1].AreaUM2 && rows[1].AreaUM2 < rows[2].AreaUM2) {
+		t.Error("area should grow with precision")
+	}
+	if !strings.Contains(text, "fix16") {
+		t.Error("rendering missing fix16 row")
+	}
+}
+
+func TestFigure9(t *testing.T) {
+	pts, _ := Figure9()
+	if len(pts) != 16 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// Per-FU area at 4 lanes exceeds 32 lanes for every stage count.
+	byStages := map[int]map[int]float64{}
+	for _, p := range pts {
+		if byStages[p.Stages] == nil {
+			byStages[p.Stages] = map[int]float64{}
+		}
+		byStages[p.Stages][p.Lanes] = p.AreaUM2
+	}
+	for st, lanes := range byStages {
+		if lanes[4] <= lanes[32] {
+			t.Errorf("stages=%d: per-FU area should shrink with lanes", st)
+		}
+	}
+}
+
+func TestFigure10(t *testing.T) {
+	pts, _, err := Figure10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	area := map[string]map[int]float64{}
+	for _, p := range pts {
+		if area[p.Activation] == nil {
+			area[p.Activation] = map[int]float64{}
+		}
+		area[p.Activation][p.Stages] = p.AreaMM2
+	}
+	// Taylor-series activations cost more than piecewise at 4 stages.
+	if area["TanhExp"][4] <= area["TanhPW"][4] {
+		t.Errorf("TanhExp (%.3f) should exceed TanhPW (%.3f)", area["TanhExp"][4], area["TanhPW"][4])
+	}
+	// ReLU is cheap everywhere.
+	for st, a := range area["ReLU"] {
+		if a > area["SigmoidExp"][st] {
+			t.Errorf("ReLU (%.3f) should not exceed SigmoidExp (%.3f) at %d stages",
+				a, area["SigmoidExp"][st], st)
+		}
+	}
+}
+
+func TestTable5(t *testing.T) {
+	m := sharedModels(t)
+	rows, text, err := Table5(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Paper shape: KMeans < SVM < DNN < LSTM in area and latency; all but
+	// LSTM at line rate.
+	if !(rows[0].AreaMM2 < rows[1].AreaMM2 && rows[1].AreaMM2 < rows[2].AreaMM2 && rows[2].AreaMM2 < rows[3].AreaMM2) {
+		t.Errorf("area ordering violated: %+v", rows)
+	}
+	for i := 0; i < 3; i++ {
+		if rows[i].GPktPerSec != 1 {
+			t.Errorf("%s should run at line rate", rows[i].Model)
+		}
+	}
+	if rows[3].GPktPerSec >= 1 {
+		t.Error("LSTM should be below line rate")
+	}
+	if !strings.Contains(text, "12x10 Grid") {
+		t.Error("rendering missing the grid row")
+	}
+}
+
+func TestFigure11(t *testing.T) {
+	m := sharedModels(t)
+	s, err := Figure11(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 12+6+3+1 = 22 perceptrons in the anomaly DNN.
+	if !strings.Contains(s, "perceptron (inner-product) instances: 22") {
+		t.Errorf("unexpected decomposition:\n%s", s)
+	}
+}
+
+func TestTable6And7(t *testing.T) {
+	rows6, _, err := Table6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows6) != 9 {
+		t.Fatalf("table 6 rows = %d", len(rows6))
+	}
+	for _, r := range rows6 {
+		if r.II != 1 {
+			t.Errorf("%s not at line rate", r.Name)
+		}
+	}
+	rows7, _, err := Table7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows7) != 4 {
+		t.Fatalf("table 7 rows = %d", len(rows7))
+	}
+	if rows7[0].LineRate != 0.125 || rows7[3].LineRate != 1 {
+		t.Errorf("unroll line rates wrong: %+v", rows7)
+	}
+}
+
+func TestMATComparison(t *testing.T) {
+	m := sharedModels(t)
+	s, err := MATComparison(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(s, "48") {
+		t.Error("N2Net's 48 MATs missing")
+	}
+}
+
+func TestTable8Small(t *testing.T) {
+	m := sharedModels(t)
+	rows, text, err := Table8(m, 60_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.TaurusF1 < 50 {
+			t.Errorf("sampling %v: Taurus F1 %.1f too low", r.SamplingRate, r.TaurusF1)
+		}
+		if r.TaurusDetectedPct < 5*r.BaselineDetectedPct {
+			t.Errorf("sampling %v: Taurus %.1f%% vs baseline %.3f%%",
+				r.SamplingRate, r.TaurusDetectedPct, r.BaselineDetectedPct)
+		}
+	}
+	if !strings.Contains(text, "Taurus F1") {
+		t.Error("rendering missing headers")
+	}
+}
+
+func TestFigures13And14Small(t *testing.T) {
+	curves, _, err := Figure13()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curves) != 4 {
+		t.Fatalf("curves = %d", len(curves))
+	}
+	c14, _, err := Figure14()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c14) != 4 {
+		t.Fatalf("fig14 curves = %d", len(c14))
+	}
+}

@@ -1,0 +1,288 @@
+package fixed
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPrecisionRanges(t *testing.T) {
+	cases := []struct {
+		p        Precision
+		min, max int32
+	}{
+		{Fix8, -128, 127},
+		{Fix16, -32768, 32767},
+		{Fix32, math.MinInt32, math.MaxInt32},
+	}
+	for _, c := range cases {
+		if got := c.p.Min(); got != c.min {
+			t.Errorf("%v.Min() = %d, want %d", c.p, got, c.min)
+		}
+		if got := c.p.Max(); got != c.max {
+			t.Errorf("%v.Max() = %d, want %d", c.p, got, c.max)
+		}
+		if !c.p.Valid() {
+			t.Errorf("%v.Valid() = false", c.p)
+		}
+	}
+	if Precision(12).Valid() {
+		t.Error("Precision(12).Valid() = true, want false")
+	}
+}
+
+func TestPrecisionString(t *testing.T) {
+	if Fix8.String() != "fix8" || Fix16.String() != "fix16" || Fix32.String() != "fix32" {
+		t.Errorf("unexpected names: %v %v %v", Fix8, Fix16, Fix32)
+	}
+}
+
+func TestSaturate(t *testing.T) {
+	if got := Fix8.Saturate(1000); got != 127 {
+		t.Errorf("Saturate(1000) = %d, want 127", got)
+	}
+	if got := Fix8.Saturate(-1000); got != -128 {
+		t.Errorf("Saturate(-1000) = %d, want -128", got)
+	}
+	if got := Fix8.Saturate(5); got != 5 {
+		t.Errorf("Saturate(5) = %d, want 5", got)
+	}
+}
+
+func TestFormatValidate(t *testing.T) {
+	if err := Q8p4.Validate(); err != nil {
+		t.Fatalf("Q8p4 invalid: %v", err)
+	}
+	if err := (Format{Bits: 9, Frac: 2}).Validate(); err == nil {
+		t.Error("9-bit format should be invalid")
+	}
+	if err := (Format{Bits: 8, Frac: 8}).Validate(); err == nil {
+		t.Error("Frac==Bits should be invalid")
+	}
+	if err := (Format{Bits: 8, Frac: -1}).Validate(); err == nil {
+		t.Error("negative Frac should be invalid")
+	}
+}
+
+func TestFormatRange(t *testing.T) {
+	if got, want := Q8p4.Max(), 7.9375; got != want {
+		t.Errorf("Q8p4.Max() = %v, want %v", got, want)
+	}
+	if got, want := Q8p4.Min(), -8.0; got != want {
+		t.Errorf("Q8p4.Min() = %v, want %v", got, want)
+	}
+	if got, want := Q8p4.Resolution(), 0.0625; got != want {
+		t.Errorf("Q8p4.Resolution() = %v, want %v", got, want)
+	}
+}
+
+func TestQRoundTrip(t *testing.T) {
+	for _, v := range []float64{0, 1, -1, 3.25, -3.25, 7.9375, -8} {
+		q := Q8p4.FromFloat(v)
+		if q.Float() != v {
+			t.Errorf("FromFloat(%v).Float() = %v", v, q.Float())
+		}
+	}
+}
+
+func TestQSaturation(t *testing.T) {
+	if got := Q8p4.FromFloat(100).Float(); got != 7.9375 {
+		t.Errorf("overflow should saturate to max, got %v", got)
+	}
+	if got := Q8p4.FromFloat(-100).Float(); got != -8 {
+		t.Errorf("underflow should saturate to min, got %v", got)
+	}
+	if got := Q8p4.FromFloat(math.NaN()).Float(); got != 0 {
+		t.Errorf("NaN should map to 0, got %v", got)
+	}
+}
+
+func TestQArithmetic(t *testing.T) {
+	a := Q8p4.FromFloat(1.5)
+	b := Q8p4.FromFloat(2.25)
+	if got := a.Add(b).Float(); got != 3.75 {
+		t.Errorf("1.5+2.25 = %v", got)
+	}
+	if got := a.Sub(b).Float(); got != -0.75 {
+		t.Errorf("1.5-2.25 = %v", got)
+	}
+	if got := a.Mul(b).Float(); math.Abs(got-3.375) > Q8p4.Resolution() {
+		t.Errorf("1.5*2.25 = %v, want ~3.375", got)
+	}
+	if got := a.Neg().Float(); got != -1.5 {
+		t.Errorf("-1.5 = %v", got)
+	}
+	// Negating the minimum saturates.
+	if got := Q8p4.FromFloat(-8).Neg().Float(); got != 7.9375 {
+		t.Errorf("-(-8) = %v, want 7.9375 (saturated)", got)
+	}
+}
+
+func TestQAddSaturates(t *testing.T) {
+	a := Q8p4.FromFloat(7)
+	if got := a.Add(a).Float(); got != 7.9375 {
+		t.Errorf("7+7 should saturate, got %v", got)
+	}
+}
+
+func TestQMulZeroFrac(t *testing.T) {
+	f := Format{Bits: 8, Frac: 0}
+	a := f.FromFloat(6)
+	b := f.FromFloat(7)
+	if got := a.Mul(b).Float(); got != 42 {
+		t.Errorf("6*7 = %v", got)
+	}
+}
+
+func TestQFormatMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on format mismatch")
+		}
+	}()
+	Q8p4.FromFloat(1).Add(Q16p8.FromFloat(1))
+}
+
+func TestQString(t *testing.T) {
+	if s := Q8p4.FromFloat(1.25).String(); s != "1.25(q4.4)" {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+// Property: fixed-point addition never strays more than one resolution step
+// from real addition, as long as the real result is in range.
+func TestQAddProperty(t *testing.T) {
+	f := func(a, b int8) bool {
+		qa := Q8p4.FromRaw(int64(a))
+		qb := Q8p4.FromRaw(int64(b))
+		sum := qa.Float() + qb.Float()
+		if sum > Q8p4.Max() || sum < Q8p4.Min() {
+			return true // saturation cases checked elsewhere
+		}
+		return qa.Add(qb).Float() == sum
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: multiplication error is bounded by one resolution step.
+func TestQMulProperty(t *testing.T) {
+	f := func(a, b int8) bool {
+		qa := Q8p4.FromRaw(int64(a))
+		qb := Q8p4.FromRaw(int64(b))
+		want := qa.Float() * qb.Float()
+		if want > Q8p4.Max() || want < Q8p4.Min() {
+			return true
+		}
+		return math.Abs(qa.Mul(qb).Float()-want) <= Q8p4.Resolution()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantizerRoundTrip(t *testing.T) {
+	q := NewQuantizer(4.0)
+	for _, v := range []float32{0, 1, -1, 3.999, -4, 2.5} {
+		got := q.Dequantize(q.Quantize(v))
+		if math.Abs(float64(got-v)) > q.Scale {
+			t.Errorf("round trip %v -> %v (scale %v)", v, got, q.Scale)
+		}
+	}
+}
+
+func TestQuantizerSaturates(t *testing.T) {
+	q := NewQuantizer(1.0)
+	if got := q.Quantize(100); got != 127 {
+		t.Errorf("Quantize(100) = %d, want 127", got)
+	}
+	if got := q.Quantize(-100); got != -128 {
+		t.Errorf("Quantize(-100) = %d, want -128", got)
+	}
+}
+
+func TestQuantizerDegenerate(t *testing.T) {
+	q := NewQuantizer(0)
+	if q.Scale <= 0 {
+		t.Fatalf("degenerate quantizer scale = %v", q.Scale)
+	}
+	if got := q.Quantize(0); got != 0 {
+		t.Errorf("Quantize(0) = %d", got)
+	}
+	q = NewQuantizer(math.NaN())
+	if q.Scale <= 0 {
+		t.Errorf("NaN absMax should fall back to unit scale")
+	}
+}
+
+func TestQuantizerFor(t *testing.T) {
+	q := QuantizerFor([]float32{0.5, -2, 1})
+	if math.Abs(q.Scale-2.0/127) > 1e-12 {
+		t.Errorf("Scale = %v, want %v", q.Scale, 2.0/127)
+	}
+	vs := []float32{0.5, -2, 1}
+	codes := q.QuantizeSlice(vs)
+	back := q.DequantizeSlice(codes)
+	for i := range vs {
+		if math.Abs(float64(back[i]-vs[i])) > q.Scale {
+			t.Errorf("slice round trip [%d]: %v -> %v", i, vs[i], back[i])
+		}
+	}
+}
+
+func TestMultiplierEncodes(t *testing.T) {
+	for _, f := range []float64{0.5, 0.001234, 0.9999, 1.0, 3.5, 100} {
+		m, err := NewMultiplier(f)
+		if err != nil {
+			t.Fatalf("NewMultiplier(%v): %v", f, err)
+		}
+		if rel := math.Abs(m.Float()-f) / f; rel > 1e-9 {
+			t.Errorf("Multiplier(%v) encodes %v (rel err %v)", f, m.Float(), rel)
+		}
+	}
+}
+
+func TestMultiplierRejectsBad(t *testing.T) {
+	for _, f := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		if _, err := NewMultiplier(f); err == nil {
+			t.Errorf("NewMultiplier(%v) should fail", f)
+		}
+	}
+}
+
+func TestMultiplierApply(t *testing.T) {
+	m, err := NewMultiplier(0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Apply(100); got != 25 {
+		t.Errorf("0.25*100 = %d, want 25", got)
+	}
+	if got := m.Apply(-100); got != -25 {
+		t.Errorf("0.25*-100 = %d, want -25", got)
+	}
+	if got := m.ApplySat8(10000); got != 127 {
+		t.Errorf("ApplySat8 overflow = %d, want 127", got)
+	}
+	if got := m.ApplySat8(-10000); got != -128 {
+		t.Errorf("ApplySat8 underflow = %d, want -128", got)
+	}
+}
+
+// Property: Apply matches real multiplication to within 1 ulp for in-range
+// accumulators.
+func TestMultiplierApplyProperty(t *testing.T) {
+	m, err := NewMultiplier(0.0123456789)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(acc int32) bool {
+		want := math.RoundToEven(float64(acc) * 0.0123456789)
+		got := float64(m.Apply(acc))
+		return math.Abs(got-want) <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

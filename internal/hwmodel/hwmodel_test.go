@@ -1,0 +1,143 @@
+package hwmodel
+
+import (
+	"math"
+	"testing"
+
+	"taurus/internal/fixed"
+)
+
+func TestTable4Anchors(t *testing.T) {
+	// Table 4 per-FU values at 16 lanes x 4 stages.
+	if got := FUArea(fixed.Fix8); got != 670 {
+		t.Errorf("fix8 FU area = %v", got)
+	}
+	if got := FUPower(fixed.Fix8); got != 456 {
+		t.Errorf("fix8 FU power = %v", got)
+	}
+	if got := FUArea(fixed.Fix16); math.Abs(got-1338) > 1 {
+		t.Errorf("fix16 FU area = %v, want 1338", got)
+	}
+	if got := FUArea(fixed.Fix32); math.Abs(got-2949) > 1 {
+		t.Errorf("fix32 FU area = %v, want 2949", got)
+	}
+	if got := FUPower(fixed.Fix16); math.Abs(got-887) > 1 {
+		t.Errorf("fix16 FU power = %v, want 887", got)
+	}
+	if got := FUPower(fixed.Fix32); math.Abs(got-2341) > 1 {
+		t.Errorf("fix32 FU power = %v, want 2341", got)
+	}
+}
+
+func TestCUAreaAnchor(t *testing.T) {
+	// §5.1.1: the 16x4 fix8 CU takes 0.044 mm² (680 µm²/FU average).
+	got := CUArea(16, 4, fixed.Fix8)
+	if math.Abs(got-CUAreaMM2) > 0.003 {
+		t.Errorf("CU area = %v mm², want ~%v", got, CUAreaMM2)
+	}
+	perFU := AreaPerFU(16, 4, fixed.Fix8)
+	if perFU < 650 || perFU > 700 {
+		t.Errorf("per-FU area = %v, want ~680", perFU)
+	}
+}
+
+func TestFigure9Monotonicity(t *testing.T) {
+	// Figure 9a: per-FU area decreases with more lanes (control amortised).
+	lanes := []int{4, 8, 16, 32}
+	for _, stages := range []int{2, 3, 4, 6} {
+		prev := math.Inf(1)
+		for _, l := range lanes {
+			a := AreaPerFU(l, stages, fixed.Fix8)
+			if a >= prev {
+				t.Errorf("per-FU area not decreasing at %d lanes %d stages", l, stages)
+			}
+			prev = a
+			p := PowerPerFU(l, stages, fixed.Fix8)
+			if p <= 0 {
+				t.Errorf("non-positive power at %dx%d", l, stages)
+			}
+		}
+	}
+	// 4-lane configs should be noticeably less efficient (paper's Fig 9a
+	// shows ~2x worse per-FU area than 32-lane).
+	r := AreaPerFU(4, 4, fixed.Fix8) / AreaPerFU(32, 4, fixed.Fix8)
+	if r < 1.5 || r > 4 {
+		t.Errorf("4-vs-32 lane per-FU ratio = %v", r)
+	}
+}
+
+func TestBadCUConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	AreaPerFU(0, 4, fixed.Fix8)
+}
+
+func TestUnsupportedPrecisionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	FUArea(fixed.Precision(12))
+}
+
+func TestGridComposition(t *testing.T) {
+	if GridCUs() != 90 || GridMUs() != 30 {
+		t.Errorf("grid = %d CUs / %d MUs, want 90/30", GridCUs(), GridMUs())
+	}
+	// §5.1.1: full grid ~4.8 mm²; +3.8% chip area for 4 pipelines.
+	full := FullGrid()
+	if a := full.AreaMM2(); math.Abs(a-4.8) > 0.3 {
+		t.Errorf("grid area = %v, want ~4.8 mm²", a)
+	}
+	if pct := full.AreaOverheadPct(); math.Abs(pct-3.8) > 0.3 {
+		t.Errorf("grid area overhead = %v%%, want ~3.8%%", pct)
+	}
+	// Power overhead should be a few percent (paper: 2.8%; our analytic
+	// model lands near 4%).
+	if pct := full.PowerOverheadPct(); pct < 2 || pct > 5 {
+		t.Errorf("grid power overhead = %v%%, want 2-5%%", pct)
+	}
+}
+
+func TestMATEquivalence(t *testing.T) {
+	// §5.1.1: one MAT ~1.95 mm²; the 4.8 mm² grid ≈ 3 MATs ("an iso-area
+	// design would lose 3 MATs per pipeline").
+	mat := MATAreaMM2()
+	if math.Abs(mat-1.953) > 0.01 {
+		t.Errorf("MAT area = %v, want ~1.95", mat)
+	}
+	mats := IsoAreaMATs(FullGrid().AreaMM2())
+	if mats < 2 || mats > 3 {
+		t.Errorf("grid ≈ %v MATs, want 2-3", mats)
+	}
+}
+
+func TestMATOnlyComparison(t *testing.T) {
+	// §5.1.4: N2Net needs 12 MATs/layer -> 48 MATs for the 4-layer anomaly
+	// DNN; Taurus consumes iso-area of ~3.
+	n2net := N2NetMATsPerLayer * 4
+	if n2net != 48 {
+		t.Errorf("N2Net MATs = %d", n2net)
+	}
+	if IIsySVMMATs != 8 || IIsyKMeansMATs != 2 {
+		t.Error("IIsy constants wrong")
+	}
+}
+
+func TestUsageScaling(t *testing.T) {
+	u := Usage{CUs: 10, MUs: 2, Lanes: 16, Stages: 4, Precision: fixed.Fix8}
+	if a := u.AreaMM2(); math.Abs(a-(10*CUArea(16, 4, fixed.Fix8)+2*MUAreaMM2)) > 1e-9 {
+		t.Errorf("usage area = %v", a)
+	}
+	double := Usage{CUs: 20, MUs: 4, Lanes: 16, Stages: 4, Precision: fixed.Fix8}
+	if double.AreaMM2() <= u.AreaMM2() || double.PowerMW() <= u.PowerMW() {
+		t.Error("usage should scale with units")
+	}
+	if u.AreaOverheadPct() <= 0 || u.PowerOverheadPct() <= 0 {
+		t.Error("overheads should be positive")
+	}
+}

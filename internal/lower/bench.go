@@ -1,0 +1,259 @@
+package lower
+
+import (
+	"fmt"
+	"math"
+
+	"taurus/internal/fixed"
+	mr "taurus/internal/mapreduce"
+)
+
+// Microbenchmark graph builders (§5.1.3, Figure 11, Table 6, Table 7).
+//
+// The nonlinear micro graphs work on a wider internal scale (1/1024) than
+// the 8-bit storage format: CU pipeline registers are wider than a lane, and
+// only values crossing MU/PHV boundaries are 8-bit. Inputs arrive as
+// int8-coded features at scale 1/16 (Q4.4) and outputs are int8 codes at
+// scale 1/127.
+
+const (
+	// MicroInScale is the input code scale (Q4.4 features from the MATs).
+	MicroInScale = 1.0 / 16
+	// MicroScale is the internal working scale of the nonlinear chains.
+	MicroScale = 1.0 / 1024
+	// MicroOutScale is the output code scale of the nonlinear benches.
+	MicroOutScale = 1.0 / 127
+)
+
+func mustMult(f float64) fixed.Multiplier {
+	m, err := fixed.NewMultiplier(f)
+	if err != nil {
+		panic(fmt.Sprintf("lower: bad multiplier %v: %v", f, err))
+	}
+	return m
+}
+
+// code converts a real constant to the micro working scale.
+func code(v float64) int32 { return int32(math.RoundToEven(v / MicroScale)) }
+
+// InnerProduct builds the width-element dot product of Table 6: one Map(Mul)
+// and one Reduce(Add) — the minimum-latency CU program (5 cycles in a
+// 16-lane CU).
+func InnerProduct(width int) (*mr.Graph, error) {
+	b := mr.NewBuilder(fmt.Sprintf("inner-product-%d", width))
+	x := b.Input("x", width)
+	w := make([]int32, width)
+	for i := range w {
+		w[i] = int32((i*7)%15 - 7) // deterministic non-trivial weights
+	}
+	wv := b.Const("w", w)
+	b.Output(b.DotProduct(wv, x))
+	return b.Build()
+}
+
+// Conv1D builds the one-dimensional convolution of Table 6/7: `outputs`
+// windows of size `kernel` over an input of width outputs+kernel-1. Each
+// output is a small inner product; the compiler's pack factor controls how
+// many outputs share a CU (Table 7's unrolling study).
+func Conv1D(outputs, kernel int) (*mr.Graph, error) {
+	if outputs <= 0 || kernel <= 0 {
+		return nil, fmt.Errorf("lower: bad conv1d dims %d/%d", outputs, kernel)
+	}
+	b := mr.NewBuilder(fmt.Sprintf("conv1d-%dx%d", outputs, kernel))
+	x := b.Input("x", outputs+kernel-1)
+	k := make([]int32, kernel)
+	for i := range k {
+		k[i] = int32(i*3 + 1)
+	}
+	outs := make([]mr.Value, outputs)
+	for o := 0; o < outputs; o++ {
+		win := b.Slice(x, o, kernel)
+		kv := b.Const(fmt.Sprintf("k%d", o), k)
+		outs[o] = b.DotProduct(kv, win)
+	}
+	b.Output(b.Concat(outs...))
+	return b.Build()
+}
+
+// ReLUBench maps ReLU over width lanes.
+func ReLUBench(width int) (*mr.Graph, error) {
+	b := mr.NewBuilder(fmt.Sprintf("relu-%d", width))
+	x := b.Input("x", width)
+	b.Output(b.Unary(mr.UReLU, x))
+	return b.Build()
+}
+
+// LeakyReLUBench maps LeakyReLU over width lanes.
+func LeakyReLUBench(width int) (*mr.Graph, error) {
+	b := mr.NewBuilder(fmt.Sprintf("leakyrelu-%d", width))
+	x := b.Input("x", width)
+	b.Output(b.Unary(mr.ULeakyReLU, x))
+	return b.Build()
+}
+
+// widen converts int8 input codes (scale 1/16) to the working scale with an
+// integer gain (exact: 1/16 -> 1/1024 is x64).
+func widen(b *mr.Builder, x mr.Value, gain int32) mr.Value {
+	return b.Map(mr.MMul, x, b.Scalar("widen", gain))
+}
+
+// expTaylorChain appends a degree-7 Horner evaluation of e^v to the builder,
+// where v is already at MicroScale; the result is at MicroScale. This is the
+// "long basic block" (§4) the compiler must split across several CUs.
+func expTaylorChain(b *mr.Builder, v mr.Value) mr.Value {
+	v = b.Map(mr.MMin, v, b.Scalar("clamp_hi", code(4)))
+	v = b.Map(mr.MMax, v, b.Scalar("clamp_lo", code(-4)))
+	coeffs := []float64{1.0 / 5040, 1.0 / 720, 1.0 / 120, 1.0 / 24, 1.0 / 6, 0.5, 1, 1}
+	// Splat the leading coefficient across the lanes.
+	ones := make([]int32, v.Width())
+	for i := range ones {
+		ones[i] = 1
+	}
+	p := b.Map(mr.MMul, b.Const("splat", ones), b.Scalar("c7", code(coeffs[0])))
+	for i := 1; i < len(coeffs); i++ {
+		p = b.Map(mr.MMul, p, v)
+		p = b.Scale(p, mustMult(MicroScale)) // s^2 -> s
+		p = b.Map(mr.MAdd, p, b.Scalar(fmt.Sprintf("c%d", 7-i), code(coeffs[i])))
+	}
+	// Taylor truncation can dip below zero near -4; exp is positive.
+	return b.Unary(mr.UReLU, p)
+}
+
+// recipLUT tabulates 1/v for v >= 1 at MicroScale (bucketed by 16 codes),
+// producing int8 outputs at MicroOutScale.
+func recipLUT() *mr.LUT {
+	l := &mr.LUT{Mult: mustMult(1.0 / 16)}
+	for i := 0; i < mr.LUTSize; i++ {
+		idx := i - mr.LUTSize/2
+		if idx <= 0 {
+			l.Table[i] = 127
+			continue
+		}
+		v := float64(idx) * 16 * MicroScale
+		if v < 1 {
+			l.Table[i] = 127
+			continue
+		}
+		l.Table[i] = int8(math.RoundToEven((1 / v) / MicroOutScale))
+	}
+	return l
+}
+
+// TanhExpBench builds tanh(x) = (e^{2x}-1)/(e^{2x}+1) with a Taylor
+// exponential and a reciprocal LUT (Table 6's TanhExp row).
+func TanhExpBench(width int) (*mr.Graph, error) {
+	b := mr.NewBuilder(fmt.Sprintf("tanhexp-%d", width))
+	x8 := b.Input("x", width)
+	v := widen(b, x8, 128) // 2x at MicroScale
+	e := expTaylorChain(b, v)
+	one := b.Scalar("one", code(1))
+	num := b.Map(mr.MSub, e, one)
+	den := b.Map(mr.MAdd, e, one)
+	rec := b.ApplyLUT(den, recipLUT()) // codes at MicroOutScale
+	prod := b.Map(mr.MMul, num, rec)   // scale MicroScale*MicroOutScale
+	out := b.Requant(prod, mustMult(MicroScale))
+	b.Output(out)
+	return b.Build()
+}
+
+// SigmoidExpBench builds sigmoid(x) = 1/(1 + e^{-x}) (Table 6's SigmoidExp
+// row).
+func SigmoidExpBench(width int) (*mr.Graph, error) {
+	b := mr.NewBuilder(fmt.Sprintf("sigmoidexp-%d", width))
+	x8 := b.Input("x", width)
+	v := widen(b, x8, -64) // -x at MicroScale
+	e := expTaylorChain(b, v)
+	den := b.Map(mr.MAdd, e, b.Scalar("one", code(1)))
+	b.Output(b.ApplyLUT(den, recipLUT()))
+	return b.Build()
+}
+
+// tanhPWChain appends a 7-segment piecewise-linear tanh built from min/max
+// of lines (concave side uses min, convex side max, odd symmetry):
+// clamp(max(min(x, 0.55x+0.22, 0.25x+0.6), 0.55x-0.22, 0.25x-0.6), -1, 1).
+// Input/output at MicroScale.
+func tanhPWChain(b *mr.Builder, x mr.Value) mr.Value {
+	m1 := b.Scale(b.Map(mr.MMul, x, b.Scalar("k55", code(0.55))), mustMult(MicroScale))
+	m2 := b.Scale(b.Map(mr.MMul, x, b.Scalar("k25", code(0.25))), mustMult(MicroScale))
+	a := b.Map(mr.MAdd, m1, b.Scalar("o22", code(0.22)))
+	bb := b.Map(mr.MAdd, m2, b.Scalar("o60", code(0.60)))
+	c := b.Map(mr.MSub, m1, b.Scalar("o22n", code(0.22)))
+	d := b.Map(mr.MSub, m2, b.Scalar("o60n", code(0.60)))
+	y := b.Map(mr.MMin, x, a)
+	y = b.Map(mr.MMin, y, bb)
+	y = b.Map(mr.MMax, y, c)
+	y = b.Map(mr.MMax, y, d)
+	y = b.Map(mr.MMin, y, b.Scalar("pos1", code(1)))
+	y = b.Map(mr.MMax, y, b.Scalar("neg1", code(-1)))
+	return y
+}
+
+// TanhPWBench builds the piecewise-linear tanh (Table 6's TanhPW row).
+func TanhPWBench(width int) (*mr.Graph, error) {
+	b := mr.NewBuilder(fmt.Sprintf("tanhpw-%d", width))
+	x8 := b.Input("x", width)
+	x := widen(b, x8, 64)
+	y := tanhPWChain(b, x)
+	b.Output(b.Requant(y, mustMult(MicroScale*127)))
+	return b.Build()
+}
+
+// SigmoidPWBench builds sigmoid(x) ~= (tanhPW(x/2)+1)/2 (Table 6's
+// SigmoidPW row); the extra scale/shift ops make it slightly larger than
+// TanhPW, as in the paper.
+func SigmoidPWBench(width int) (*mr.Graph, error) {
+	b := mr.NewBuilder(fmt.Sprintf("sigmoidpw-%d", width))
+	x8 := b.Input("x", width)
+	x := widen(b, x8, 32) // x/2 at MicroScale
+	y := tanhPWChain(b, x)
+	y = b.Map(mr.MAdd, y, b.Scalar("one", code(1)))
+	// (t+1)/2 in [0,2] at MicroScale -> int8 at MicroOutScale.
+	b.Output(b.Requant(y, mustMult(MicroScale*127/2)))
+	return b.Build()
+}
+
+// ActLUTBench builds the pure lookup-table activation (Table 6's ActLUT
+// row): one index computation and one MU read, tabulating tanh.
+func ActLUTBench(width int) (*mr.Graph, error) {
+	b := mr.NewBuilder(fmt.Sprintf("actlut-%d", width))
+	x8 := b.Input("x", width)
+	l := &mr.LUT{Mult: mustMult(MicroInScale / (8.0 / (mr.LUTSize/2 - 1)))}
+	for i := 0; i < mr.LUTSize; i++ {
+		pre := float64(i-mr.LUTSize/2) * (8.0 / (mr.LUTSize/2 - 1))
+		l.Table[i] = int8(math.RoundToEven(math.Tanh(pre) / MicroOutScale))
+	}
+	b.Output(b.ApplyLUT(x8, l))
+	return b.Build()
+}
+
+// Microbenchmarks returns the full Table 6 suite keyed by the paper's row
+// names, all at the given vector width.
+func Microbenchmarks(width int) (map[string]*mr.Graph, error) {
+	out := map[string]*mr.Graph{}
+	type entry struct {
+		name  string
+		build func(int) (*mr.Graph, error)
+	}
+	for _, e := range []entry{
+		{"InnerProduct", InnerProduct},
+		{"ReLU", ReLUBench},
+		{"LeakyReLU", LeakyReLUBench},
+		{"TanhExp", TanhExpBench},
+		{"SigmoidExp", SigmoidExpBench},
+		{"TanhPW", TanhPWBench},
+		{"SigmoidPW", SigmoidPWBench},
+		{"ActLUT", ActLUTBench},
+	} {
+		g, err := e.build(width)
+		if err != nil {
+			return nil, fmt.Errorf("lower: %s: %w", e.name, err)
+		}
+		out[e.name] = g
+	}
+	conv, err := Conv1D(8, 2)
+	if err != nil {
+		return nil, fmt.Errorf("lower: Conv1D: %w", err)
+	}
+	out["Conv1D"] = conv
+	return out, nil
+}

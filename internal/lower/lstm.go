@@ -1,0 +1,141 @@
+package lower
+
+import (
+	"fmt"
+	"math"
+
+	"taurus/internal/fixed"
+	mr "taurus/internal/mapreduce"
+	"taurus/internal/ml"
+	"taurus/internal/tensor"
+)
+
+// LSTM scale conventions for the quantised data-plane step. Gate outputs and
+// hidden state live in [-1, 1] (scale 1/127); the cell state is clamped to
+// [-4, 4] (scale 4/127). These are the standard choices for int8 LSTMs.
+const (
+	lstmHScale = 1.0 / 127
+	lstmCScale = 4.0 / 127
+)
+
+// LSTMStep lowers one step of the Indigo LSTM (§5.1.2) into a MapReduce
+// graph. Inputs (in order): x codes (width In, quantised by inQ), h codes
+// (width Hidden, scale 1/127), c codes (width Hidden, scale 4/127).
+// Outputs (in order): action logits (width Out, 32-bit accumulators), new h
+// codes, new c codes. State codes are stored in MU registers between
+// packets by the surrounding pipeline.
+func LSTMStep(l *ml.LSTM, inQ fixed.Quantizer, name string) (*mr.Graph, error) {
+	b := mr.NewBuilder(name)
+	x := b.Input("x", l.In)
+	h := b.Input("h", l.Hidden)
+	c := b.Input("c", l.Hidden)
+
+	// Bring x into the h scale so one weight scale covers the concatenated
+	// gate input.
+	xRescale, err := fixed.NewMultiplier(inQ.Scale / lstmHScale)
+	if err != nil {
+		return nil, fmt.Errorf("lower: LSTM x rescale: %w", err)
+	}
+	xh := b.Concat(b.Requant(x, xRescale), h)
+
+	// Per-gate weight quantisation.
+	type gateSpec struct {
+		name string
+		w    [][]float32
+		bias []float32
+		act  ml.Activation
+	}
+	gates := []gateSpec{
+		{"i", matRows(l.Wi), l.Bi, ml.Sigmoid},
+		{"f", matRows(l.Wf), l.Bf, ml.Sigmoid},
+		{"g", matRows(l.Wg), l.Bg, ml.Tanh},
+		{"o", matRows(l.Wo), l.Bo, ml.Sigmoid},
+	}
+	gateVals := make(map[string]mr.Value, 4)
+	for _, gs := range gates {
+		flat := flatten(gs.w)
+		wq := fixed.QuantizerFor(flat)
+		accScale := lstmHScale * wq.Scale
+		lut, err := ml.NewQuantLUT(gs.act, accScale, fixed.Quantizer{Scale: lstmHScale})
+		if err != nil {
+			return nil, fmt.Errorf("lower: LSTM gate %s LUT: %w", gs.name, err)
+		}
+		neurons := make([]mr.Value, l.Hidden)
+		for r := 0; r < l.Hidden; r++ {
+			codes := wq.QuantizeSlice(gs.w[r])
+			wv := b.ConstInt8(fmt.Sprintf("W%s_%d", gs.name, r), codes)
+			acc := b.DotProduct(wv, xh)
+			biasCode := int32(math.RoundToEven(float64(gs.bias[r]) / accScale))
+			acc = b.Map(mr.MAdd, acc, b.Scalar(fmt.Sprintf("b%s_%d", gs.name, r), biasCode))
+			neurons[r] = acc
+		}
+		z := b.Concat(neurons...)
+		gateVals[gs.name] = b.ApplyLUT(z, lutFromML(lut))
+	}
+
+	// c' = f*c + i*g, all requantised into the c scale.
+	fc := b.Map(mr.MMul, gateVals["f"], c) // scale h*c
+	ig := b.Map(mr.MMul, gateVals["i"], gateVals["g"])
+	igAlign, err := fixed.NewMultiplier(lstmHScale / lstmCScale) // h*h -> h*c
+	if err != nil {
+		return nil, fmt.Errorf("lower: LSTM ig align: %w", err)
+	}
+	igAligned := b.Requant(ig, igAlign)
+	// igAligned codes are int8 at scale h*c; fc is a 16-bit product at the
+	// same scale, so a plain add combines them.
+	cNew32 := b.Map(mr.MAdd, fc, igAligned)
+	cFinal, err := fixed.NewMultiplier(lstmHScale) // h*c -> c
+	if err != nil {
+		return nil, fmt.Errorf("lower: LSTM c requant: %w", err)
+	}
+	cNew := b.Requant(cNew32, cFinal)
+
+	// h' = o * tanh(c'), via a tanh LUT over c codes.
+	tanhLUT, err := ml.NewQuantLUT(ml.Tanh, lstmCScale, fixed.Quantizer{Scale: lstmHScale})
+	if err != nil {
+		return nil, fmt.Errorf("lower: LSTM tanh(c) LUT: %w", err)
+	}
+	tc := b.ApplyLUT(cNew, lutFromML(tanhLUT))
+	oh := b.Map(mr.MMul, gateVals["o"], tc)        // scale h*h
+	hFinal, err := fixed.NewMultiplier(lstmHScale) // h*h -> h
+	if err != nil {
+		return nil, fmt.Errorf("lower: LSTM h requant: %w", err)
+	}
+	hNew := b.Requant(oh, hFinal)
+
+	// Readout logits = Wy*h + By (left as 32-bit accumulators; the
+	// postprocessing MAT takes the argmax).
+	wyFlat := flatten(matRows(l.Wy))
+	wyq := fixed.QuantizerFor(wyFlat)
+	accScale := lstmHScale * wyq.Scale
+	logits := make([]mr.Value, l.Out)
+	wyRows := matRows(l.Wy)
+	for r := 0; r < l.Out; r++ {
+		wv := b.ConstInt8(fmt.Sprintf("Wy_%d", r), wyq.QuantizeSlice(wyRows[r]))
+		acc := b.DotProduct(wv, hNew)
+		biasCode := int32(math.RoundToEven(float64(l.By[r]) / accScale))
+		acc = b.Map(mr.MAdd, acc, b.Scalar(fmt.Sprintf("by_%d", r), biasCode))
+		logits[r] = acc
+	}
+	out := b.Concat(logits...)
+
+	b.Output(out, hNew, cNew)
+	return b.Build()
+}
+
+// matRows converts a tensor matrix into per-row float slices.
+func matRows(m tensor.Mat) [][]float32 {
+	rows := make([][]float32, m.Rows)
+	for r := range rows {
+		rows[r] = m.Row(r)
+	}
+	return rows
+}
+
+func flatten(rows [][]float32) []float32 {
+	var out []float32
+	for _, r := range rows {
+		out = append(out, r...)
+	}
+	return out
+}

@@ -1,0 +1,194 @@
+package mapreduce
+
+import (
+	"fmt"
+
+	"taurus/internal/fixed"
+)
+
+// Builder assembles a Graph. Its method set mirrors the Map/Reduce constructs
+// of the paper's P4 control block (Figure 4): each call appends a node and
+// returns a Value handle usable as an argument to later calls.
+type Builder struct {
+	g   *Graph
+	err error
+}
+
+// Value is a handle to a built node.
+type Value struct {
+	id    NodeID
+	width int
+}
+
+// ID returns the underlying node ID.
+func (v Value) ID() NodeID { return v.id }
+
+// Width returns the vector width of the value.
+func (v Value) Width() int { return v.width }
+
+// NewBuilder starts a program.
+func NewBuilder(name string) *Builder {
+	return &Builder{g: &Graph{Name: name}}
+}
+
+func (b *Builder) add(n *Node) Value {
+	n.ID = NodeID(len(b.g.Nodes))
+	b.g.Nodes = append(b.g.Nodes, n)
+	return Value{id: n.ID, width: n.Width}
+}
+
+func (b *Builder) fail(format string, args ...any) Value {
+	if b.err == nil {
+		b.err = fmt.Errorf("mapreduce: "+format, args...)
+	}
+	// Return a placeholder so chained building code does not explode; the
+	// error surfaces at Build().
+	return Value{id: -1, width: 1}
+}
+
+// Input declares a feature-vector input of the given width.
+func (b *Builder) Input(name string, width int) Value {
+	if width <= 0 {
+		return b.fail("input %q width %d", name, width)
+	}
+	v := b.add(&Node{Kind: KInput, Width: width, Name: name})
+	b.g.Inputs = append(b.g.Inputs, v.id)
+	return v
+}
+
+// Const declares a weight vector (stored in an MU at configuration time).
+func (b *Builder) Const(name string, data []int32) Value {
+	if len(data) == 0 {
+		return b.fail("const %q is empty", name)
+	}
+	c := make([]int32, len(data))
+	copy(c, data)
+	return b.add(&Node{Kind: KConst, Width: len(c), Const: c, Name: name})
+}
+
+// ConstInt8 declares an int8 weight vector (the common case for quantised
+// models).
+func (b *Builder) ConstInt8(name string, data []int8) Value {
+	widened := make([]int32, len(data))
+	for i, v := range data {
+		widened[i] = int32(v)
+	}
+	return b.Const(name, widened)
+}
+
+// Scalar declares a width-1 constant.
+func (b *Builder) Scalar(name string, v int32) Value {
+	return b.Const(name, []int32{v})
+}
+
+// Map applies a binary element-wise operation. b2 must have the same width
+// as a or width 1 (broadcast).
+func (b *Builder) Map(op MapOp, a, b2 Value) Value {
+	if b.err != nil {
+		return Value{id: -1, width: a.width}
+	}
+	if b2.width != a.width && b2.width != 1 {
+		return b.fail("map %v: widths %d vs %d", op, a.width, b2.width)
+	}
+	return b.add(&Node{Kind: KMap, Width: a.width, Args: []NodeID{a.id, b2.id}, Map: op})
+}
+
+// Unary applies an element-wise unary operation.
+func (b *Builder) Unary(op UnaryOp, a Value) Value {
+	if b.err != nil {
+		return Value{id: -1, width: a.width}
+	}
+	return b.add(&Node{Kind: KUnary, Width: a.width, Args: []NodeID{a.id}, Unary: op})
+}
+
+// Reduce collapses a vector to a scalar.
+func (b *Builder) Reduce(op ReduceOp, a Value) Value {
+	if b.err != nil {
+		return Value{id: -1, width: 1}
+	}
+	return b.add(&Node{Kind: KReduce, Width: 1, Args: []NodeID{a.id}, Reduce: op})
+}
+
+// Concat packs values into one vector.
+func (b *Builder) Concat(vs ...Value) Value {
+	if b.err != nil {
+		return Value{id: -1, width: 1}
+	}
+	if len(vs) == 0 {
+		return b.fail("concat of nothing")
+	}
+	total := 0
+	ids := make([]NodeID, len(vs))
+	for i, v := range vs {
+		total += v.width
+		ids[i] = v.id
+	}
+	return b.add(&Node{Kind: KConcat, Width: total, Args: ids})
+}
+
+// Slice extracts width lanes of a starting at offset start.
+func (b *Builder) Slice(a Value, start, width int) Value {
+	if b.err != nil {
+		return Value{id: -1, width: width}
+	}
+	if start < 0 || width <= 0 || start+width > a.width {
+		return b.fail("slice [%d,%d) of width-%d value", start, start+width, a.width)
+	}
+	return b.add(&Node{Kind: KSlice, Width: width, Args: []NodeID{a.id}, Start: start})
+}
+
+// Requant rescales accumulators to the 8-bit domain.
+func (b *Builder) Requant(a Value, m fixed.Multiplier) Value {
+	if b.err != nil {
+		return Value{id: -1, width: a.width}
+	}
+	return b.add(&Node{Kind: KRequant, Width: a.width, Args: []NodeID{a.id}, Mult: m})
+}
+
+// Scale rescales without narrowing to 8 bits (wide pipeline-register
+// intermediates).
+func (b *Builder) Scale(a Value, m fixed.Multiplier) Value {
+	if b.err != nil {
+		return Value{id: -1, width: a.width}
+	}
+	return b.add(&Node{Kind: KScale, Width: a.width, Args: []NodeID{a.id}, Mult: m})
+}
+
+// ApplyLUT routes a value through a lookup-table non-linearity.
+func (b *Builder) ApplyLUT(a Value, lut *LUT) Value {
+	if b.err != nil {
+		return Value{id: -1, width: a.width}
+	}
+	if lut == nil {
+		return b.fail("nil LUT")
+	}
+	return b.add(&Node{Kind: KLUT, Width: a.width, Args: []NodeID{a.id}, LUT: lut})
+}
+
+// DotProduct is the inner-product idiom of Figure 3/4: Map(Mul) then
+// Reduce(Add).
+func (b *Builder) DotProduct(weights, x Value) Value {
+	return b.Reduce(RAdd, b.Map(MMul, weights, x))
+}
+
+// Output marks values as program outputs.
+func (b *Builder) Output(vs ...Value) {
+	for _, v := range vs {
+		if v.id < 0 {
+			b.fail("output of failed value")
+			return
+		}
+		b.g.Outputs = append(b.g.Outputs, v.id)
+	}
+}
+
+// Build validates and returns the finished graph.
+func (b *Builder) Build() (*Graph, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if err := b.g.Validate(); err != nil {
+		return nil, err
+	}
+	return b.g, nil
+}

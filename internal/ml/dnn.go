@@ -1,0 +1,300 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"taurus/internal/tensor"
+)
+
+// Dense is one fully-connected layer: y = act(W*x + b).
+type Dense struct {
+	W   tensor.Mat // Out x In
+	B   tensor.Vec // Out
+	Act Activation
+}
+
+// In returns the layer's input width.
+func (d *Dense) In() int { return d.W.Cols }
+
+// Out returns the layer's output width.
+func (d *Dense) Out() int { return d.W.Rows }
+
+// DNN is a feed-forward network — the paper's workhorse model (the
+// anomaly-detection DNN of Tang et al. has hidden layers 12, 6, 3; the TMC
+// IoT classifiers of Table 3 are 4x10x2, 4x5x5x2 and 4x10x10x2).
+type DNN struct {
+	Layers []*Dense
+}
+
+// NewDNN builds a network with the given layer sizes (len >= 2). Hidden
+// layers use hiddenAct; the output layer uses outAct. Weights are
+// Glorot-initialised from rng.
+func NewDNN(sizes []int, hiddenAct, outAct Activation, rng *rand.Rand) *DNN {
+	if len(sizes) < 2 {
+		panic(fmt.Sprintf("ml: DNN needs >=2 layer sizes, got %v", sizes))
+	}
+	n := &DNN{}
+	for i := 1; i < len(sizes); i++ {
+		act := hiddenAct
+		if i == len(sizes)-1 {
+			act = outAct
+		}
+		n.Layers = append(n.Layers, &Dense{
+			W:   tensor.RandMat(sizes[i], sizes[i-1], rng),
+			B:   make(tensor.Vec, sizes[i]),
+			Act: act,
+		})
+	}
+	return n
+}
+
+// Sizes returns the layer widths, input first.
+func (n *DNN) Sizes() []int {
+	out := []int{n.Layers[0].In()}
+	for _, l := range n.Layers {
+		out = append(out, l.Out())
+	}
+	return out
+}
+
+// KernelString formats the architecture the way Table 3 does, e.g.
+// "4 x 10 x 2".
+func (n *DNN) KernelString() string {
+	s := ""
+	for i, v := range n.Sizes() {
+		if i > 0 {
+			s += " x "
+		}
+		s += fmt.Sprint(v)
+	}
+	return s
+}
+
+// Forward runs float inference, returning the output activations.
+func (n *DNN) Forward(x tensor.Vec) tensor.Vec {
+	cur := x
+	for _, l := range n.Layers {
+		z := tensor.MatVec(l.W, cur)
+		tensor.AddInPlace(z, l.B)
+		cur = l.Act.ApplyVec(z)
+	}
+	return cur
+}
+
+// forwardTrace runs inference keeping every layer's pre- and post-activation
+// values for backpropagation. pre[i] and post[i] belong to layer i; post[-1]
+// is conceptually the input (returned separately for clarity).
+func (n *DNN) forwardTrace(x tensor.Vec) (pre, post []tensor.Vec) {
+	cur := x
+	for _, l := range n.Layers {
+		z := tensor.MatVec(l.W, cur)
+		tensor.AddInPlace(z, l.B)
+		pre = append(pre, z)
+		cur = l.Act.ApplyVec(z)
+		post = append(post, cur)
+	}
+	return pre, post
+}
+
+// PredictClass returns the argmax output index for multi-class networks, or
+// thresholds the single output at 0.5 for binary sigmoid networks.
+func (n *DNN) PredictClass(x tensor.Vec) int {
+	out := n.Forward(x)
+	if len(out) == 1 {
+		if out[0] >= 0.5 {
+			return 1
+		}
+		return 0
+	}
+	return tensor.ArgMax(out)
+}
+
+// SGDConfig controls DNN training.
+type SGDConfig struct {
+	LearningRate float32
+	Momentum     float32
+	BatchSize    int
+	Epochs       int
+}
+
+// DefaultSGD returns the configuration used by most experiments.
+func DefaultSGD() SGDConfig {
+	return SGDConfig{LearningRate: 0.05, Momentum: 0.9, BatchSize: 32, Epochs: 20}
+}
+
+// Trainer performs minibatch SGD with momentum on a DNN. Loss is softmax
+// cross-entropy for multi-output networks and binary cross-entropy for
+// single-sigmoid-output networks.
+type Trainer struct {
+	Net *DNN
+	Cfg SGDConfig
+	rng *rand.Rand
+
+	velW []tensor.Mat
+	velB []tensor.Vec
+}
+
+// NewTrainer wires a trainer to net.
+func NewTrainer(net *DNN, cfg SGDConfig, rng *rand.Rand) *Trainer {
+	t := &Trainer{Net: net, Cfg: cfg, rng: rng}
+	for _, l := range net.Layers {
+		t.velW = append(t.velW, tensor.NewMat(l.W.Rows, l.W.Cols))
+		t.velB = append(t.velB, make(tensor.Vec, len(l.B)))
+	}
+	return t
+}
+
+// Fit trains for Cfg.Epochs over the dataset (X[i] has label y[i], a class
+// index). It returns the mean loss of the final epoch.
+func (t *Trainer) Fit(X []tensor.Vec, y []int) float64 {
+	if len(X) != len(y) {
+		panic(fmt.Sprintf("ml: Fit length mismatch %d vs %d", len(X), len(y)))
+	}
+	var last float64
+	for e := 0; e < t.Cfg.Epochs; e++ {
+		last = t.FitEpoch(X, y)
+	}
+	return last
+}
+
+// FitEpoch performs one shuffled epoch of minibatch SGD and returns the mean
+// per-sample loss.
+func (t *Trainer) FitEpoch(X []tensor.Vec, y []int) float64 {
+	idx := t.rng.Perm(len(X))
+	var totalLoss float64
+	bs := t.Cfg.BatchSize
+	if bs <= 0 {
+		bs = 1
+	}
+	for start := 0; start < len(idx); start += bs {
+		end := start + bs
+		if end > len(idx) {
+			end = len(idx)
+		}
+		batch := idx[start:end]
+		totalLoss += t.step(X, y, batch)
+	}
+	if len(X) == 0 {
+		return 0
+	}
+	return totalLoss / float64(len(X))
+}
+
+// step accumulates gradients over one minibatch and applies a momentum
+// update; it returns the summed loss.
+func (t *Trainer) step(X []tensor.Vec, y []int, batch []int) float64 {
+	net := t.Net
+	gradW := make([]tensor.Mat, len(net.Layers))
+	gradB := make([]tensor.Vec, len(net.Layers))
+	for i, l := range net.Layers {
+		gradW[i] = tensor.NewMat(l.W.Rows, l.W.Cols)
+		gradB[i] = make(tensor.Vec, len(l.B))
+	}
+
+	var loss float64
+	for _, s := range batch {
+		loss += t.backprop(X[s], y[s], gradW, gradB)
+	}
+
+	scale := t.Cfg.LearningRate / float32(len(batch))
+	for i, l := range net.Layers {
+		for j := range l.W.Data {
+			t.velW[i].Data[j] = t.Cfg.Momentum*t.velW[i].Data[j] - scale*gradW[i].Data[j]
+			l.W.Data[j] += t.velW[i].Data[j]
+		}
+		for j := range l.B {
+			t.velB[i][j] = t.Cfg.Momentum*t.velB[i][j] - scale*gradB[i][j]
+			l.B[j] += t.velB[i][j]
+		}
+	}
+	return loss
+}
+
+// backprop adds one sample's gradients into gradW/gradB and returns its loss.
+func (t *Trainer) backprop(x tensor.Vec, label int, gradW []tensor.Mat, gradB []tensor.Vec) float64 {
+	net := t.Net
+	pre, post := net.forwardTrace(x)
+	L := len(net.Layers)
+	outLayer := net.Layers[L-1]
+	out := post[L-1]
+
+	// delta at the output layer: dLoss/dPre.
+	delta := make(tensor.Vec, len(out))
+	var loss float64
+	switch {
+	case len(out) == 1 && outLayer.Act == Sigmoid:
+		// Binary cross-entropy; dL/dz = p - y for sigmoid output.
+		target := float32(0)
+		if label != 0 {
+			target = 1
+		}
+		p := clampProb(out[0])
+		if target == 1 {
+			loss = -math.Log(float64(p))
+		} else {
+			loss = -math.Log(float64(1 - p))
+		}
+		delta[0] = out[0] - target
+	case outLayer.Act == Linear || outLayer.Act == Sigmoid || len(out) > 1:
+		// Softmax cross-entropy over the (pre-activation) outputs. We apply
+		// softmax to the *post*-activation values; for Linear they coincide.
+		probs := tensor.Softmax(out)
+		p := clampProb(probs[label])
+		loss = -math.Log(float64(p))
+		for i := range delta {
+			target := float32(0)
+			if i == label {
+				target = 1
+			}
+			// Chain through the output activation derivative too (identity
+			// for Linear).
+			delta[i] = (probs[i] - target) * outLayer.Act.Derivative(pre[L-1][i])
+		}
+	default:
+		panic("ml: unsupported output configuration")
+	}
+
+	// Walk layers backwards.
+	for li := L - 1; li >= 0; li-- {
+		layer := net.Layers[li]
+		var input tensor.Vec
+		if li == 0 {
+			input = x
+		} else {
+			input = post[li-1]
+		}
+		for r := 0; r < layer.W.Rows; r++ {
+			d := delta[r]
+			gradB[li][r] += d
+			row := gradW[li].Row(r)
+			for c := range input {
+				row[c] += d * input[c]
+			}
+		}
+		if li > 0 {
+			nextDelta := make(tensor.Vec, layer.W.Cols)
+			for c := 0; c < layer.W.Cols; c++ {
+				var s float32
+				for r := 0; r < layer.W.Rows; r++ {
+					s += layer.W.At(r, c) * delta[r]
+				}
+				nextDelta[c] = s * net.Layers[li-1].Act.Derivative(pre[li-1][c])
+			}
+			delta = nextDelta
+		}
+	}
+	return loss
+}
+
+func clampProb(p float32) float32 {
+	const eps = 1e-7
+	if p < eps {
+		return eps
+	}
+	if p > 1-eps {
+		return 1 - eps
+	}
+	return p
+}

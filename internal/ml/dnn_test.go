@@ -1,0 +1,176 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"taurus/internal/tensor"
+)
+
+// xorData is the classic non-linearly-separable sanity set.
+func xorData() ([]tensor.Vec, []int) {
+	X := []tensor.Vec{{0, 0}, {0, 1}, {1, 0}, {1, 1}}
+	y := []int{0, 1, 1, 0}
+	return X, y
+}
+
+func TestNewDNNShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := NewDNN([]int{6, 12, 6, 3, 1}, ReLU, Sigmoid, rng)
+	if len(n.Layers) != 4 {
+		t.Fatalf("layers = %d", len(n.Layers))
+	}
+	sizes := n.Sizes()
+	want := []int{6, 12, 6, 3, 1}
+	for i := range want {
+		if sizes[i] != want[i] {
+			t.Errorf("Sizes()[%d] = %d, want %d", i, sizes[i], want[i])
+		}
+	}
+	if got := n.KernelString(); got != "6 x 12 x 6 x 3 x 1" {
+		t.Errorf("KernelString = %q", got)
+	}
+	if n.Layers[0].Act != ReLU || n.Layers[3].Act != Sigmoid {
+		t.Error("activation assignment wrong")
+	}
+	if n.Layers[2].In() != 6 || n.Layers[2].Out() != 3 {
+		t.Errorf("layer dims: in=%d out=%d", n.Layers[2].In(), n.Layers[2].Out())
+	}
+}
+
+func TestNewDNNPanicsOnShort(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for <2 sizes")
+		}
+	}()
+	NewDNN([]int{3}, ReLU, Sigmoid, rand.New(rand.NewSource(1)))
+}
+
+func TestForwardDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := NewDNN([]int{4, 8, 2}, ReLU, Linear, rng)
+	x := tensor.Vec{0.1, -0.2, 0.3, 0.4}
+	a := n.Forward(x)
+	b := n.Forward(x)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("Forward not deterministic")
+		}
+	}
+}
+
+func TestTrainXORBinary(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := NewDNN([]int{2, 8, 1}, Tanh, Sigmoid, rng)
+	tr := NewTrainer(n, SGDConfig{LearningRate: 0.5, Momentum: 0.9, BatchSize: 4, Epochs: 2000}, rng)
+	X, y := xorData()
+	loss := tr.Fit(X, y)
+	if loss > 0.1 {
+		t.Fatalf("XOR did not converge: loss %v", loss)
+	}
+	for i, x := range X {
+		if got := n.PredictClass(x); got != y[i] {
+			t.Errorf("XOR(%v) = %d, want %d", x, got, y[i])
+		}
+	}
+}
+
+func TestTrainXORSoftmax(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n := NewDNN([]int{2, 8, 2}, Tanh, Linear, rng)
+	tr := NewTrainer(n, SGDConfig{LearningRate: 0.3, Momentum: 0.9, BatchSize: 4, Epochs: 2000}, rng)
+	X, y := xorData()
+	tr.Fit(X, y)
+	for i, x := range X {
+		if got := n.PredictClass(x); got != y[i] {
+			t.Errorf("XOR(%v) = %d, want %d", x, got, y[i])
+		}
+	}
+}
+
+func TestFitEpochLossDecreases(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := NewDNN([]int{2, 6, 1}, ReLU, Sigmoid, rng)
+	tr := NewTrainer(n, SGDConfig{LearningRate: 0.2, Momentum: 0.5, BatchSize: 2, Epochs: 1}, rng)
+	X, y := xorData()
+	first := tr.FitEpoch(X, y)
+	var last float64
+	for i := 0; i < 300; i++ {
+		last = tr.FitEpoch(X, y)
+	}
+	if last >= first {
+		t.Errorf("loss did not decrease: first %v last %v", first, last)
+	}
+}
+
+func TestFitMismatchedLengthsPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	n := NewDNN([]int{2, 2}, ReLU, Sigmoid, rng)
+	tr := NewTrainer(n, DefaultSGD(), rng)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	tr.Fit([]tensor.Vec{{1, 2}}, []int{0, 1})
+}
+
+func TestFitEmptyDataset(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := NewDNN([]int{2, 1}, ReLU, Sigmoid, rng)
+	tr := NewTrainer(n, DefaultSGD(), rng)
+	if loss := tr.Fit(nil, nil); loss != 0 {
+		t.Errorf("empty fit loss = %v", loss)
+	}
+}
+
+func TestPredictClassBinaryThreshold(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	n := NewDNN([]int{1, 1}, ReLU, Sigmoid, rng)
+	// Force weights so output is sigmoid(10*x): x=1 -> ~1, x=-1 -> ~0.
+	n.Layers[0].W.Set(0, 0, 10)
+	n.Layers[0].B[0] = 0
+	if got := n.PredictClass(tensor.Vec{1}); got != 1 {
+		t.Errorf("PredictClass(1) = %d", got)
+	}
+	if got := n.PredictClass(tensor.Vec{-1}); got != 0 {
+		t.Errorf("PredictClass(-1) = %d", got)
+	}
+}
+
+// Numeric gradient check on a tiny network validates backprop.
+func TestBackpropGradientCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	n := NewDNN([]int{2, 3, 1}, Tanh, Sigmoid, rng)
+	tr := NewTrainer(n, SGDConfig{LearningRate: 0, Momentum: 0, BatchSize: 1, Epochs: 1}, rng)
+	x := tensor.Vec{0.3, -0.7}
+	label := 1
+
+	gradW := []tensor.Mat{tensor.NewMat(3, 2), tensor.NewMat(1, 3)}
+	gradB := []tensor.Vec{make(tensor.Vec, 3), make(tensor.Vec, 1)}
+	tr.backprop(x, label, gradW, gradB)
+
+	lossAt := func() float64 {
+		out := n.Forward(x)
+		p := clampProb(out[0])
+		return -math.Log(float64(p))
+	}
+	const h = 1e-3
+	for li, l := range n.Layers {
+		for j := range l.W.Data {
+			orig := l.W.Data[j]
+			l.W.Data[j] = orig + h
+			up := lossAt()
+			l.W.Data[j] = orig - h
+			down := lossAt()
+			l.W.Data[j] = orig
+			numeric := (up - down) / (2 * h)
+			got := float64(gradW[li].Data[j])
+			if math.Abs(numeric-got) > 1e-2*(1+math.Abs(numeric)) {
+				t.Errorf("layer %d W[%d]: analytic %v numeric %v", li, j, got, numeric)
+			}
+		}
+	}
+}

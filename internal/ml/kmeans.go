@@ -1,0 +1,112 @@
+package ml
+
+import (
+	"fmt"
+	"math/rand"
+
+	"taurus/internal/tensor"
+)
+
+// KMeans is the IoT traffic classifier of §5.1.2: Lloyd's clustering with 11
+// features and 5 categories, deployed on the data plane as a
+// nearest-centroid lookup (one distance per centroid, then an argmin
+// reduction — exactly the KMeans row of Table 5).
+type KMeans struct {
+	Centroids []tensor.Vec
+}
+
+// K returns the number of clusters.
+func (k *KMeans) K() int { return len(k.Centroids) }
+
+// Predict returns the index of the nearest centroid.
+func (k *KMeans) Predict(x tensor.Vec) int {
+	dists := make(tensor.Vec, len(k.Centroids))
+	for i, c := range k.Centroids {
+		dists[i] = tensor.SqDist(c, x)
+	}
+	return tensor.ArgMin(dists)
+}
+
+// TrainKMeans runs k-means++ initialisation followed by Lloyd's iterations
+// until assignments stabilise or maxIters is reached.
+func TrainKMeans(X []tensor.Vec, k, maxIters int, rng *rand.Rand) (*KMeans, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("ml: k must be positive, got %d", k)
+	}
+	if len(X) < k {
+		return nil, fmt.Errorf("ml: need at least k=%d samples, got %d", k, len(X))
+	}
+
+	// k-means++ seeding.
+	centroids := make([]tensor.Vec, 0, k)
+	centroids = append(centroids, X[rng.Intn(len(X))].Clone())
+	d2 := make([]float64, len(X))
+	for len(centroids) < k {
+		var total float64
+		for i, x := range X {
+			best := float64(tensor.SqDist(centroids[0], x))
+			for _, c := range centroids[1:] {
+				if d := float64(tensor.SqDist(c, x)); d < best {
+					best = d
+				}
+			}
+			d2[i] = best
+			total += best
+		}
+		if total == 0 {
+			// All remaining points coincide with existing centroids; pick
+			// arbitrary distinct samples.
+			centroids = append(centroids, X[rng.Intn(len(X))].Clone())
+			continue
+		}
+		r := rng.Float64() * total
+		var acc float64
+		pick := len(X) - 1
+		for i, d := range d2 {
+			acc += d
+			if acc >= r {
+				pick = i
+				break
+			}
+		}
+		centroids = append(centroids, X[pick].Clone())
+	}
+
+	km := &KMeans{Centroids: centroids}
+	assign := make([]int, len(X))
+	for i := range assign {
+		assign[i] = -1
+	}
+	for iter := 0; iter < maxIters; iter++ {
+		changed := false
+		for i, x := range X {
+			a := km.Predict(x)
+			if a != assign[i] {
+				assign[i] = a
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+		dim := len(X[0])
+		sums := make([]tensor.Vec, k)
+		counts := make([]int, k)
+		for i := range sums {
+			sums[i] = make(tensor.Vec, dim)
+		}
+		for i, x := range X {
+			tensor.AddInPlace(sums[assign[i]], x)
+			counts[assign[i]]++
+		}
+		for c := 0; c < k; c++ {
+			if counts[c] == 0 {
+				// Re-seed an empty cluster at a random sample.
+				km.Centroids[c] = X[rng.Intn(len(X))].Clone()
+				continue
+			}
+			km.Centroids[c] = tensor.Scale(sums[c], 1/float32(counts[c]))
+		}
+	}
+	return km, nil
+}

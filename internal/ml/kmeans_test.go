@@ -1,0 +1,92 @@
+package ml
+
+import (
+	"math/rand"
+	"testing"
+
+	"taurus/internal/tensor"
+)
+
+// clusterData generates k well-separated Gaussian blobs.
+func clusterData(k, perCluster int, rng *rand.Rand) ([]tensor.Vec, []int) {
+	var X []tensor.Vec
+	var y []int
+	for c := 0; c < k; c++ {
+		cx := float32(c * 10)
+		for i := 0; i < perCluster; i++ {
+			X = append(X, tensor.Vec{cx + float32(rng.NormFloat64()), float32(rng.NormFloat64())})
+			y = append(y, c)
+		}
+	}
+	return X, y
+}
+
+func TestKMeansRecoversClusters(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	X, y := clusterData(3, 50, rng)
+	km, err := TrainKMeans(X, 3, 100, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if km.K() != 3 {
+		t.Fatalf("K = %d", km.K())
+	}
+	// Cluster indices are arbitrary; check that same-truth points map to the
+	// same predicted cluster (purity).
+	assign := map[int]map[int]int{}
+	for i, x := range X {
+		p := km.Predict(x)
+		if assign[y[i]] == nil {
+			assign[y[i]] = map[int]int{}
+		}
+		assign[y[i]][p]++
+	}
+	for truth, counts := range assign {
+		best, total := 0, 0
+		for _, n := range counts {
+			total += n
+			if n > best {
+				best = n
+			}
+		}
+		if purity := float64(best) / float64(total); purity < 0.95 {
+			t.Errorf("cluster %d purity = %v", truth, purity)
+		}
+	}
+}
+
+func TestKMeansErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	if _, err := TrainKMeans(nil, 3, 10, rng); err == nil {
+		t.Error("too few samples should fail")
+	}
+	if _, err := TrainKMeans([]tensor.Vec{{1}}, 0, 10, rng); err == nil {
+		t.Error("k=0 should fail")
+	}
+}
+
+func TestKMeansDegenerateData(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	// All points identical: must not hang or divide by zero.
+	X := make([]tensor.Vec, 10)
+	for i := range X {
+		X[i] = tensor.Vec{1, 1}
+	}
+	km, err := TrainKMeans(X, 3, 10, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if km.Predict(tensor.Vec{1, 1}) < 0 {
+		t.Error("Predict failed on degenerate data")
+	}
+}
+
+func TestKMeansPredictNearest(t *testing.T) {
+	km := &KMeans{Centroids: []tensor.Vec{{0, 0}, {10, 0}}}
+	if got := km.Predict(tensor.Vec{1, 0}); got != 0 {
+		t.Errorf("Predict = %d", got)
+	}
+	if got := km.Predict(tensor.Vec{9, 0}); got != 1 {
+		t.Errorf("Predict = %d", got)
+	}
+}

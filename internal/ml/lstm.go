@@ -1,0 +1,230 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"taurus/internal/tensor"
+)
+
+// LSTM implements the Indigo congestion-control model of §5.1.2: one LSTM
+// layer (the paper uses 32 units) followed by a softmax readout over
+// congestion-window actions. It provides float inference for the control
+// plane and step-wise state for per-decision data-plane execution.
+type LSTM struct {
+	In, Hidden, Out int
+
+	// Gate weights: rows = Hidden, cols = In+Hidden (input concatenated with
+	// the previous hidden state). Order: input gate, forget gate, cell
+	// candidate, output gate.
+	Wi, Wf, Wg, Wo tensor.Mat
+	Bi, Bf, Bg, Bo tensor.Vec
+
+	// Readout: softmax(Wy*h + By).
+	Wy tensor.Mat
+	By tensor.Vec
+}
+
+// LSTMState carries the recurrent state between steps.
+type LSTMState struct {
+	H, C tensor.Vec
+}
+
+// NewLSTM builds an LSTM with Glorot-initialised weights and a forget-gate
+// bias of 1 (standard practice for stable early training).
+func NewLSTM(in, hidden, out int, rng *rand.Rand) *LSTM {
+	if in <= 0 || hidden <= 0 || out <= 0 {
+		panic(fmt.Sprintf("ml: bad LSTM dims %d/%d/%d", in, hidden, out))
+	}
+	n := &LSTM{In: in, Hidden: hidden, Out: out}
+	cols := in + hidden
+	n.Wi = tensor.RandMat(hidden, cols, rng)
+	n.Wf = tensor.RandMat(hidden, cols, rng)
+	n.Wg = tensor.RandMat(hidden, cols, rng)
+	n.Wo = tensor.RandMat(hidden, cols, rng)
+	n.Bi = make(tensor.Vec, hidden)
+	n.Bf = make(tensor.Vec, hidden)
+	n.Bg = make(tensor.Vec, hidden)
+	n.Bo = make(tensor.Vec, hidden)
+	for i := range n.Bf {
+		n.Bf[i] = 1
+	}
+	n.Wy = tensor.RandMat(out, hidden, rng)
+	n.By = make(tensor.Vec, out)
+	return n
+}
+
+// ZeroState returns a fresh all-zero recurrent state.
+func (n *LSTM) ZeroState() LSTMState {
+	return LSTMState{H: make(tensor.Vec, n.Hidden), C: make(tensor.Vec, n.Hidden)}
+}
+
+// Step advances one timestep: consumes x and the previous state, returns the
+// action distribution (softmax) and the next state.
+func (n *LSTM) Step(x tensor.Vec, st LSTMState) (tensor.Vec, LSTMState) {
+	if len(x) != n.In {
+		panic(fmt.Sprintf("ml: LSTM input %d, want %d", len(x), n.In))
+	}
+	xc := make(tensor.Vec, 0, n.In+n.Hidden)
+	xc = append(xc, x...)
+	xc = append(xc, st.H...)
+
+	gate := func(w tensor.Mat, b tensor.Vec, act Activation) tensor.Vec {
+		z := tensor.MatVec(w, xc)
+		tensor.AddInPlace(z, b)
+		return act.ApplyVec(z)
+	}
+	i := gate(n.Wi, n.Bi, Sigmoid)
+	f := gate(n.Wf, n.Bf, Sigmoid)
+	g := gate(n.Wg, n.Bg, Tanh)
+	o := gate(n.Wo, n.Bo, Sigmoid)
+
+	c := make(tensor.Vec, n.Hidden)
+	h := make(tensor.Vec, n.Hidden)
+	for j := 0; j < n.Hidden; j++ {
+		c[j] = f[j]*st.C[j] + i[j]*g[j]
+		h[j] = o[j] * Tanh.Apply(c[j])
+	}
+	logits := tensor.MatVec(n.Wy, h)
+	tensor.AddInPlace(logits, n.By)
+	return tensor.Softmax(logits), LSTMState{H: h, C: c}
+}
+
+// Forward runs a whole sequence from a zero state and returns the final
+// step's action distribution.
+func (n *LSTM) Forward(seq []tensor.Vec) tensor.Vec {
+	st := n.ZeroState()
+	var out tensor.Vec
+	for _, x := range seq {
+		out, st = n.Step(x, st)
+	}
+	return out
+}
+
+// lstmTrace records the intermediate values of one step for BPTT.
+type lstmTrace struct {
+	xc         tensor.Vec
+	i, f, g, o tensor.Vec
+	cPrev, c   tensor.Vec
+	tanhC      tensor.Vec
+	h          tensor.Vec
+}
+
+// TrainLSTMSequence performs one BPTT update on a single sequence whose
+// final-step label is target (a class index). Returns the cross-entropy
+// loss. Gradients flow through every timestep (full, untruncated BPTT; the
+// sequences used by the congestion example are short).
+func (n *LSTM) TrainLSTMSequence(seq []tensor.Vec, target int, lr float32) float64 {
+	if len(seq) == 0 {
+		return 0
+	}
+	st := n.ZeroState()
+	traces := make([]lstmTrace, 0, len(seq))
+	for _, x := range seq {
+		tr := lstmTrace{cPrev: st.C}
+		xc := make(tensor.Vec, 0, n.In+n.Hidden)
+		xc = append(xc, x...)
+		xc = append(xc, st.H...)
+		tr.xc = xc
+		gate := func(w tensor.Mat, b tensor.Vec, act Activation) tensor.Vec {
+			z := tensor.MatVec(w, xc)
+			tensor.AddInPlace(z, b)
+			return act.ApplyVec(z)
+		}
+		tr.i = gate(n.Wi, n.Bi, Sigmoid)
+		tr.f = gate(n.Wf, n.Bf, Sigmoid)
+		tr.g = gate(n.Wg, n.Bg, Tanh)
+		tr.o = gate(n.Wo, n.Bo, Sigmoid)
+		tr.c = make(tensor.Vec, n.Hidden)
+		tr.tanhC = make(tensor.Vec, n.Hidden)
+		tr.h = make(tensor.Vec, n.Hidden)
+		for j := 0; j < n.Hidden; j++ {
+			tr.c[j] = tr.f[j]*st.C[j] + tr.i[j]*tr.g[j]
+			tr.tanhC[j] = Tanh.Apply(tr.c[j])
+			tr.h[j] = tr.o[j] * tr.tanhC[j]
+		}
+		st = LSTMState{H: tr.h, C: tr.c}
+		traces = append(traces, tr)
+	}
+
+	// Output loss and gradient at the last step.
+	logits := tensor.MatVec(n.Wy, st.H)
+	tensor.AddInPlace(logits, n.By)
+	probs := tensor.Softmax(logits)
+	loss := -float64(logf(clampProb(probs[target])))
+
+	dLogits := probs.Clone()
+	dLogits[target] -= 1
+
+	gWy := tensor.NewMat(n.Out, n.Hidden)
+	gBy := make(tensor.Vec, n.Out)
+	dH := make(tensor.Vec, n.Hidden)
+	for r := 0; r < n.Out; r++ {
+		gBy[r] = dLogits[r]
+		for c := 0; c < n.Hidden; c++ {
+			gWy.Set(r, c, dLogits[r]*st.H[c])
+			dH[c] += n.Wy.At(r, c) * dLogits[r]
+		}
+	}
+
+	cols := n.In + n.Hidden
+	gWi, gWf, gWg, gWo := tensor.NewMat(n.Hidden, cols), tensor.NewMat(n.Hidden, cols), tensor.NewMat(n.Hidden, cols), tensor.NewMat(n.Hidden, cols)
+	gBi, gBf, gBg, gBo := make(tensor.Vec, n.Hidden), make(tensor.Vec, n.Hidden), make(tensor.Vec, n.Hidden), make(tensor.Vec, n.Hidden)
+
+	dC := make(tensor.Vec, n.Hidden)
+	for t := len(traces) - 1; t >= 0; t-- {
+		tr := traces[t]
+		dHNext := make(tensor.Vec, n.Hidden)
+		dCNext := make(tensor.Vec, n.Hidden)
+		for j := 0; j < n.Hidden; j++ {
+			do := dH[j] * tr.tanhC[j] * tr.o[j] * (1 - tr.o[j])
+			dCj := dC[j] + dH[j]*tr.o[j]*(1-tr.tanhC[j]*tr.tanhC[j])
+			di := dCj * tr.g[j] * tr.i[j] * (1 - tr.i[j])
+			df := dCj * tr.cPrev[j] * tr.f[j] * (1 - tr.f[j])
+			dg := dCj * tr.i[j] * (1 - tr.g[j]*tr.g[j])
+			dCNext[j] = dCj * tr.f[j]
+
+			for c := 0; c < cols; c++ {
+				x := tr.xc[c]
+				gWi.Data[j*cols+c] += di * x
+				gWf.Data[j*cols+c] += df * x
+				gWg.Data[j*cols+c] += dg * x
+				gWo.Data[j*cols+c] += do * x
+				if c >= n.In {
+					hIdx := c - n.In
+					dHNext[hIdx] += n.Wi.At(j, c)*di + n.Wf.At(j, c)*df + n.Wg.At(j, c)*dg + n.Wo.At(j, c)*do
+				}
+			}
+			gBi[j] += di
+			gBf[j] += df
+			gBg[j] += dg
+			gBo[j] += do
+		}
+		dH, dC = dHNext, dCNext
+	}
+
+	applyMat := func(w *tensor.Mat, g tensor.Mat) {
+		for i := range w.Data {
+			w.Data[i] -= lr * g.Data[i]
+		}
+	}
+	applyVec := func(b, g tensor.Vec) {
+		for i := range b {
+			b[i] -= lr * g[i]
+		}
+	}
+	applyMat(&n.Wi, gWi)
+	applyMat(&n.Wf, gWf)
+	applyMat(&n.Wg, gWg)
+	applyMat(&n.Wo, gWo)
+	applyMat(&n.Wy, gWy)
+	applyVec(n.Bi, gBi)
+	applyVec(n.Bf, gBf)
+	applyVec(n.Bg, gBg)
+	applyVec(n.Bo, gBo)
+	applyVec(n.By, gBy)
+	return loss
+}
+
+func logf(x float32) float32 { return float32(math.Log(float64(x))) }

@@ -1,0 +1,126 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"taurus/internal/tensor"
+)
+
+func TestLSTMShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	n := NewLSTM(4, 32, 5, rng)
+	st := n.ZeroState()
+	out, st2 := n.Step(tensor.Vec{0.1, 0.2, 0.3, 0.4}, st)
+	if len(out) != 5 {
+		t.Fatalf("output size = %d", len(out))
+	}
+	if len(st2.H) != 32 || len(st2.C) != 32 {
+		t.Fatalf("state sizes = %d/%d", len(st2.H), len(st2.C))
+	}
+	var sum float32
+	for _, p := range out {
+		if p < 0 || p > 1 {
+			t.Fatalf("probability out of range: %v", p)
+		}
+		sum += p
+	}
+	if math.Abs(float64(sum-1)) > 1e-5 {
+		t.Fatalf("probabilities sum to %v", sum)
+	}
+}
+
+func TestLSTMStatePropagates(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	n := NewLSTM(2, 8, 2, rng)
+	x := tensor.Vec{1, -1}
+	st := n.ZeroState()
+	out1, st1 := n.Step(x, st)
+	out2, _ := n.Step(x, st1)
+	same := true
+	for i := range out1 {
+		if out1[i] != out2[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("state should change the output")
+	}
+}
+
+func TestLSTMForwardSequence(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	n := NewLSTM(1, 4, 2, rng)
+	seq := []tensor.Vec{{0.5}, {-0.5}, {0.25}}
+	out := n.Forward(seq)
+	if len(out) != 2 {
+		t.Fatalf("out = %v", out)
+	}
+}
+
+func TestLSTMBadInputPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	n := NewLSTM(3, 4, 2, rng)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on wrong input size")
+		}
+	}()
+	n.Step(tensor.Vec{1}, n.ZeroState())
+}
+
+func TestLSTMBadDimsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on zero dims")
+		}
+	}()
+	NewLSTM(0, 4, 2, rand.New(rand.NewSource(35)))
+}
+
+// The LSTM should learn a simple temporal rule: class = whether the sequence
+// sum is positive.
+func TestLSTMLearnsTemporalRule(t *testing.T) {
+	rng := rand.New(rand.NewSource(36))
+	n := NewLSTM(1, 8, 2, rng)
+	makeSeq := func() ([]tensor.Vec, int) {
+		seq := make([]tensor.Vec, 5)
+		var sum float32
+		for i := range seq {
+			v := float32(rng.NormFloat64())
+			seq[i] = tensor.Vec{v}
+			sum += v
+		}
+		if sum > 0 {
+			return seq, 1
+		}
+		return seq, 0
+	}
+	var loss float64
+	for epoch := 0; epoch < 400; epoch++ {
+		seq, target := makeSeq()
+		loss = n.TrainLSTMSequence(seq, target, 0.05)
+	}
+	_ = loss
+	correct := 0
+	const trials = 200
+	for i := 0; i < trials; i++ {
+		seq, target := makeSeq()
+		out := n.Forward(seq)
+		if tensor.ArgMax(out) == target {
+			correct++
+		}
+	}
+	if acc := float64(correct) / trials; acc < 0.8 {
+		t.Errorf("LSTM accuracy = %v, want >= 0.8", acc)
+	}
+}
+
+func TestLSTMTrainEmptySequence(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	n := NewLSTM(1, 4, 2, rng)
+	if loss := n.TrainLSTMSequence(nil, 0, 0.1); loss != 0 {
+		t.Errorf("empty-sequence loss = %v", loss)
+	}
+}

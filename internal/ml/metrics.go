@@ -1,0 +1,75 @@
+package ml
+
+// BinaryConfusion tallies a binary classifier's outcomes. The "positive"
+// class is the anomaly class throughout the repository (§5.2.2 uses F1 over
+// identified anomalies, missed anomalies, and false alarms).
+type BinaryConfusion struct {
+	TP, FP, TN, FN int
+}
+
+// Observe records one prediction against the truth.
+func (c *BinaryConfusion) Observe(predicted, actual bool) {
+	switch {
+	case predicted && actual:
+		c.TP++
+	case predicted && !actual:
+		c.FP++
+	case !predicted && !actual:
+		c.TN++
+	default:
+		c.FN++
+	}
+}
+
+// Precision returns TP/(TP+FP), or 0 when no positives were predicted.
+func (c BinaryConfusion) Precision() float64 {
+	if c.TP+c.FP == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FP)
+}
+
+// Recall returns TP/(TP+FN), or 0 when no positives exist.
+func (c BinaryConfusion) Recall() float64 {
+	if c.TP+c.FN == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FN)
+}
+
+// F1 returns the harmonic mean of precision and recall as a percentage
+// (the paper reports F1 "scores" like 71.1, i.e. x100).
+func (c BinaryConfusion) F1() float64 {
+	p, r := c.Precision(), c.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 100 * 2 * p * r / (p + r)
+}
+
+// Accuracy returns the fraction of correct predictions as a percentage.
+func (c BinaryConfusion) Accuracy() float64 {
+	total := c.TP + c.FP + c.TN + c.FN
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(c.TP+c.TN) / float64(total)
+}
+
+// Total returns the number of observations.
+func (c BinaryConfusion) Total() int { return c.TP + c.FP + c.TN + c.FN }
+
+// MulticlassAccuracy returns the percentage of indices where pred == truth.
+// The slices must have equal length; an empty input yields 0.
+func MulticlassAccuracy(pred, truth []int) float64 {
+	if len(pred) != len(truth) || len(pred) == 0 {
+		return 0
+	}
+	correct := 0
+	for i := range pred {
+		if pred[i] == truth[i] {
+			correct++
+		}
+	}
+	return 100 * float64(correct) / float64(len(pred))
+}

@@ -1,0 +1,66 @@
+package ml
+
+import (
+	"math"
+	"testing"
+)
+
+func TestConfusionCounts(t *testing.T) {
+	var c BinaryConfusion
+	c.Observe(true, true)   // TP
+	c.Observe(true, false)  // FP
+	c.Observe(false, false) // TN
+	c.Observe(false, true)  // FN
+	if c.TP != 1 || c.FP != 1 || c.TN != 1 || c.FN != 1 {
+		t.Errorf("confusion = %+v", c)
+	}
+	if c.Total() != 4 {
+		t.Errorf("Total = %d", c.Total())
+	}
+	if got := c.Precision(); got != 0.5 {
+		t.Errorf("Precision = %v", got)
+	}
+	if got := c.Recall(); got != 0.5 {
+		t.Errorf("Recall = %v", got)
+	}
+	if got := c.F1(); got != 50 {
+		t.Errorf("F1 = %v", got)
+	}
+	if got := c.Accuracy(); got != 50 {
+		t.Errorf("Accuracy = %v", got)
+	}
+}
+
+func TestConfusionDegenerate(t *testing.T) {
+	var c BinaryConfusion
+	if c.Precision() != 0 || c.Recall() != 0 || c.F1() != 0 || c.Accuracy() != 0 {
+		t.Error("empty confusion should report zeros")
+	}
+	c.Observe(false, false)
+	if c.F1() != 0 {
+		t.Errorf("no-positive F1 = %v", c.F1())
+	}
+}
+
+func TestPerfectF1(t *testing.T) {
+	var c BinaryConfusion
+	for i := 0; i < 10; i++ {
+		c.Observe(true, true)
+		c.Observe(false, false)
+	}
+	if math.Abs(c.F1()-100) > 1e-9 {
+		t.Errorf("perfect F1 = %v", c.F1())
+	}
+}
+
+func TestMulticlassAccuracy(t *testing.T) {
+	if got := MulticlassAccuracy([]int{1, 2, 3}, []int{1, 2, 0}); math.Abs(got-200.0/3) > 1e-9 {
+		t.Errorf("accuracy = %v", got)
+	}
+	if MulticlassAccuracy(nil, nil) != 0 {
+		t.Error("empty accuracy should be 0")
+	}
+	if MulticlassAccuracy([]int{1}, []int{1, 2}) != 0 {
+		t.Error("mismatched lengths should be 0")
+	}
+}

@@ -1,0 +1,148 @@
+package ml
+
+import (
+	"math/rand"
+	"testing"
+
+	"taurus/internal/tensor"
+)
+
+func trainedToy(t *testing.T) (*DNN, []tensor.Vec, []int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(41))
+	// Two Gaussian blobs, easily separable.
+	var X []tensor.Vec
+	var y []int
+	for i := 0; i < 200; i++ {
+		c := i % 2
+		shift := float32(c*4 - 2)
+		X = append(X, tensor.Vec{
+			shift + float32(rng.NormFloat64())*0.5,
+			shift + float32(rng.NormFloat64())*0.5,
+		})
+		y = append(y, c)
+	}
+	n := NewDNN([]int{2, 6, 3, 1}, ReLU, Sigmoid, rng)
+	tr := NewTrainer(n, SGDConfig{LearningRate: 0.1, Momentum: 0.9, BatchSize: 16, Epochs: 60}, rng)
+	tr.Fit(X, y)
+	return n, X, y
+}
+
+func TestQuantizeMatchesFloat(t *testing.T) {
+	n, X, y := trainedToy(t)
+	q, err := Quantize(n, X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agree, correctF, correctQ := 0, 0, 0
+	for i, x := range X {
+		pf := n.PredictClass(x)
+		pq := q.PredictClass(x)
+		if pf == pq {
+			agree++
+		}
+		if pf == y[i] {
+			correctF++
+		}
+		if pq == y[i] {
+			correctQ++
+		}
+	}
+	if float64(agree)/float64(len(X)) < 0.97 {
+		t.Errorf("quantised model agrees on %d/%d", agree, len(X))
+	}
+	// Accuracy loss must be tiny (Table 3: |diff| < 0.1%-ish; allow 2% for
+	// the toy model).
+	diff := float64(correctF-correctQ) / float64(len(X))
+	if diff > 0.02 {
+		t.Errorf("quantisation accuracy loss %.3f too large", diff)
+	}
+}
+
+func TestQuantizeNeedsCalibration(t *testing.T) {
+	n, _, _ := trainedToy(t)
+	if _, err := Quantize(n, nil); err == nil {
+		t.Error("empty calibration set should fail")
+	}
+}
+
+func TestQuantizedLayerDims(t *testing.T) {
+	n, X, _ := trainedToy(t)
+	q, err := Quantize(n, X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Layers) != 3 {
+		t.Fatalf("layers = %d", len(q.Layers))
+	}
+	if q.Layers[0].In() != 2 || q.Layers[0].Out() != 6 {
+		t.Errorf("layer0 dims %dx%d", q.Layers[0].Out(), q.Layers[0].In())
+	}
+	var empty QuantizedDense
+	if empty.In() != 0 {
+		t.Error("empty layer In() should be 0")
+	}
+}
+
+func TestForwardCodesDeterministic(t *testing.T) {
+	n, X, _ := trainedToy(t)
+	q, err := Quantize(n, X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	codes := q.InputQ.QuantizeSlice(X[0])
+	a := q.ForwardCodes(codes)
+	b := q.ForwardCodes(codes)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("ForwardCodes not deterministic")
+		}
+	}
+}
+
+func TestQuantizedLayerInputMismatchPanics(t *testing.T) {
+	n, X, _ := trainedToy(t)
+	q, _ := Quantize(n, X)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	q.Layers[0].ForwardCodes([]int8{1})
+}
+
+func TestQuantizedSigmoidTanh(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	n := NewDNN([]int{2, 4, 1}, Tanh, Sigmoid, rng)
+	calib := []tensor.Vec{{0.5, -0.5}, {1, 1}, {-1, 0.25}}
+	q, err := Quantize(n, calib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range calib {
+		pf := n.Forward(x)[0]
+		pq := q.Forward(x)[0]
+		if d := pf - pq; d > 0.12 || d < -0.12 {
+			t.Errorf("sigmoid/tanh path diverges: float %v fix8 %v", pf, pq)
+		}
+	}
+}
+
+func TestQuantizedLeakyReLU(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	n := NewDNN([]int{2, 4, 2}, LeakyReLU, Linear, rng)
+	calib := []tensor.Vec{{1, -1}, {-0.5, 0.5}, {2, 2}}
+	q, err := Quantize(n, calib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range calib {
+		pf := n.Forward(x)
+		pq := q.Forward(x)
+		for i := range pf {
+			if d := pf[i] - pq[i]; d > 0.25 || d < -0.25 {
+				t.Errorf("leaky path diverges at %v: float %v fix8 %v", x, pf[i], pq[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,217 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"taurus/internal/tensor"
+)
+
+// SVM is a binary support-vector machine with an RBF kernel, the first
+// anomaly-detection model of §5.1.2 (Mehmood & Rais: 8 KDD features, radial
+// basis function). Labels are ±1; Decision > 0 predicts the positive
+// (anomalous) class.
+type SVM struct {
+	SupportVecs []tensor.Vec
+	Coeffs      []float32 // alpha_i * y_i
+	Bias        float32
+	Gamma       float32 // RBF width: K(a,b) = exp(-Gamma*|a-b|^2)
+}
+
+// Kernel evaluates the RBF kernel between a and b.
+func (s *SVM) Kernel(a, b tensor.Vec) float32 {
+	return float32(math.Exp(float64(-s.Gamma * tensor.SqDist(a, b))))
+}
+
+// Decision returns the signed decision value for x.
+func (s *SVM) Decision(x tensor.Vec) float32 {
+	var sum float32
+	for i, sv := range s.SupportVecs {
+		sum += s.Coeffs[i] * s.Kernel(sv, x)
+	}
+	return sum + s.Bias
+}
+
+// Predict returns true for the positive (anomalous) class.
+func (s *SVM) Predict(x tensor.Vec) bool { return s.Decision(x) > 0 }
+
+// SVMConfig controls SMO training.
+type SVMConfig struct {
+	C        float32 // box constraint
+	Gamma    float32 // RBF width
+	Tol      float32 // KKT tolerance
+	MaxPass  int     // passes with no alpha change before stopping
+	MaxIters int     // hard iteration cap
+}
+
+// DefaultSVMConfig returns a configuration that trains the anomaly SVM well.
+func DefaultSVMConfig() SVMConfig {
+	return SVMConfig{C: 1, Gamma: 0.5, Tol: 1e-3, MaxPass: 3, MaxIters: 200}
+}
+
+// TrainSVM fits an RBF SVM with simplified SMO (Platt's algorithm, simplified
+// selection). y[i] must be ±1.
+func TrainSVM(X []tensor.Vec, y []int, cfg SVMConfig, rng *rand.Rand) (*SVM, error) {
+	n := len(X)
+	if n == 0 || n != len(y) {
+		return nil, fmt.Errorf("ml: TrainSVM needs matching non-empty X, y (got %d, %d)", n, len(y))
+	}
+	for _, v := range y {
+		if v != 1 && v != -1 {
+			return nil, fmt.Errorf("ml: SVM labels must be ±1, got %d", v)
+		}
+	}
+	s := &SVM{Gamma: cfg.Gamma}
+
+	// Precompute the kernel matrix; evaluation datasets here are small
+	// (hundreds of samples), so O(n^2) memory is fine.
+	K := make([][]float32, n)
+	for i := range K {
+		K[i] = make([]float32, n)
+		for j := 0; j <= i; j++ {
+			k := s.Kernel(X[i], X[j])
+			K[i][j] = k
+			K[j][i] = k
+		}
+	}
+
+	alpha := make([]float32, n)
+	var b float32
+	f := func(i int) float32 {
+		var sum float32
+		for j := 0; j < n; j++ {
+			if alpha[j] != 0 {
+				sum += alpha[j] * float32(y[j]) * K[i][j]
+			}
+		}
+		return sum + b
+	}
+
+	passes, iters := 0, 0
+	for passes < cfg.MaxPass && iters < cfg.MaxIters {
+		iters++
+		changed := 0
+		for i := 0; i < n; i++ {
+			Ei := f(i) - float32(y[i])
+			yi := float32(y[i])
+			if (yi*Ei < -cfg.Tol && alpha[i] < cfg.C) || (yi*Ei > cfg.Tol && alpha[i] > 0) {
+				j := rng.Intn(n - 1)
+				if j >= i {
+					j++
+				}
+				Ej := f(j) - float32(y[j])
+				yj := float32(y[j])
+				ai, aj := alpha[i], alpha[j]
+				var lo, hi float32
+				if y[i] != y[j] {
+					lo = max32(0, aj-ai)
+					hi = min32(cfg.C, cfg.C+aj-ai)
+				} else {
+					lo = max32(0, ai+aj-cfg.C)
+					hi = min32(cfg.C, ai+aj)
+				}
+				if lo == hi {
+					continue
+				}
+				eta := 2*K[i][j] - K[i][i] - K[j][j]
+				if eta >= 0 {
+					continue
+				}
+				ajNew := aj - yj*(Ei-Ej)/eta
+				if ajNew > hi {
+					ajNew = hi
+				} else if ajNew < lo {
+					ajNew = lo
+				}
+				if abs32(ajNew-aj) < 1e-5 {
+					continue
+				}
+				aiNew := ai + yi*yj*(aj-ajNew)
+				b1 := b - Ei - yi*(aiNew-ai)*K[i][i] - yj*(ajNew-aj)*K[i][j]
+				b2 := b - Ej - yi*(aiNew-ai)*K[i][j] - yj*(ajNew-aj)*K[j][j]
+				switch {
+				case aiNew > 0 && aiNew < cfg.C:
+					b = b1
+				case ajNew > 0 && ajNew < cfg.C:
+					b = b2
+				default:
+					b = (b1 + b2) / 2
+				}
+				alpha[i], alpha[j] = aiNew, ajNew
+				changed++
+			}
+		}
+		if changed == 0 {
+			passes++
+		} else {
+			passes = 0
+		}
+	}
+
+	for i := 0; i < n; i++ {
+		if alpha[i] > 1e-6 {
+			s.SupportVecs = append(s.SupportVecs, X[i].Clone())
+			s.Coeffs = append(s.Coeffs, alpha[i]*float32(y[i]))
+		}
+	}
+	s.Bias = b
+	if len(s.SupportVecs) == 0 {
+		return nil, fmt.Errorf("ml: SMO found no support vectors (degenerate data?)")
+	}
+	return s, nil
+}
+
+// Compress keeps only the maxSV largest-|coefficient| support vectors — the
+// paper's data-plane SVM must fit the MapReduce grid, so deployments cap the
+// support set.
+func (s *SVM) Compress(maxSV int) *SVM {
+	if maxSV <= 0 || maxSV >= len(s.SupportVecs) {
+		return s
+	}
+	type pair struct {
+		sv tensor.Vec
+		c  float32
+	}
+	ps := make([]pair, len(s.SupportVecs))
+	for i := range ps {
+		ps[i] = pair{s.SupportVecs[i], s.Coeffs[i]}
+	}
+	// Selection sort of the top maxSV by |coefficient|; support sets are
+	// small so O(n*k) is fine.
+	out := &SVM{Bias: s.Bias, Gamma: s.Gamma}
+	used := make([]bool, len(ps))
+	for k := 0; k < maxSV; k++ {
+		best, bestAbs := -1, float32(-1)
+		for i, p := range ps {
+			if !used[i] && abs32(p.c) > bestAbs {
+				best, bestAbs = i, abs32(p.c)
+			}
+		}
+		used[best] = true
+		out.SupportVecs = append(out.SupportVecs, ps[best].sv)
+		out.Coeffs = append(out.Coeffs, ps[best].c)
+	}
+	return out
+}
+
+func max32(a, b float32) float32 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min32(a, b float32) float32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func abs32(a float32) float32 {
+	if a < 0 {
+		return -a
+	}
+	return a
+}

@@ -1,0 +1,111 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"taurus/internal/tensor"
+)
+
+// ringData is RBF-required data: positives inside a circle, negatives on a
+// ring around it.
+func ringData(n int, rng *rand.Rand) ([]tensor.Vec, []int) {
+	X := make([]tensor.Vec, 0, n)
+	y := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if i%2 == 0 {
+			r := rng.Float64() * 0.8
+			a := rng.Float64() * 2 * math.Pi
+			X = append(X, tensor.Vec{float32(r * math.Cos(a)), float32(r * math.Sin(a))})
+			y = append(y, 1)
+		} else {
+			r := 1.8 + rng.Float64()*0.8
+			a := rng.Float64() * 2 * math.Pi
+			X = append(X, tensor.Vec{float32(r * math.Cos(a)), float32(r * math.Sin(a))})
+			y = append(y, -1)
+		}
+	}
+	return X, y
+}
+
+func TestSVMTrainsRing(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	X, y := ringData(120, rng)
+	svm, err := TrainSVM(X, y, DefaultSVMConfig(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i, x := range X {
+		pred := svm.Predict(x)
+		if pred == (y[i] == 1) {
+			correct++
+		}
+	}
+	acc := float64(correct) / float64(len(X))
+	if acc < 0.9 {
+		t.Errorf("ring accuracy = %v, want >= 0.9", acc)
+	}
+}
+
+func TestSVMRejectsBadInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	if _, err := TrainSVM(nil, nil, DefaultSVMConfig(), rng); err == nil {
+		t.Error("empty data should fail")
+	}
+	if _, err := TrainSVM([]tensor.Vec{{1}}, []int{2}, DefaultSVMConfig(), rng); err == nil {
+		t.Error("labels other than ±1 should fail")
+	}
+	if _, err := TrainSVM([]tensor.Vec{{1}}, []int{1, -1}, DefaultSVMConfig(), rng); err == nil {
+		t.Error("length mismatch should fail")
+	}
+}
+
+func TestSVMKernelProperties(t *testing.T) {
+	s := &SVM{Gamma: 0.5}
+	a := tensor.Vec{1, 2}
+	b := tensor.Vec{3, -1}
+	if got := s.Kernel(a, a); got != 1 {
+		t.Errorf("K(a,a) = %v, want 1", got)
+	}
+	if s.Kernel(a, b) != s.Kernel(b, a) {
+		t.Error("kernel not symmetric")
+	}
+	if k := s.Kernel(a, b); k <= 0 || k >= 1 {
+		t.Errorf("K(a,b) = %v, want (0,1)", k)
+	}
+}
+
+func TestSVMCompress(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	X, y := ringData(100, rng)
+	svm, err := TrainSVM(X, y, DefaultSVMConfig(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(svm.SupportVecs) <= 8 {
+		t.Skipf("too few SVs (%d) to exercise compression", len(svm.SupportVecs))
+	}
+	small := svm.Compress(8)
+	if len(small.SupportVecs) != 8 {
+		t.Fatalf("Compress kept %d SVs", len(small.SupportVecs))
+	}
+	// Accuracy should not collapse.
+	correct := 0
+	for i, x := range X {
+		if small.Predict(x) == (y[i] == 1) {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(X)); acc < 0.75 {
+		t.Errorf("compressed accuracy = %v", acc)
+	}
+	// No-op cases.
+	if got := svm.Compress(0); got != svm {
+		t.Error("Compress(0) should return the receiver")
+	}
+	if got := svm.Compress(len(svm.SupportVecs) + 5); got != svm {
+		t.Error("Compress(>n) should return the receiver")
+	}
+}

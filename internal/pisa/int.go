@@ -1,0 +1,142 @@
+package pisa
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// In-band network telemetry (INT, §3.1): "measurements embedded into
+// packets provide switches with a view of global network state ... models
+// can examine the packet's entire history, through INT". Each hop appends a
+// metadata record; a Taurus switch parses the stack and condenses it into
+// model features alongside its local registers.
+
+// INTHop is one switch's telemetry record (8 bytes on the wire).
+type INTHop struct {
+	SwitchID   uint16
+	QueueDepth uint16 // packets queued at this hop
+	LatencyNs  uint16 // hop transit latency
+	LinkUtil   uint8  // egress-link utilisation, 0-255 = 0-100%
+	_pad       uint8
+}
+
+const (
+	// intMagic identifies an INT shim.
+	intMagic = 0x1E
+	// intHopBytes is the wire size of one hop record.
+	intHopBytes = 8
+	// MaxINTHops bounds the stack (switches stop appending past this).
+	MaxINTHops = 16
+)
+
+// AppendINT adds this switch's record to the packet's INT stack, creating
+// the shim if absent. The stack lives after the parsed headers (offset =
+// bytes consumed by the parser). It returns the new packet and an error if
+// the stack is full or the shim is malformed.
+func AppendINT(pkt []byte, offset int, hop INTHop) ([]byte, error) {
+	if offset < 0 || offset > len(pkt) {
+		return nil, fmt.Errorf("pisa: bad INT offset %d", offset)
+	}
+	rest := pkt[offset:]
+	var count int
+	var body []byte
+	if len(rest) >= 2 && rest[0] == intMagic {
+		count = int(rest[1])
+		if count >= MaxINTHops {
+			return nil, fmt.Errorf("pisa: INT stack full (%d hops)", count)
+		}
+		need := 2 + count*intHopBytes
+		if len(rest) < need {
+			return nil, fmt.Errorf("pisa: truncated INT stack (%d hops, %d bytes)", count, len(rest))
+		}
+		body = rest[2:need]
+	}
+	out := make([]byte, 0, len(pkt)+intHopBytes+2)
+	out = append(out, pkt[:offset]...)
+	out = append(out, intMagic, byte(count+1))
+	out = append(out, body...)
+	var rec [intHopBytes]byte
+	binary.BigEndian.PutUint16(rec[0:], hop.SwitchID)
+	binary.BigEndian.PutUint16(rec[2:], hop.QueueDepth)
+	binary.BigEndian.PutUint16(rec[4:], hop.LatencyNs)
+	rec[6] = hop.LinkUtil
+	out = append(out, rec[:]...)
+	// Anything after the old stack (payload) follows.
+	if len(rest) >= 2 && rest[0] == intMagic {
+		out = append(out, rest[2+count*intHopBytes:]...)
+	} else {
+		out = append(out, rest...)
+	}
+	return out, nil
+}
+
+// ParseINT extracts the INT stack starting at offset. A packet without a
+// shim yields an empty stack and no error.
+func ParseINT(pkt []byte, offset int) ([]INTHop, error) {
+	if offset < 0 || offset > len(pkt) {
+		return nil, fmt.Errorf("pisa: bad INT offset %d", offset)
+	}
+	rest := pkt[offset:]
+	if len(rest) < 2 || rest[0] != intMagic {
+		return nil, nil
+	}
+	count := int(rest[1])
+	if count > MaxINTHops {
+		return nil, fmt.Errorf("pisa: INT stack claims %d hops", count)
+	}
+	need := 2 + count*intHopBytes
+	if len(rest) < need {
+		return nil, fmt.Errorf("pisa: truncated INT stack")
+	}
+	hops := make([]INTHop, count)
+	for i := 0; i < count; i++ {
+		rec := rest[2+i*intHopBytes:]
+		hops[i] = INTHop{
+			SwitchID:   binary.BigEndian.Uint16(rec[0:]),
+			QueueDepth: binary.BigEndian.Uint16(rec[2:]),
+			LatencyNs:  binary.BigEndian.Uint16(rec[4:]),
+			LinkUtil:   rec[6],
+		}
+	}
+	return hops, nil
+}
+
+// INTSummary condenses a telemetry stack into the path-level features a
+// model consumes (§3.1: the packet's entire history): hop count, maximum
+// queue depth, total path latency, and maximum link utilisation.
+type INTSummary struct {
+	Hops          int
+	MaxQueueDepth int32
+	PathLatencyNs int32
+	MaxLinkUtil   int32
+}
+
+// SummarizeINT folds the stack into features.
+func SummarizeINT(hops []INTHop) INTSummary {
+	s := INTSummary{Hops: len(hops)}
+	for _, h := range hops {
+		if int32(h.QueueDepth) > s.MaxQueueDepth {
+			s.MaxQueueDepth = int32(h.QueueDepth)
+		}
+		s.PathLatencyNs += int32(h.LatencyNs)
+		if int32(h.LinkUtil) > s.MaxLinkUtil {
+			s.MaxLinkUtil = int32(h.LinkUtil)
+		}
+	}
+	return s
+}
+
+// WriteINTFeatures stores the summary into PHV metadata fields (which must
+// exist in the layout: meta.int_hops, meta.int_maxq, meta.int_lat,
+// meta.int_util).
+func WriteINTFeatures(phv *PHV, s INTSummary) {
+	phv.SetName("meta.int_hops", int32(s.Hops))
+	phv.SetName("meta.int_maxq", s.MaxQueueDepth)
+	phv.SetName("meta.int_lat", s.PathLatencyNs)
+	phv.SetName("meta.int_util", s.MaxLinkUtil)
+}
+
+// INTLayoutFields lists the PHV fields WriteINTFeatures needs.
+func INTLayoutFields() []string {
+	return []string{"meta.int_hops", "meta.int_maxq", "meta.int_lat", "meta.int_util"}
+}

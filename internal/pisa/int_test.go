@@ -1,0 +1,136 @@
+package pisa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestINTAppendParseRoundTrip(t *testing.T) {
+	pkt := BuildTCPPacket(1, 2, 3, 4, 0, 8)
+	const off = 54
+	hops := []INTHop{
+		{SwitchID: 1, QueueDepth: 10, LatencyNs: 500, LinkUtil: 100},
+		{SwitchID: 2, QueueDepth: 90, LatencyNs: 1200, LinkUtil: 220},
+		{SwitchID: 3, QueueDepth: 5, LatencyNs: 300, LinkUtil: 50},
+	}
+	var err error
+	for _, h := range hops {
+		pkt, err = AppendINT(pkt, off, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := ParseINT(pkt, off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("hops = %d", len(got))
+	}
+	for i, h := range hops {
+		if got[i] != h {
+			t.Errorf("hop %d = %+v, want %+v", i, got[i], h)
+		}
+	}
+	// Payload preserved after the stack.
+	if len(pkt) != 54+2+3*8+8 {
+		t.Errorf("packet length = %d", len(pkt))
+	}
+}
+
+func TestINTNoShim(t *testing.T) {
+	pkt := BuildTCPPacket(1, 2, 3, 4, 0, 0)
+	hops, err := ParseINT(pkt, 54)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hops != nil {
+		t.Errorf("expected empty stack, got %v", hops)
+	}
+}
+
+func TestINTStackFull(t *testing.T) {
+	pkt := BuildTCPPacket(1, 2, 3, 4, 0, 0)
+	var err error
+	for i := 0; i < MaxINTHops; i++ {
+		pkt, err = AppendINT(pkt, 54, INTHop{SwitchID: uint16(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := AppendINT(pkt, 54, INTHop{}); err == nil {
+		t.Error("full stack should refuse appends")
+	}
+}
+
+func TestINTErrors(t *testing.T) {
+	pkt := BuildTCPPacket(1, 2, 3, 4, 0, 0)
+	if _, err := AppendINT(pkt, -1, INTHop{}); err == nil {
+		t.Error("negative offset should fail")
+	}
+	if _, err := ParseINT(pkt, len(pkt)+5); err == nil {
+		t.Error("offset past end should fail")
+	}
+	// Truncated stack: shim claims 5 hops but bytes are missing.
+	bad := append(append([]byte{}, pkt[:54]...), intMagic, 5, 0, 0)
+	if _, err := ParseINT(bad, 54); err == nil {
+		t.Error("truncated stack should fail")
+	}
+	if _, err := AppendINT(bad, 54, INTHop{}); err == nil {
+		t.Error("append to truncated stack should fail")
+	}
+}
+
+func TestINTSummary(t *testing.T) {
+	s := SummarizeINT([]INTHop{
+		{QueueDepth: 10, LatencyNs: 500, LinkUtil: 100},
+		{QueueDepth: 90, LatencyNs: 1200, LinkUtil: 220},
+	})
+	if s.Hops != 2 || s.MaxQueueDepth != 90 || s.PathLatencyNs != 1700 || s.MaxLinkUtil != 220 {
+		t.Errorf("summary = %+v", s)
+	}
+	empty := SummarizeINT(nil)
+	if empty.Hops != 0 || empty.PathLatencyNs != 0 {
+		t.Errorf("empty summary = %+v", empty)
+	}
+}
+
+func TestWriteINTFeatures(t *testing.T) {
+	layout := NewLayout(INTLayoutFields()...)
+	phv := NewPHV(layout)
+	WriteINTFeatures(phv, INTSummary{Hops: 3, MaxQueueDepth: 7, PathLatencyNs: 900, MaxLinkUtil: 128})
+	if phv.GetName("meta.int_hops") != 3 || phv.GetName("meta.int_maxq") != 7 ||
+		phv.GetName("meta.int_lat") != 900 || phv.GetName("meta.int_util") != 128 {
+		t.Error("INT features not written")
+	}
+}
+
+// Property: appending N hops then parsing returns exactly those N hops in
+// order, for any hop contents.
+func TestINTRoundTripProperty(t *testing.T) {
+	f := func(raw [4][3]uint16) bool {
+		pkt := BuildTCPPacket(9, 9, 9, 9, 0, 4)
+		var err error
+		want := make([]INTHop, len(raw))
+		for i, r := range raw {
+			want[i] = INTHop{SwitchID: r[0], QueueDepth: r[1], LatencyNs: r[2], LinkUtil: uint8(r[0] % 251)}
+			pkt, err = AppendINT(pkt, 54, want[i])
+			if err != nil {
+				return false
+			}
+		}
+		got, err := ParseINT(pkt, 54)
+		if err != nil || len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,399 @@
+package pisa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func stdLayout() *Layout {
+	return NewLayout(StandardLayoutFields()...)
+}
+
+func TestLayout(t *testing.T) {
+	l := NewLayout("a", "b")
+	if l.Len() != 2 || l.ID("b") != 1 || l.Name(0) != "a" {
+		t.Error("layout basics broken")
+	}
+	if !l.Has("a") || l.Has("z") {
+		t.Error("Has broken")
+	}
+	l2 := l.Extend("c")
+	if l2.Len() != 3 || l2.ID("c") != 2 {
+		t.Error("Extend broken")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown field should panic")
+		}
+	}()
+	l.ID("nope")
+}
+
+func TestLayoutDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate field should panic")
+		}
+	}()
+	NewLayout("a", "a")
+}
+
+func TestPHV(t *testing.T) {
+	l := NewLayout("x", "y")
+	p := NewPHV(l)
+	if p.Valid(l.ID("x")) {
+		t.Error("fresh PHV should have no valid fields")
+	}
+	p.SetName("x", 42)
+	if p.GetName("x") != 42 || !p.Valid(l.ID("x")) {
+		t.Error("Set/Get broken")
+	}
+	p.Reset()
+	if p.GetName("x") != 0 || p.Valid(l.ID("x")) {
+		t.Error("Reset broken")
+	}
+	if p.Layout() != l {
+		t.Error("Layout accessor broken")
+	}
+}
+
+func TestStandardParserTCP(t *testing.T) {
+	l := stdLayout()
+	parser, err := StandardParser(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkt := BuildTCPPacket(0x0a000001, 0x0a000002, 1234, 443, 0x02, 10)
+	phv := NewPHV(l)
+	n, err := parser.Parse(pkt, phv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 54 {
+		t.Errorf("consumed %d bytes, want 54", n)
+	}
+	if phv.GetName("ipv4.src") != 0x0a000001 {
+		t.Errorf("src = %x", phv.GetName("ipv4.src"))
+	}
+	if phv.GetName("ipv4.dst") != 0x0a000002 {
+		t.Errorf("dst = %x", phv.GetName("ipv4.dst"))
+	}
+	if phv.GetName("l4.sport") != 1234 || phv.GetName("l4.dport") != 443 {
+		t.Errorf("ports = %d/%d", phv.GetName("l4.sport"), phv.GetName("l4.dport"))
+	}
+	if phv.GetName("tcp.flags") != 0x02 {
+		t.Errorf("flags = %x", phv.GetName("tcp.flags"))
+	}
+	if phv.GetName("ipv4.len") != 50 {
+		t.Errorf("len = %d", phv.GetName("ipv4.len"))
+	}
+}
+
+func TestParserShortPacket(t *testing.T) {
+	l := stdLayout()
+	parser, _ := StandardParser(l)
+	phv := NewPHV(l)
+	if _, err := parser.Parse(make([]byte, 10), phv); err == nil {
+		t.Error("short packet should fail")
+	}
+}
+
+func TestParserNonIPAccepts(t *testing.T) {
+	l := stdLayout()
+	parser, _ := StandardParser(l)
+	pkt := make([]byte, 14)
+	pkt[12], pkt[13] = 0x08, 0x06 // ARP
+	phv := NewPHV(l)
+	n, err := parser.Parse(pkt, phv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 14 {
+		t.Errorf("consumed %d", n)
+	}
+	if phv.Valid(l.ID("ipv4.src")) {
+		t.Error("should not extract IPv4 from ARP")
+	}
+}
+
+func TestParserValidation(t *testing.T) {
+	l := NewLayout("f")
+	if _, err := NewParser(l, "missing"); err == nil {
+		t.Error("missing start state should fail")
+	}
+	bad := &ParseState{Name: "s", HeaderLen: 2, Fields: []FieldSpec{{Name: "f", Offset: 1, WidthBits: 16}}}
+	if _, err := NewParser(l, "s", bad); err == nil {
+		t.Error("field exceeding header should fail")
+	}
+	bad2 := &ParseState{Name: "s", HeaderLen: 4, Fields: []FieldSpec{{Name: "zzz", Offset: 0, WidthBits: 8}}}
+	if _, err := NewParser(l, "s", bad2); err == nil {
+		t.Error("unknown field should fail")
+	}
+}
+
+func TestParserLoopDetected(t *testing.T) {
+	l := NewLayout("f")
+	s := &ParseState{
+		Name: "s", HeaderLen: 0,
+		SelectField: "f",
+		Transitions: map[int32]string{0: "s"},
+	}
+	p, err := NewParser(l, "s", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phv := NewPHV(l)
+	if _, err := p.Parse(make([]byte, 4), phv); err == nil {
+		t.Error("loop should be detected")
+	}
+}
+
+func TestVLIWAction(t *testing.T) {
+	l := NewLayout("a", "b")
+	p := NewPHV(l)
+	p.SetName("a", 10)
+	act := &VLIWAction{Ops: []ActionOp{
+		{Op: OpSet, Dst: l.ID("b"), Src: l.ID("a")},
+		{Op: OpAdd, Dst: l.ID("b"), Imm: 5, UseImm: true},
+		{Op: OpShiftRight, Dst: l.ID("b"), Imm: 1, UseImm: true},
+		{Op: OpMax, Dst: l.ID("b"), Imm: 3, UseImm: true},
+		{Op: OpMin, Dst: l.ID("b"), Imm: 6, UseImm: true},
+	}}
+	act.Apply(p)
+	// b = min(max((10+5)>>1, 3), 6) = 6.
+	if got := p.GetName("b"); got != 6 {
+		t.Errorf("b = %d, want 6", got)
+	}
+	sub := &VLIWAction{Ops: []ActionOp{
+		{Op: OpSub, Dst: l.ID("b"), Imm: 2, UseImm: true},
+		{Op: OpAnd, Dst: l.ID("b"), Imm: 0x5, UseImm: true},
+	}}
+	sub.Apply(p)
+	if got := p.GetName("b"); got != 4 {
+		t.Errorf("b = %d, want 4", got)
+	}
+}
+
+func TestTableExactMatch(t *testing.T) {
+	l := NewLayout("port", "verdict")
+	tab := NewTable("acl", []Key{{Field: l.ID("port"), Kind: Exact}}, 8)
+	set1 := &VLIWAction{Ops: []ActionOp{{Op: OpSet, Dst: l.ID("verdict"), Imm: 1, UseImm: true}}}
+	if err := tab.Insert(&Entry{Values: []int32{443}, Action: set1}); err != nil {
+		t.Fatal(err)
+	}
+	tab.Default = &VLIWAction{Ops: []ActionOp{{Op: OpSet, Dst: l.ID("verdict"), Imm: 9, UseImm: true}}}
+	p := NewPHV(l)
+	p.SetName("port", 443)
+	if !tab.Lookup(p) || p.GetName("verdict") != 1 {
+		t.Errorf("hit path broken: verdict=%d", p.GetName("verdict"))
+	}
+	p.Reset()
+	p.SetName("port", 80)
+	if tab.Lookup(p) || p.GetName("verdict") != 9 {
+		t.Errorf("default path broken: verdict=%d", p.GetName("verdict"))
+	}
+	if tab.Len() != 1 {
+		t.Errorf("Len = %d", tab.Len())
+	}
+	tab.Clear()
+	if tab.Len() != 0 {
+		t.Error("Clear broken")
+	}
+}
+
+func TestTableTernaryPriority(t *testing.T) {
+	l := NewLayout("f", "out")
+	tab := NewTable("t", []Key{{Field: l.ID("f"), Kind: Ternary}}, 8)
+	lowAct := &VLIWAction{Ops: []ActionOp{{Op: OpSet, Dst: l.ID("out"), Imm: 1, UseImm: true}}}
+	hiAct := &VLIWAction{Ops: []ActionOp{{Op: OpSet, Dst: l.ID("out"), Imm: 2, UseImm: true}}}
+	// Low priority: match anything (mask 0).
+	if err := tab.Insert(&Entry{Values: []int32{0}, Masks: []int32{0}, Priority: 1, Action: lowAct}); err != nil {
+		t.Fatal(err)
+	}
+	// High priority: match 0xAB exactly.
+	if err := tab.Insert(&Entry{Values: []int32{0xAB}, Masks: []int32{-1}, Priority: 10, Action: hiAct}); err != nil {
+		t.Fatal(err)
+	}
+	p := NewPHV(l)
+	p.SetName("f", 0xAB)
+	tab.Lookup(p)
+	if p.GetName("out") != 2 {
+		t.Errorf("priority broken: out=%d", p.GetName("out"))
+	}
+	p.SetName("f", 0xCD)
+	tab.Lookup(p)
+	if p.GetName("out") != 1 {
+		t.Errorf("wildcard broken: out=%d", p.GetName("out"))
+	}
+}
+
+func TestTableLPM(t *testing.T) {
+	l := NewLayout("ip", "hop")
+	tab := NewTable("rib", []Key{{Field: l.ID("ip"), Kind: LPM}}, 8)
+	mk := func(hop int32) *VLIWAction {
+		return &VLIWAction{Ops: []ActionOp{{Op: OpSet, Dst: l.ID("hop"), Imm: hop, UseImm: true}}}
+	}
+	// 10.0.0.0/8 -> 1; 10.1.0.0/16 -> 2.
+	if err := tab.Insert(&Entry{Values: []int32{0x0a000000}, PrefixLen: 8, Action: mk(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Insert(&Entry{Values: []int32{0x0a010000}, PrefixLen: 16, Action: mk(2)}); err != nil {
+		t.Fatal(err)
+	}
+	p := NewPHV(l)
+	p.SetName("ip", 0x0a010203)
+	tab.Lookup(p)
+	if p.GetName("hop") != 2 {
+		t.Errorf("LPM picked hop %d, want 2 (longest prefix)", p.GetName("hop"))
+	}
+	p.SetName("ip", 0x0a990203)
+	tab.Lookup(p)
+	if p.GetName("hop") != 1 {
+		t.Errorf("LPM picked hop %d, want 1", p.GetName("hop"))
+	}
+}
+
+func TestTableCapacity(t *testing.T) {
+	l := NewLayout("f")
+	tab := NewTable("t", []Key{{Field: l.ID("f"), Kind: Exact}}, 1)
+	if err := tab.Insert(&Entry{Values: []int32{1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Insert(&Entry{Values: []int32{2}}); err == nil {
+		t.Error("full table should reject inserts")
+	}
+	if err := tab.Insert(&Entry{Values: []int32{1, 2}}); err == nil {
+		t.Error("wrong key arity should fail")
+	}
+}
+
+func TestRegisterArray(t *testing.T) {
+	r := NewRegisterArray("cnt", 4)
+	if r.Size() != 4 {
+		t.Errorf("Size = %d", r.Size())
+	}
+	r.Write(1, 10)
+	if r.Read(1) != 10 {
+		t.Error("Write/Read broken")
+	}
+	if got := r.Add(1, 5); got != 15 {
+		t.Errorf("Add = %d", got)
+	}
+	// Index wrap.
+	r.Write(5, 99)
+	if r.Read(1) != 99 {
+		t.Error("index should wrap")
+	}
+	r.Reset()
+	if r.Read(1) != 0 {
+		t.Error("Reset broken")
+	}
+}
+
+func TestFIFO(t *testing.T) {
+	q := NewFIFO[int](2)
+	if !q.Push(1) || !q.Push(2) {
+		t.Fatal("pushes should succeed")
+	}
+	if q.Push(3) {
+		t.Error("full queue should reject")
+	}
+	if q.Drops() != 1 {
+		t.Errorf("Drops = %d", q.Drops())
+	}
+	if v, ok := q.Pop(); !ok || v != 1 {
+		t.Errorf("Pop = %d,%v", v, ok)
+	}
+	if v, ok := q.Pop(); !ok || v != 2 {
+		t.Errorf("Pop = %d,%v", v, ok)
+	}
+	if _, ok := q.Pop(); ok {
+		t.Error("empty queue should report !ok")
+	}
+}
+
+// Property: FIFO preserves order for arbitrary push/pop sequences that fit.
+func TestFIFOOrderProperty(t *testing.T) {
+	f := func(vals []int8) bool {
+		q := NewFIFO[int8](len(vals) + 1)
+		for _, v := range vals {
+			q.Push(v)
+		}
+		for _, v := range vals {
+			got, ok := q.Pop()
+			if !ok || got != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRoundRobinAlternates(t *testing.T) {
+	a, b := NewFIFO[string](4), NewFIFO[string](4)
+	a.Push("a1")
+	a.Push("a2")
+	b.Push("b1")
+	b.Push("b2")
+	rr := NewRoundRobin(a, b)
+	got := []string{}
+	for {
+		v, ok := rr.Pop()
+		if !ok {
+			break
+		}
+		got = append(got, v)
+	}
+	want := []string{"a1", "b1", "a2", "b2"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRoundRobinEmptySide(t *testing.T) {
+	a, b := NewFIFO[int](4), NewFIFO[int](4)
+	b.Push(7)
+	rr := NewRoundRobin(a, b)
+	if v, ok := rr.Pop(); !ok || v != 7 {
+		t.Errorf("Pop = %d,%v", v, ok)
+	}
+	if _, ok := rr.Pop(); ok {
+		t.Error("both empty should report !ok")
+	}
+}
+
+func TestPIFOOrdering(t *testing.T) {
+	p := NewPIFO[string](0)
+	p.Push("late", 30)
+	p.Push("early", 10)
+	p.Push("mid", 20)
+	p.Push("early2", 10) // FIFO among equals
+	want := []string{"early", "early2", "mid", "late"}
+	for _, w := range want {
+		v, ok := p.Pop()
+		if !ok || v != w {
+			t.Fatalf("Pop = %q, want %q", v, w)
+		}
+	}
+	if _, ok := p.Pop(); ok {
+		t.Error("empty PIFO should report !ok")
+	}
+}
+
+func TestPIFOCapacity(t *testing.T) {
+	p := NewPIFO[int](1)
+	if !p.Push(1, 1) {
+		t.Error("first push should fit")
+	}
+	if p.Push(2, 2) {
+		t.Error("full PIFO should reject")
+	}
+	if p.Len() != 1 {
+		t.Errorf("Len = %d", p.Len())
+	}
+}

@@ -1,0 +1,138 @@
+package pisa
+
+import "container/heap"
+
+// FIFO is a bounded packet queue. Taurus splits the traditional single
+// packet queue into sub-queues for the preprocessing MATs, the MapReduce
+// block, and the postprocessing MATs (§4 "Non-ML Traffic Bypass").
+type FIFO[T any] struct {
+	buf      []T
+	head, n  int
+	capacity int
+	drops    int
+}
+
+// NewFIFO builds a queue holding up to capacity items.
+func NewFIFO[T any](capacity int) *FIFO[T] {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &FIFO[T]{buf: make([]T, capacity), capacity: capacity}
+}
+
+// Len returns the number of queued items.
+func (q *FIFO[T]) Len() int { return q.n }
+
+// Drops returns the number of items rejected because the queue was full.
+func (q *FIFO[T]) Drops() int { return q.drops }
+
+// Push enqueues an item, reporting false (a tail drop) when full.
+func (q *FIFO[T]) Push(v T) bool {
+	if q.n == q.capacity {
+		q.drops++
+		return false
+	}
+	q.buf[(q.head+q.n)%q.capacity] = v
+	q.n++
+	return true
+}
+
+// Pop dequeues the oldest item; ok is false when empty.
+func (q *FIFO[T]) Pop() (v T, ok bool) {
+	if q.n == 0 {
+		return v, false
+	}
+	v = q.buf[q.head]
+	q.head = (q.head + 1) % q.capacity
+	q.n--
+	return v, true
+}
+
+// RoundRobin arbitrates between two queues (Figure 6's RR selector merging
+// the ML path and the bypass path into the postprocessing MATs).
+type RoundRobin[T any] struct {
+	A, B *FIFO[T]
+	turn bool // false: prefer A next
+}
+
+// NewRoundRobin wires two queues into an arbiter.
+func NewRoundRobin[T any](a, b *FIFO[T]) *RoundRobin[T] {
+	return &RoundRobin[T]{A: a, B: b}
+}
+
+// Pop dequeues from the preferred non-empty queue and alternates the
+// preference.
+func (r *RoundRobin[T]) Pop() (v T, ok bool) {
+	first, second := r.A, r.B
+	if r.turn {
+		first, second = r.B, r.A
+	}
+	if v, ok = first.Pop(); ok {
+		r.turn = !r.turn
+		return v, true
+	}
+	return second.Pop()
+}
+
+// pifoItem is one scheduled element.
+type pifoItem[T any] struct {
+	v    T
+	rank int64
+	seq  int64 // FIFO among equal ranks
+}
+
+type pifoHeap[T any] []pifoItem[T]
+
+func (h pifoHeap[T]) Len() int { return len(h) }
+func (h pifoHeap[T]) Less(i, j int) bool {
+	if h[i].rank != h[j].rank {
+		return h[i].rank < h[j].rank
+	}
+	return h[i].seq < h[j].seq
+}
+func (h pifoHeap[T]) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *pifoHeap[T]) Push(x any)   { *h = append(*h, x.(pifoItem[T])) }
+func (h *pifoHeap[T]) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// PIFO is a push-in-first-out scheduler (Sivaraman et al., used by §3.2's
+// postprocessing-to-scheduling connection): elements are pushed with a rank
+// and popped in rank order.
+type PIFO[T any] struct {
+	h   pifoHeap[T]
+	seq int64
+	cap int
+}
+
+// NewPIFO builds a scheduler holding up to capacity elements (0 =
+// unbounded).
+func NewPIFO[T any](capacity int) *PIFO[T] {
+	return &PIFO[T]{cap: capacity}
+}
+
+// Len returns the number of scheduled elements.
+func (p *PIFO[T]) Len() int { return p.h.Len() }
+
+// Push schedules v at the given rank (lower pops first); false when full.
+func (p *PIFO[T]) Push(v T, rank int64) bool {
+	if p.cap > 0 && p.h.Len() >= p.cap {
+		return false
+	}
+	p.seq++
+	heap.Push(&p.h, pifoItem[T]{v: v, rank: rank, seq: p.seq})
+	return true
+}
+
+// Pop removes the lowest-ranked element.
+func (p *PIFO[T]) Pop() (v T, ok bool) {
+	if p.h.Len() == 0 {
+		return v, false
+	}
+	it := heap.Pop(&p.h).(pifoItem[T])
+	return it.v, true
+}

@@ -1,0 +1,35 @@
+package training
+
+import (
+	"math/rand"
+	"testing"
+
+	"taurus/internal/dataset"
+	"taurus/internal/ml"
+)
+
+// TestProbeSeparation sweeps the dataset Separation knob to find the value
+// where the trained DNN's offline F1 lands near the paper's 71.1 (§5.2.2).
+func TestProbeSeparation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("probe")
+	}
+	for _, sep := range []float64{0.4, 0.5, 0.6, 0.7, 0.8, 1.0} {
+		rng := rand.New(rand.NewSource(42))
+		cfg := dataset.DefaultAnomalyConfig()
+		cfg.Separation = sep
+		gen, err := dataset.NewAnomalyGenerator(cfg, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		X, y := dataset.Split(gen.Records(3000))
+		n := ml.NewDNN([]int{6, 12, 6, 3, 1}, ml.ReLU, ml.Sigmoid, rng)
+		ml.NewTrainer(n, ml.SGDConfig{LearningRate: 0.05, Momentum: 0.9, BatchSize: 32, Epochs: 30}, rng).Fit(X, y)
+		testX, testY := dataset.Split(gen.Records(2000))
+		var conf ml.BinaryConfusion
+		for i, x := range testX {
+			conf.Observe(n.PredictClass(x) == 1, testY[i] == 1)
+		}
+		t.Logf("separation=%.2f F1=%.1f precision=%.2f recall=%.2f", sep, conf.F1(), conf.Precision(), conf.Recall())
+	}
+}

@@ -1,0 +1,150 @@
+// Package training simulates the online-training loop of §5.2.3 (Figures 13
+// and 14): the control plane samples telemetry, accumulates labelled
+// minibatches, trains the anomaly DNN, and pushes weight updates to the
+// data plane. Wall-clock time is dominated by how long a batch takes to
+// *collect* at a given sampling rate, plus the training compute itself —
+// which is why higher sampling rates converge faster (Fig 13) and why small
+// batches with more epochs win at a fixed rate (Fig 14).
+package training
+
+import (
+	"fmt"
+	"math/rand"
+
+	"taurus/internal/dataset"
+	"taurus/internal/ml"
+	"taurus/internal/tensor"
+)
+
+// Config parameterises an online-training run.
+type Config struct {
+	// SamplingRate is the telemetry sampling probability.
+	SamplingRate float64
+	// PacketRate is the offered packets/second (5 Gb/s ≈ 800 kpps).
+	PacketRate float64
+	// BatchSize is the minibatch collected before each update (Fig 14:
+	// 64 or 256).
+	BatchSize int
+	// Epochs is how many passes each update makes over its batch (Fig 14:
+	// 1 or 10).
+	Epochs int
+	// Updates is the number of weight updates to simulate.
+	Updates int
+	// TrainCostPerSampleMs is the compute cost of one sample-epoch.
+	TrainCostPerSampleMs float64
+	// WeightPushMs is the time to install new weights in the data plane
+	// (§5.2.3 uses flow-rule installation time as the estimate).
+	WeightPushMs float64
+	Seed         int64
+}
+
+// DefaultConfig returns the Fig 13 setup for one sampling rate.
+func DefaultConfig(sampling float64) Config {
+	return Config{
+		SamplingRate:         sampling,
+		PacketRate:           800_000,
+		BatchSize:            64,
+		Epochs:               1,
+		Updates:              60,
+		TrainCostPerSampleMs: 0.02,
+		WeightPushMs:         3.0,
+		Seed:                 1,
+	}
+}
+
+// Point is one (time, F1) sample of the convergence curve.
+type Point struct {
+	TimeS float64
+	F1    float64
+}
+
+// Run simulates the loop and returns the convergence curve. The returned
+// curve starts at the untrained model's F1 at t=0.
+func Run(cfg Config) ([]Point, error) {
+	if cfg.SamplingRate <= 0 || cfg.SamplingRate > 1 {
+		return nil, fmt.Errorf("training: SamplingRate must be in (0,1], got %v", cfg.SamplingRate)
+	}
+	if cfg.PacketRate <= 0 || cfg.BatchSize <= 0 || cfg.Epochs <= 0 || cfg.Updates <= 0 {
+		return nil, fmt.Errorf("training: PacketRate/BatchSize/Epochs/Updates must be positive")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	gen, err := dataset.NewAnomalyGenerator(dataset.DefaultAnomalyConfig(), rng)
+	if err != nil {
+		return nil, err
+	}
+
+	// Fixed evaluation set (the paper's offline F1 target is ~71).
+	evalRecs := gen.Records(2000)
+	evalX, evalY := dataset.Split(evalRecs)
+
+	net := ml.NewDNN([]int{6, 12, 6, 3, 1}, ml.ReLU, ml.Sigmoid, rng)
+	tr := ml.NewTrainer(net, ml.SGDConfig{
+		LearningRate: 0.05, Momentum: 0.9,
+		BatchSize: cfg.BatchSize, Epochs: 1,
+	}, rng)
+
+	f1 := func() float64 {
+		var conf ml.BinaryConfusion
+		for i, x := range evalX {
+			conf.Observe(net.PredictClass(x) == 1, evalY[i] == 1)
+		}
+		return conf.F1()
+	}
+
+	// Mean telemetry inter-arrival: sampled packets arrive at
+	// PacketRate*SamplingRate per second.
+	sampleRate := cfg.PacketRate * cfg.SamplingRate
+
+	points := []Point{{TimeS: 0, F1: f1()}}
+	now := 0.0
+	// Sliding window of recent samples keeps updates "more substantial" for
+	// larger batches, as §5.2.3 observes.
+	var windowX []tensor.Vec
+	var windowY []int
+
+	for u := 0; u < cfg.Updates; u++ {
+		// Collect one batch of sampled telemetry.
+		now += float64(cfg.BatchSize) / sampleRate
+		for i := 0; i < cfg.BatchSize; i++ {
+			r := gen.Record()
+			windowX = append(windowX, r.Features)
+			y := 0
+			if r.Anomalous() {
+				y = 1
+			}
+			windowY = append(windowY, y)
+		}
+		const maxWindow = 2048
+		if len(windowX) > maxWindow {
+			windowX = windowX[len(windowX)-maxWindow:]
+			windowY = windowY[len(windowY)-maxWindow:]
+		}
+		// Train Epochs passes over the window.
+		for e := 0; e < cfg.Epochs; e++ {
+			tr.FitEpoch(windowX, windowY)
+		}
+		now += float64(cfg.Epochs*len(windowX)) * cfg.TrainCostPerSampleMs / 1000
+		now += cfg.WeightPushMs / 1000
+		points = append(points, Point{TimeS: now, F1: f1()})
+	}
+	return points, nil
+}
+
+// TimeToF1 returns the first time the curve reaches the target F1, or -1 if
+// it never does.
+func TimeToF1(points []Point, target float64) float64 {
+	for _, p := range points {
+		if p.F1 >= target {
+			return p.TimeS
+		}
+	}
+	return -1
+}
+
+// FinalF1 returns the last point's F1 (0 for an empty curve).
+func FinalF1(points []Point) float64 {
+	if len(points) == 0 {
+		return 0
+	}
+	return points[len(points)-1].F1
+}

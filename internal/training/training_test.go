@@ -1,0 +1,113 @@
+package training
+
+import (
+	"testing"
+)
+
+func TestRunValidation(t *testing.T) {
+	bad := []Config{
+		{SamplingRate: 0, PacketRate: 1, BatchSize: 1, Epochs: 1, Updates: 1},
+		{SamplingRate: 2, PacketRate: 1, BatchSize: 1, Epochs: 1, Updates: 1},
+		{SamplingRate: 0.1, PacketRate: 0, BatchSize: 1, Epochs: 1, Updates: 1},
+		{SamplingRate: 0.1, PacketRate: 1, BatchSize: 0, Epochs: 1, Updates: 1},
+		{SamplingRate: 0.1, PacketRate: 1, BatchSize: 1, Epochs: 0, Updates: 1},
+		{SamplingRate: 0.1, PacketRate: 1, BatchSize: 1, Epochs: 1, Updates: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("config %d should be rejected", i)
+		}
+	}
+}
+
+func TestCurveShape(t *testing.T) {
+	cfg := DefaultConfig(1e-3)
+	cfg.Updates = 40
+	pts, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != cfg.Updates+1 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	if pts[0].TimeS != 0 {
+		t.Errorf("curve should start at t=0")
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].TimeS <= pts[i-1].TimeS {
+			t.Fatalf("time not monotone at %d", i)
+		}
+	}
+	// Training improves F1 substantially over the run (Fig 13 converges
+	// toward the offline ~71).
+	if FinalF1(pts) < pts[0].F1+15 {
+		t.Errorf("F1 did not improve: start %.1f final %.1f", pts[0].F1, FinalF1(pts))
+	}
+	if FinalF1(pts) < 55 {
+		t.Errorf("final F1 = %.1f, want near the offline operating point", FinalF1(pts))
+	}
+}
+
+// Fig 13: higher sampling rates converge faster (wall-clock time to a target
+// F1 drops as sampling grows).
+func TestHigherSamplingConvergesFaster(t *testing.T) {
+	timeTo := func(p float64) float64 {
+		cfg := DefaultConfig(p)
+		cfg.Updates = 30
+		pts, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tt := TimeToF1(pts, 60)
+		if tt < 0 {
+			t.Fatalf("sampling %v never reached F1 60", p)
+		}
+		return tt
+	}
+	slow := timeTo(1e-4)
+	fast := timeTo(1e-2)
+	if fast >= slow {
+		t.Errorf("10^-2 sampling (%.3fs) should converge before 10^-4 (%.3fs)", fast, slow)
+	}
+}
+
+// Fig 14: at a fixed sampling rate, more epochs per update reach the target
+// F1 in less wall-clock time (better use of each batch).
+func TestMoreEpochsConvergeFaster(t *testing.T) {
+	run := func(batch, epochs int) float64 {
+		cfg := DefaultConfig(1e-2)
+		cfg.BatchSize = batch
+		cfg.Epochs = epochs
+		cfg.Updates = 25
+		pts, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tt := TimeToF1(pts, 60)
+		if tt < 0 {
+			return 1e9
+		}
+		return tt
+	}
+	e1 := run(64, 1)
+	e10 := run(64, 10)
+	if e10 >= e1 {
+		t.Errorf("10 epochs (%.3fs) should reach F1 60 before 1 epoch (%.3fs)", e10, e1)
+	}
+}
+
+func TestTimeToF1Helpers(t *testing.T) {
+	pts := []Point{{0, 10}, {1, 50}, {2, 70}}
+	if got := TimeToF1(pts, 50); got != 1 {
+		t.Errorf("TimeToF1 = %v", got)
+	}
+	if got := TimeToF1(pts, 99); got != -1 {
+		t.Errorf("unreachable target = %v", got)
+	}
+	if FinalF1(nil) != 0 {
+		t.Error("FinalF1(nil) should be 0")
+	}
+	if FinalF1(pts) != 70 {
+		t.Error("FinalF1 broken")
+	}
+}

@@ -1,0 +1,205 @@
+// Package taurus is the public API of the Taurus reproduction: a data-plane
+// architecture for per-packet ML (Swamy et al., ASPLOS 2022).
+//
+// The library is organised the way the hardware is (Figure 6):
+//
+//   - MapReduce programs (the paper's P4 MapReduce control block, Figure 4)
+//     are built with NewProgram and the Builder's Map/Reduce/LUT methods, or
+//     by lowering a trained model with LowerDNN / LowerSVM / LowerKMeans /
+//     LowerLSTMStep.
+//
+//   - Compile places a program onto the CGRA grid of compute and memory
+//     units (§4), returning latency, initiation interval, area and power —
+//     the quantities behind Tables 5-7.
+//
+//   - NewDevice assembles a full Taurus switch: parser, preprocessing MATs
+//     with stateful feature registers, the MapReduce block with a bypass
+//     path, postprocessing MATs and a scheduler. LoadModel installs a
+//     compiled program; UpdateWeights applies control-plane weight pushes
+//     (Figure 1) without re-placing the design.
+//
+//   - The ML subpackage types (DNN, SVM, KMeans, LSTM) cover the paper's
+//     application suite with float training for the control plane and
+//     bit-exact 8-bit inference for the data plane.
+//
+// Everything is pure Go and deterministic under a fixed seed.
+package taurus
+
+import (
+	"taurus/internal/cgra"
+	"taurus/internal/compiler"
+	"taurus/internal/core"
+	"taurus/internal/dataset"
+	"taurus/internal/fixed"
+	"taurus/internal/lower"
+	"taurus/internal/mapreduce"
+	"taurus/internal/ml"
+	"taurus/internal/pisa"
+	"taurus/internal/tensor"
+)
+
+// MapReduce program construction (Figure 4).
+type (
+	// Builder assembles a MapReduce dataflow program.
+	Builder = mapreduce.Builder
+	// Graph is a complete MapReduce program.
+	Graph = mapreduce.Graph
+	// Value is a handle to an intermediate result in a Builder.
+	Value = mapreduce.Value
+)
+
+// NewProgram starts a MapReduce program (the paper's dedicated P4 control
+// block).
+func NewProgram(name string) *Builder { return mapreduce.NewBuilder(name) }
+
+// Compilation onto the CGRA grid (§4).
+type (
+	// CompileOptions configures placement (grid, unit caps for unrolling).
+	CompileOptions = compiler.Options
+	// Compiled is a placed design with timing and resource reports.
+	Compiled = compiler.Result
+	// GridSpec describes a MapReduce block configuration.
+	GridSpec = cgra.GridSpec
+)
+
+// Compile lowers a MapReduce program onto the grid.
+func Compile(g *Graph, opts CompileOptions) (*Compiled, error) {
+	return compiler.Compile(g, opts)
+}
+
+// DefaultGrid returns the final ASIC configuration: a 12x10 grid with 3:1
+// CU:MU ratio, 16-lane 4-stage CUs, 8-bit datapath (§5.1.1).
+func DefaultGrid() GridSpec { return cgra.DefaultGrid() }
+
+// The integrated device (Figure 6).
+type (
+	// Device is a Taurus switch.
+	Device = core.Device
+	// DeviceConfig parameterises a Device.
+	DeviceConfig = core.Config
+	// PacketIn is one packet presented to a Device.
+	PacketIn = core.PacketIn
+	// Decision is a per-packet outcome.
+	Decision = core.Decision
+	// Verdict is the postprocessing decision.
+	Verdict = core.Verdict
+)
+
+// Verdicts.
+const (
+	Forward = core.Forward
+	Flag    = core.Flag
+	Drop    = core.Drop
+)
+
+// NewDevice builds a Taurus switch.
+func NewDevice(cfg DeviceConfig) (*Device, error) { return core.NewDevice(cfg) }
+
+// DefaultDeviceConfig returns the anomaly-detection device configuration.
+func DefaultDeviceConfig(numFeatures int) DeviceConfig { return core.DefaultConfig(numFeatures) }
+
+// Machine-learning models (§5.1.2) and quantisation (Table 3).
+type (
+	// DNN is a float feed-forward network (control-plane training).
+	DNN = ml.DNN
+	// QuantizedDNN is its 8-bit data-plane counterpart.
+	QuantizedDNN = ml.QuantizedDNN
+	// SVM is an RBF support-vector machine.
+	SVM = ml.SVM
+	// KMeans is a nearest-centroid classifier.
+	KMeans = ml.KMeans
+	// LSTM is the Indigo-style congestion-control model.
+	LSTM = ml.LSTM
+	// Quantizer maps floats to symmetric int8.
+	Quantizer = fixed.Quantizer
+	// Vec is a dense float32 feature vector.
+	Vec = tensor.Vec
+)
+
+// Lowerings: trained model -> MapReduce program.
+var (
+	// LowerDNN lowers a quantised DNN (bit-exact with QuantizedDNN).
+	LowerDNN = lower.DNN
+	// LowerKMeans lowers nearest-centroid classification.
+	LowerKMeans = lower.KMeans
+	// LowerSVM lowers an RBF SVM with a kernel lookup table.
+	LowerSVM = lower.SVM
+	// LowerLSTMStep lowers one recurrent step of an LSTM.
+	LowerLSTMStep = lower.LSTMStep
+)
+
+// Synthetic workloads (§5.2.2 substitutes for NSL-KDD and TMC IoT traces).
+type (
+	// AnomalyConfig parameterises the KDD-like generator.
+	AnomalyConfig = dataset.AnomalyConfig
+	// AnomalyGenerator produces labelled connection records.
+	AnomalyGenerator = dataset.AnomalyGenerator
+	// IoTConfig parameterises the IoT traffic generator.
+	IoTConfig = dataset.IoTConfig
+	// IoTGenerator produces labelled IoT samples.
+	IoTGenerator = dataset.IoTGenerator
+	// Record is one labelled connection.
+	Record = dataset.Record
+)
+
+// Dataset constructors and helpers.
+var (
+	// NewAnomalyGenerator builds a KDD-like generator.
+	NewAnomalyGenerator = dataset.NewAnomalyGenerator
+	// DefaultAnomalyConfig is calibrated to the paper's F1 operating point.
+	DefaultAnomalyConfig = dataset.DefaultAnomalyConfig
+	// NewIoTGenerator builds an IoT traffic generator.
+	NewIoTGenerator = dataset.NewIoTGenerator
+	// DefaultIoTConfig is the Table 3 configuration.
+	DefaultIoTConfig = dataset.DefaultIoTConfig
+	// KMeansIoTConfig is the Table 5 KMeans configuration.
+	KMeansIoTConfig = dataset.KMeansIoTConfig
+	// SplitRecords converts records to (X, y) with y=1 for anomalies.
+	SplitRecords = dataset.Split
+)
+
+// Training helpers.
+type (
+	// SGDConfig controls DNN training.
+	SGDConfig = ml.SGDConfig
+	// Trainer performs minibatch SGD on a DNN.
+	Trainer = ml.Trainer
+)
+
+// Model constructors.
+var (
+	// NewDNN builds a float feed-forward network.
+	NewDNN = ml.NewDNN
+	// NewTrainer wires a trainer to a DNN.
+	NewTrainer = ml.NewTrainer
+	// QuantizeDNN converts a trained DNN to 8-bit (Table 3's scheme).
+	QuantizeDNN = ml.Quantize
+	// TrainKMeans runs k-means++ plus Lloyd iterations.
+	TrainKMeans = ml.TrainKMeans
+	// TrainSVM fits an RBF SVM with SMO.
+	TrainSVM = ml.TrainSVM
+	// NewLSTM builds an Indigo-style LSTM.
+	NewLSTM = ml.NewLSTM
+	// NewQuantizer builds a symmetric int8 quantiser for [-absMax, absMax].
+	NewQuantizer = fixed.NewQuantizer
+	// QuantizerFor calibrates a quantiser from observed values.
+	QuantizerFor = fixed.QuantizerFor
+)
+
+// Activations.
+const (
+	// ReLU is max(0, x).
+	ReLU = ml.ReLU
+	// LeakyReLU is x for x>=0 and 0.01x otherwise.
+	LeakyReLU = ml.LeakyReLU
+	// Sigmoid is the logistic function.
+	Sigmoid = ml.Sigmoid
+	// Tanh is the hyperbolic tangent.
+	Tanh = ml.Tanh
+	// LinearAct applies no non-linearity.
+	LinearAct = ml.Linear
+)
+
+// BuildTCPPacket serialises a minimal Ethernet+IPv4+TCP packet for
+// Device.Process.
+var BuildTCPPacket = pisa.BuildTCPPacket
