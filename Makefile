@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: build test bench check fmt
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The traffic-plane benchmarks double as the reproduction harness; -benchmem
+# also asserts the zero-allocation hot path (0 B/op on the batch plane).
+bench:
+	$(GO) test -run xxx -bench . -benchmem .
+
+check:
+	@fmtout=$$(gofmt -l .); \
+	if [ -n "$$fmtout" ]; then \
+		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; \
+	fi
+	$(GO) vet ./...
+
+fmt:
+	gofmt -w .

@@ -6,6 +6,7 @@
 package taurus
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
@@ -18,7 +19,9 @@ import (
 	"taurus/internal/hwmodel"
 	"taurus/internal/lower"
 	"taurus/internal/netsim"
+	"taurus/internal/pipeline"
 	"taurus/internal/pisa"
+	"taurus/internal/trafficgen"
 	"taurus/internal/training"
 )
 
@@ -234,6 +237,82 @@ func BenchmarkDeviceProcess(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// benchBatch builds a reusable batch of TCP packets over nflows flows, each
+// carrying its flow's feature vector.
+func benchBatch(b *testing.B, n, nflows int) ([]core.PacketIn, []core.Decision) {
+	b.Helper()
+	ins, out, err := trafficgen.AnomalyBatch(11, n, nflows)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ins, out
+}
+
+// BenchmarkPipelineThroughput drives 4096-packet batches through the
+// sharded traffic plane at shard counts {1, 4, 8}. "model-pps" is the
+// modelled hardware throughput (the busiest shard's MapReduce occupancy at
+// 1 GHz; shards drain in parallel, so it scales with the shard count);
+// "wall-pps" is the host simulation rate. The steady-state batch path must
+// report 0 allocs/op.
+func BenchmarkPipelineThroughput(b *testing.B) {
+	m := sharedModels(b)
+	const batchSize, flows = 4096, 512
+	for _, shards := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("shards-%d", shards), func(b *testing.B) {
+			pl, err := pipeline.New(pipeline.Config{Shards: shards, Device: core.DefaultConfig(6)})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer pl.Close()
+			if err := pl.LoadModel(m.DNNGraph, m.DNN.InputQ, compiler.Options{}); err != nil {
+				b.Fatal(err)
+			}
+			ins, out := benchBatch(b, batchSize, flows)
+			if _, err := pl.ProcessBatch(ins, out); err != nil { // warm up
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			var bs pipeline.BatchStats
+			for i := 0; i < b.N; i++ {
+				bs, err = pl.ProcessBatch(ins, out)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(bs.ModelPacketsPerSec(), "model-pps")
+			b.ReportMetric(float64(batchSize)*float64(b.N)/b.Elapsed().Seconds(), "wall-pps")
+		})
+	}
+}
+
+// BenchmarkDeviceProcessBatch measures the single-shard zero-allocation
+// batch path (the loop each pipeline worker runs).
+func BenchmarkDeviceProcessBatch(b *testing.B) {
+	m := sharedModels(b)
+	dev, err := core.NewDevice(core.DefaultConfig(6))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := dev.LoadModel(m.DNNGraph, m.DNN.InputQ, compiler.Options{}); err != nil {
+		b.Fatal(err)
+	}
+	ins, out := benchBatch(b, 1024, 128)
+	if err := dev.ProcessBatch(ins, out); err != nil { // warm up
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := dev.ProcessBatch(ins, out); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(len(ins))*float64(b.N)/b.Elapsed().Seconds(), "wall-pps")
 }
 
 // ---------------------------------------------------------------------------

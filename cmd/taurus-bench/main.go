@@ -7,7 +7,7 @@
 //	taurus-bench -packets 100000 # smaller Table 8 run
 //
 // Experiments: table1 table2 table3 table4 table5 table6 table7 table8
-// fig9 fig10 fig11 fig13 fig14 mats.
+// fig9 fig10 fig11 fig13 fig14 mats throughput.
 package main
 
 import (
@@ -20,7 +20,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (all, table1..table8, fig9..fig14, mats)")
+	exp := flag.String("exp", "all", "experiment to run (all, table1..table8, fig9..fig14, mats, throughput)")
 	packets := flag.Int("packets", 400_000, "packets for the Table 8 simulation")
 	seed := flag.Int64("seed", 1, "training seed")
 	flag.Parse()
@@ -34,7 +34,7 @@ func main() {
 func run(exp string, packets int, seed int64) error {
 	want := func(name string) bool { return exp == "all" || strings.EqualFold(exp, name) }
 
-	needModels := exp == "all" || want("table5") || want("table8") || want("fig11") || want("mats")
+	needModels := exp == "all" || want("table5") || want("table8") || want("fig11") || want("mats") || want("throughput")
 	var models *experiments.Models
 	if needModels {
 		fmt.Fprintln(os.Stderr, "training application models...")
@@ -113,6 +113,13 @@ func run(exp string, packets int, seed int64) error {
 	}
 	if want("mats") {
 		text, err := experiments.MATComparison(models)
+		if err != nil {
+			return err
+		}
+		emit(text)
+	}
+	if want("throughput") {
+		_, text, err := experiments.Throughput(models)
 		if err != nil {
 			return err
 		}

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	taurus-sim [-sampling 1e-3] [-packets 400000] [-seed 1]
+//	taurus-sim [-sampling 1e-3] [-packets 400000] [-seed 1] [-shards 4]
 package main
 
 import (
@@ -21,15 +21,19 @@ func main() {
 	sampling := flag.Float64("sampling", 1e-3, "control-plane telemetry sampling rate")
 	packets := flag.Int("packets", 400_000, "packets to simulate")
 	seed := flag.Int64("seed", 1, "seed for training and traffic")
+	shards := flag.Int("shards", 4, "Taurus pipeline shard count")
 	flag.Parse()
 
-	if err := run(*sampling, *packets, *seed); err != nil {
+	if err := run(*sampling, *packets, *seed, *shards); err != nil {
 		fmt.Fprintln(os.Stderr, "taurus-sim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(sampling float64, packets int, seed int64) error {
+func run(sampling float64, packets int, seed int64, shards int) error {
+	if shards <= 0 {
+		shards = 4
+	}
 	fmt.Fprintln(os.Stderr, "training anomaly DNN...")
 	m, err := experiments.TrainModels(seed)
 	if err != nil {
@@ -37,12 +41,15 @@ func run(sampling float64, packets int, seed int64) error {
 	}
 	cfg := netsim.DefaultConfig(m.DNN, sampling, packets)
 	cfg.Seed = seed
+	cfg.Shards = shards
 	res, err := netsim.Run(cfg)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("packets simulated:      %d (%d sampled to the control plane)\n",
 		res.PacketsSimulated, res.SampledPackets)
+	fmt.Printf("taurus data plane:      %d shards, %d ML inferences, %d bypassed, %d parse errors\n",
+		shards, res.TaurusStats.MLInferences, res.TaurusStats.Bypassed, res.TaurusStats.ParseErrors)
 	fmt.Printf("control-loop batches:   XDP %.1f, ML %.1f\n", res.XDPBatch, res.RemBatch)
 	fmt.Printf("control-loop latency:   XDP %.1f + DB %.1f + ML %.1f + install %.1f = %.1f ms\n",
 		res.XDPMs, res.DBMs, res.MLMs, res.InstallMs, res.TotalMs)

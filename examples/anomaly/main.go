@@ -41,7 +41,7 @@ func main() {
 	_, q1, g1 := train(200, 4)
 	_, _, g2 := train(4000, 30)
 
-	dev, err := taurus.NewDevice(taurus.DefaultDeviceConfig(6))
+	dev, err := taurus.NewDevice(6)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -43,21 +43,23 @@ func main() {
 	fmt.Printf("KMeans on the grid: %d CUs, %d ns, II=%d, %.2f mm^2 (Table 5's IoT row)\n",
 		compiled.Usage.CUs, compiled.Stats.LatencyCycles, compiled.Stats.II, compiled.AreaMM2())
 
-	// Drive the compiled program directly with quantised features and
-	// compare against the float classifier.
+	// Drive the compiled program with quantised features through the v1
+	// Evaluator — the same preallocated, allocation-free interpreter the
+	// device hot path runs per packet — and compare against the float
+	// classifier.
+	ev, err := taurus.NewEvaluator(program)
+	if err != nil {
+		log.Fatal(err)
+	}
 	testX, _ := gen.Samples(1000)
 	agree := 0
 	for _, x := range testX {
-		codes := inQ.QuantizeSlice(x)
-		in := make([]int32, len(codes))
-		for i, c := range codes {
+		in := ev.Input(0)
+		for i, c := range inQ.QuantizeSlice(x) {
 			in[i] = int32(c)
 		}
-		outs, err := program.Eval(in)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if int(outs[0][0]) == km.Predict(x) {
+		ev.Eval()
+		if int(ev.Output(0)[0]) == km.Predict(x) {
 			agree++
 		}
 	}

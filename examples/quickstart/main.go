@@ -48,7 +48,7 @@ func main() {
 		compiled.Stats.II, compiled.AreaMM2(), compiled.Usage.AreaOverheadPct())
 
 	// 4. Build a Taurus switch and install the model.
-	dev, err := taurus.NewDevice(taurus.DefaultDeviceConfig(6))
+	dev, err := taurus.NewDevice(6)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -56,17 +56,23 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// 5. Push packets through. Features ride along as the expanded-trace
-	//    telemetry of §5.2.2 and land in the stateful registers.
-	verdicts := map[taurus.Verdict]int{}
-	for i := 0; i < 2000; i++ {
+	// 5. Push packets through the batch hot path (the same zero-allocation
+	//    loop a Pipeline shard runs; see examples/pipeline for the sharded
+	//    version). Features ride along as the expanded-trace telemetry of
+	//    §5.2.2 and land in the stateful registers.
+	ins := make([]taurus.PacketIn, 2000)
+	out := make([]taurus.Decision, len(ins))
+	for i := range ins {
 		rec := gen.Record()
 		pkt := taurus.BuildTCPPacket(0x0a000000+uint32(i), 0x0a800001,
 			uint16(1024+i%6000), 443, 0x10, 64)
-		dec, err := dev.Process(taurus.PacketIn{Data: pkt, Features: rec.Features})
-		if err != nil {
-			log.Fatal(err)
-		}
+		ins[i] = taurus.PacketIn{Data: pkt, Features: rec.Features}
+	}
+	if err := dev.ProcessBatch(ins, out); err != nil {
+		log.Fatal(err)
+	}
+	verdicts := map[taurus.Verdict]int{}
+	for _, dec := range out {
 		verdicts[dec.Verdict]++
 	}
 	fmt.Printf("verdicts: forward=%d flag=%d drop=%d\n",

@@ -4,11 +4,16 @@
 // for non-ML traffic, a round-robin merge, postprocessing MATs that turn
 // the model output into a forwarding verdict, and out-of-band weight
 // updates from the control plane (Figure 1).
+//
+// The per-packet path (ProcessInto, ProcessBatch) is allocation-free in the
+// steady state: the PHV, the feature-code scratch and every MapReduce
+// intermediate are preallocated when the model is loaded, mirroring hardware
+// where all buffers exist before the first packet arrives.
 package core
 
 import (
+	"errors"
 	"fmt"
-	"hash/fnv"
 
 	"taurus/internal/cgra"
 	"taurus/internal/compiler"
@@ -32,7 +37,16 @@ const (
 
 // String names the verdict.
 func (v Verdict) String() string {
-	return [...]string{"forward", "flag", "drop"}[v]
+	switch v {
+	case Forward:
+		return "forward"
+	case Flag:
+		return "flag"
+	case Drop:
+		return "drop"
+	default:
+		return fmt.Sprintf("invalid(%d)", int(v))
+	}
 }
 
 // Decision is the per-packet outcome.
@@ -50,11 +64,32 @@ type Stats struct {
 	Processed, MLInferences, Bypassed int
 	Forwarded, Flagged, Dropped       int
 	ParseErrors                       int
+	// ModelBusyNs is the modelled occupancy of this device's MapReduce
+	// block: each ML packet holds an issue slot for II cycles (1 ns each at
+	// the 1 GHz fabric), each bypass packet for one PISA cycle. The busiest
+	// shard's occupancy bounds a pipeline's modelled throughput.
+	ModelBusyNs float64
+}
+
+// Add accumulates other into s (for merging per-shard stats).
+func (s *Stats) Add(other Stats) {
+	s.Processed += other.Processed
+	s.MLInferences += other.MLInferences
+	s.Bypassed += other.Bypassed
+	s.Forwarded += other.Forwarded
+	s.Flagged += other.Flagged
+	s.Dropped += other.Dropped
+	s.ParseErrors += other.ParseErrors
+	s.ModelBusyNs += other.ModelBusyNs
 }
 
 // BaseSwitchLatencyNs is the transit latency of the conventional pipeline
 // (§5.1.2 assumes a 1 µs datacenter switch).
 const BaseSwitchLatencyNs = 1000.0
+
+// bypassCycleNs is the MapReduce-block occupancy of a bypass packet: one
+// PISA cycle through the arbiter, no compute (§4).
+const bypassCycleNs = 1.0
 
 // Config parameterises a device.
 type Config struct {
@@ -78,7 +113,8 @@ func DefaultConfig(numFeatures int) Config {
 	return Config{FlowTableSize: 4096, NumFeatures: numFeatures, Threshold: 64, DropOnAnomaly: false}
 }
 
-// Device is a Taurus switch.
+// Device is a Taurus switch. A Device is not safe for concurrent use; the
+// pipeline package shards traffic across several devices for that.
 type Device struct {
 	cfg    Config
 	layout *pisa.Layout
@@ -93,6 +129,7 @@ type Device struct {
 	flowValid *pisa.RegisterArray
 
 	model     *compiler.Result
+	eval      *mr.Evaluator
 	inQ       fixed.Quantizer
 	modelLat  float64
 	modelII   int
@@ -101,6 +138,11 @@ type Device struct {
 	bypassID  pisa.FieldID
 	scoreID   pisa.FieldID
 	verdictID pisa.FieldID
+	srcID     pisa.FieldID
+	dstID     pisa.FieldID
+	sportID   pisa.FieldID
+	dportID   pisa.FieldID
+	protoID   pisa.FieldID
 
 	stats Stats
 }
@@ -109,7 +151,7 @@ type Device struct {
 // classified (packets bypass until then).
 func NewDevice(cfg Config) (*Device, error) {
 	if cfg.NumFeatures <= 0 {
-		return nil, fmt.Errorf("core: NumFeatures must be positive, got %d", cfg.NumFeatures)
+		return nil, fmt.Errorf("%w: NumFeatures must be positive, got %d", ErrBadConfig, cfg.NumFeatures)
 	}
 	if cfg.FlowTableSize <= 0 {
 		cfg.FlowTableSize = 4096
@@ -138,6 +180,11 @@ func NewDevice(cfg Config) (*Device, error) {
 		bypassID:  layout.ID("meta.bypass"),
 		scoreID:   layout.ID("meta.score"),
 		verdictID: layout.ID("meta.verdict"),
+		srcID:     layout.ID("ipv4.src"),
+		dstID:     layout.ID("ipv4.dst"),
+		sportID:   layout.ID("l4.sport"),
+		dportID:   layout.ID("l4.dport"),
+		protoID:   layout.ID("ipv4.proto"),
 	}
 	for i := 0; i < cfg.NumFeatures; i++ {
 		d.featureID = append(d.featureID, layout.ID(fmt.Sprintf("meta.f%d", i)))
@@ -193,17 +240,28 @@ func NewDevice(cfg Config) (*Device, error) {
 	return d, nil
 }
 
+// Config returns the device configuration.
+func (d *Device) Config() Config { return d.cfg }
+
+// checkModel validates a program's shape against the device.
+func (d *Device) checkModel(g *mr.Graph) error {
+	if len(g.Inputs) != 1 || g.Node(g.Inputs[0]).Width != d.cfg.NumFeatures {
+		return fmt.Errorf("%w: model wants %d inputs of width %d, device has %d features",
+			ErrBadFeatureWidth, len(g.Inputs), inputWidth(g), d.cfg.NumFeatures)
+	}
+	if len(g.Outputs) != 1 || g.Node(g.Outputs[0]).Width != 1 {
+		return fmt.Errorf("%w: model must produce one single-lane output", ErrStructureMismatch)
+	}
+	return nil
+}
+
 // LoadModel compiles a MapReduce program onto the device's grid and
 // installs it, together with the feature quantiser the preprocessing MATs
 // use. The graph must take a single input of width NumFeatures and produce
 // a single-lane score output.
 func (d *Device) LoadModel(g *mr.Graph, inQ fixed.Quantizer, opts compiler.Options) error {
-	if len(g.Inputs) != 1 || g.Node(g.Inputs[0]).Width != d.cfg.NumFeatures {
-		return fmt.Errorf("core: model wants %d inputs of width %d, device has %d features",
-			len(g.Inputs), g.Node(g.Inputs[0]).Width, d.cfg.NumFeatures)
-	}
-	if len(g.Outputs) != 1 || g.Node(g.Outputs[0]).Width != 1 {
-		return fmt.Errorf("core: model must produce one single-lane output")
+	if err := d.checkModel(g); err != nil {
+		return err
 	}
 	if opts.Grid == (cgra.GridSpec{}) {
 		opts.Grid = d.cfg.Grid
@@ -212,11 +270,35 @@ func (d *Device) LoadModel(g *mr.Graph, inQ fixed.Quantizer, opts compiler.Optio
 	if err != nil {
 		return err
 	}
+	return d.InstallModel(res, inQ)
+}
+
+// InstallModel installs an already-compiled model, taking ownership of
+// res.Graph (weight updates mutate it in place). Callers replicating one
+// compiled design across many devices — the pipeline's shards — compile
+// once and install per device with a shard-local graph clone, instead of
+// paying for placement per shard.
+func (d *Device) InstallModel(res *compiler.Result, inQ fixed.Quantizer) error {
+	if err := d.checkModel(res.Graph); err != nil {
+		return err
+	}
+	eval, err := mr.NewEvaluator(res.Graph)
+	if err != nil {
+		return err
+	}
 	d.model = res
+	d.eval = eval
 	d.inQ = inQ
 	d.modelLat = res.Stats.LatencyNs()
 	d.modelII = res.Stats.II
 	return nil
+}
+
+func inputWidth(g *mr.Graph) int {
+	if len(g.Inputs) == 0 {
+		return 0
+	}
+	return g.Node(g.Inputs[0]).Width
 }
 
 // Model returns the installed compiled model (nil before LoadModel).
@@ -225,23 +307,24 @@ func (d *Device) Model() *compiler.Result { return d.model }
 // UpdateWeights swaps the constants and LUT tables of the installed model
 // for those of newGraph without re-placing the design — the out-of-band
 // weight update of §3.3.1/Figure 1. The new graph must be structurally
-// identical (same node kinds, widths and wiring).
+// identical (same node kinds, widths and wiring); it is only read, so one
+// graph can be pushed to many devices concurrently.
 func (d *Device) UpdateWeights(newGraph *mr.Graph) error {
 	if d.model == nil {
-		return fmt.Errorf("core: no model installed")
+		return ErrNoModel
 	}
 	old := d.model.Graph
 	if len(old.Nodes) != len(newGraph.Nodes) {
-		return fmt.Errorf("core: weight update changes node count (%d vs %d)", len(newGraph.Nodes), len(old.Nodes))
+		return fmt.Errorf("%w: node count %d vs %d", ErrStructureMismatch, len(newGraph.Nodes), len(old.Nodes))
 	}
 	for i, n := range newGraph.Nodes {
 		o := old.Nodes[i]
 		if n.Kind != o.Kind || n.Width != o.Width || len(n.Args) != len(o.Args) {
-			return fmt.Errorf("core: weight update changes structure at node %d", i)
+			return fmt.Errorf("%w: node %d differs", ErrStructureMismatch, i)
 		}
 		for j := range n.Args {
 			if n.Args[j] != o.Args[j] {
-				return fmt.Errorf("core: weight update rewires node %d", i)
+				return fmt.Errorf("%w: node %d rewired", ErrStructureMismatch, i)
 			}
 		}
 	}
@@ -260,9 +343,31 @@ func (d *Device) UpdateWeights(newGraph *mr.Graph) error {
 	return nil
 }
 
+// fnv1aTuple hashes the 13-byte five-tuple encoding with FNV-1a, inline so
+// the hot path does not allocate a hash.Hash. FNV's low-order bits avalanche
+// poorly on near-sequential tuples, and both register indexing (key % size)
+// and shard selection (key % shards) live in the low bits, so a murmur3
+// finaliser mixes the result.
+func fnv1aTuple(b *[13]byte) uint32 {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for _, c := range b {
+		h ^= uint32(c)
+		h *= prime32
+	}
+	h ^= h >> 16
+	h *= 0x85ebca6b
+	h ^= h >> 13
+	h *= 0xc2b2ae35
+	h ^= h >> 16
+	return h
+}
+
 // FlowKey hashes a five-tuple into the register index space.
 func (d *Device) FlowKey(srcIP, dstIP uint32, sport, dport uint16, proto uint8) uint32 {
-	h := fnv.New32a()
 	var b [13]byte
 	b[0] = byte(srcIP >> 24)
 	b[1] = byte(srcIP >> 16)
@@ -277,8 +382,27 @@ func (d *Device) FlowKey(srcIP, dstIP uint32, sport, dport uint16, proto uint8) 
 	b[10] = byte(dport >> 8)
 	b[11] = byte(dport)
 	b[12] = proto
-	_, _ = h.Write(b[:])
-	return h.Sum32()
+	return fnv1aTuple(&b)
+}
+
+// ShardHash hashes a raw packet's five-tuple without running the full
+// parser, so a pipeline can pick the owning shard before any per-shard
+// state is touched. For standard Ethernet+IPv4 packets it equals the
+// device's FlowKey; anything else (non-IP, truncated) returns 0 and may be
+// placed on any shard, since such packets carry no per-flow register state.
+func ShardHash(data []byte) uint32 {
+	// Ethernet(14) + IPv4 header (fixed 20, matching the standard parser).
+	if len(data) < 34 || data[12] != 0x08 || data[13] != 0x00 {
+		return 0
+	}
+	var b [13]byte
+	copy(b[0:8], data[26:34]) // src, dst IPs as wired (big-endian)
+	proto := data[23]
+	if (proto == 6 || proto == 17) && len(data) >= 38 {
+		copy(b[8:12], data[34:38]) // sport, dport
+	}
+	b[12] = proto
+	return fnv1aTuple(&b)
 }
 
 // AccumulateFeatures installs a flow's feature vector into the stateful
@@ -286,7 +410,7 @@ func (d *Device) FlowKey(srcIP, dstIP uint32, sport, dport uint16, proto uint8) 
 // testbed the features arrive with the expanded trace (§5.2.2).
 func (d *Device) AccumulateFeatures(flowKey uint32, features []float32) error {
 	if len(features) != d.cfg.NumFeatures {
-		return fmt.Errorf("core: got %d features, want %d", len(features), d.cfg.NumFeatures)
+		return fmt.Errorf("%w: got %d features, want %d", ErrBadFeatureWidth, len(features), d.cfg.NumFeatures)
 	}
 	for i, f := range features {
 		d.featureRegs[i].Write(flowKey, int32(d.inQ.Quantize(f)))
@@ -304,14 +428,25 @@ type PacketIn struct {
 	Features []float32
 }
 
-// Process runs one packet through the full pipeline.
+// Process runs one packet through the full pipeline. It is a convenience
+// wrapper over ProcessInto; batch traffic should use ProcessBatch (or the
+// pipeline package) instead.
 func (d *Device) Process(in PacketIn) (Decision, error) {
+	var dec Decision
+	err := d.ProcessInto(in, &dec)
+	return dec, err
+}
+
+// ProcessInto runs one packet through the full pipeline, writing the
+// outcome into dec. It performs no heap allocation in the steady state.
+func (d *Device) ProcessInto(in PacketIn, dec *Decision) error {
 	d.stats.Processed++
 	phv := d.phv
 	phv.Reset()
 	if _, err := d.parser.Parse(in.Data, phv); err != nil {
 		d.stats.ParseErrors++
-		return Decision{}, err
+		*dec = Decision{}
+		return err
 	}
 
 	// Preprocessing MAT: bypass decision.
@@ -319,14 +454,15 @@ func (d *Device) Process(in PacketIn) (Decision, error) {
 	bypass := phv.Get(d.bypassID) != 0
 
 	key := d.FlowKey(
-		uint32(phv.GetName("ipv4.src")), uint32(phv.GetName("ipv4.dst")),
-		uint16(phv.GetName("l4.sport")), uint16(phv.GetName("l4.dport")),
-		uint8(phv.GetName("ipv4.proto")))
+		uint32(phv.Get(d.srcID)), uint32(phv.Get(d.dstID)),
+		uint16(phv.Get(d.sportID)), uint16(phv.Get(d.dportID)),
+		uint8(phv.Get(d.protoID)))
 
 	if !bypass {
 		if in.Features != nil {
 			if err := d.AccumulateFeatures(key, in.Features); err != nil {
-				return Decision{}, err
+				*dec = Decision{}
+				return err
 			}
 		}
 		if d.model == nil || d.flowValid.Read(key) == 0 {
@@ -334,28 +470,28 @@ func (d *Device) Process(in PacketIn) (Decision, error) {
 		}
 	}
 
-	dec := Decision{Bypassed: bypass, LatencyNs: BaseSwitchLatencyNs}
+	*dec = Decision{Bypassed: bypass, LatencyNs: BaseSwitchLatencyNs}
 	if !bypass {
 		// Read accumulated feature codes into the PHV, then hand the dense
-		// feature slice to the MapReduce block (Figure 7).
-		codes := make([]int32, d.cfg.NumFeatures)
+		// feature vector to the MapReduce block (Figure 7) via the
+		// evaluator's preallocated input buffer.
+		codes := d.eval.Input(0)
 		for i := range codes {
 			c := d.featureRegs[i].Read(key)
 			phv.Set(d.featureID[i], c)
 			codes[i] = c
 		}
-		outs, err := d.model.Graph.Eval(codes)
-		if err != nil {
-			return Decision{}, fmt.Errorf("core: inference: %w", err)
-		}
-		score := outs[0][0]
+		d.eval.Eval()
+		score := d.eval.Output(0)[0]
 		dec.MLScore = score
 		d.stats.MLInferences++
+		d.stats.ModelBusyNs += float64(d.modelII) // II cycles at 1 GHz
 		// Threshold shift happens in the MAT action domain: score-threshold.
 		phv.Set(d.scoreID, score-d.cfg.Threshold)
 		dec.LatencyNs += d.modelLat
 	} else {
 		d.stats.Bypassed++
+		d.stats.ModelBusyNs += bypassCycleNs
 		// Bypass packets skip MapReduce entirely: no added latency (§4).
 		phv.Set(d.scoreID, -1) // negative -> forward
 	}
@@ -371,7 +507,31 @@ func (d *Device) Process(in PacketIn) (Decision, error) {
 	case Drop:
 		d.stats.Dropped++
 	}
-	return dec, nil
+	return nil
+}
+
+// ProcessBatch runs every packet of ins through the pipeline, writing
+// out[i] for ins[i]. Malformed packets — parse failures, the data-plane
+// reality of line-rate traffic — are dropped (Verdict Drop, counted in
+// Stats.ParseErrors) rather than aborting the batch. A feature vector of
+// the wrong width is a caller bug: the whole batch is still processed (so
+// out is fully written, matching the pipeline's behaviour), then the first
+// such error is returned as ErrBadFeatureWidth. The steady-state path
+// performs no heap allocation. out must be at least as long as ins.
+func (d *Device) ProcessBatch(ins []PacketIn, out []Decision) error {
+	if len(out) < len(ins) {
+		return fmt.Errorf("%w: out has %d slots for %d packets", ErrBadConfig, len(out), len(ins))
+	}
+	var callerErr error
+	for i := range ins {
+		if err := d.ProcessInto(ins[i], &out[i]); err != nil {
+			if callerErr == nil && errors.Is(err, ErrBadFeatureWidth) {
+				callerErr = err
+			}
+			out[i] = Decision{Verdict: Drop}
+		}
+	}
+	return callerErr
 }
 
 // Stats returns a copy of the device counters.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -9,6 +10,7 @@ import (
 	"taurus/internal/lower"
 	"taurus/internal/ml"
 	"taurus/internal/pisa"
+	"taurus/internal/tensor"
 )
 
 // buildAnomalyDevice trains the 6-12-6-3-1 DNN, lowers it and installs it.
@@ -41,8 +43,193 @@ func buildAnomalyDevice(t *testing.T) (*Device, *ml.QuantizedDNN, *dataset.Anoma
 }
 
 func TestDeviceConfigValidation(t *testing.T) {
-	if _, err := NewDevice(Config{NumFeatures: 0}); err == nil {
-		t.Error("zero features should fail")
+	if _, err := NewDevice(Config{NumFeatures: 0}); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("zero features: %v, want ErrBadConfig", err)
+	}
+}
+
+func TestVerdictString(t *testing.T) {
+	cases := map[Verdict]string{
+		Forward:     "forward",
+		Flag:        "flag",
+		Drop:        "drop",
+		Verdict(3):  "invalid(3)",
+		Verdict(-1): "invalid(-1)",
+	}
+	for v, want := range cases {
+		if got := v.String(); got != want {
+			t.Errorf("Verdict(%d).String() = %q, want %q", int(v), got, want)
+		}
+	}
+}
+
+func TestSentinelErrors(t *testing.T) {
+	dev, err := NewDevice(DefaultConfig(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := lower.InnerProduct(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.UpdateWeights(g); !errors.Is(err, ErrNoModel) {
+		t.Errorf("UpdateWeights before LoadModel: %v, want ErrNoModel", err)
+	}
+	wide, err := lower.InnerProduct(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.LoadModel(wide, dev.inQ, compiler.Options{}); !errors.Is(err, ErrBadFeatureWidth) {
+		t.Errorf("wide model: %v, want ErrBadFeatureWidth", err)
+	}
+	if err := dev.AccumulateFeatures(0, make([]float32, 3)); !errors.Is(err, ErrBadFeatureWidth) {
+		t.Errorf("short features: %v, want ErrBadFeatureWidth", err)
+	}
+}
+
+func TestUpdateWeightsStructureSentinel(t *testing.T) {
+	dev, _, _ := buildAnomalyDevice(t)
+	rng := rand.New(rand.NewSource(5))
+	small := ml.NewDNN([]int{6, 4, 1}, ml.ReLU, ml.Sigmoid, rng)
+	qs, err := ml.Quantize(small, []tensor.Vec{{1, 2, 3, 4, 5, 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs, err := lower.DNN(qs, "small")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.UpdateWeights(gs); !errors.Is(err, ErrStructureMismatch) {
+		t.Errorf("structural change: %v, want ErrStructureMismatch", err)
+	}
+}
+
+func TestProcessBatchMatchesProcess(t *testing.T) {
+	devA, q, gen := buildAnomalyDevice(t)
+	devB, err := NewDevice(DefaultConfig(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := lower.DNN(q, "anomaly-copy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := devB.LoadModel(g, q.InputQ, compiler.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	ins := make([]PacketIn, 100)
+	for i := range ins {
+		rec := gen.Record()
+		ins[i] = PacketIn{
+			Data:     pisa.BuildTCPPacket(uint32(i), 2, uint16(3+i), 4, 0x10, 64),
+			Features: rec.Features,
+		}
+	}
+	out := make([]Decision, len(ins))
+	if err := devB.ProcessBatch(ins, out); err != nil {
+		t.Fatal(err)
+	}
+	for i := range ins {
+		want, err := devA.Process(ins[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out[i] != want {
+			t.Fatalf("packet %d: batch %+v != single %+v", i, out[i], want)
+		}
+	}
+}
+
+func TestProcessBatchDropsMalformed(t *testing.T) {
+	dev, _, gen := buildAnomalyDevice(t)
+	rec := gen.Record()
+	ins := []PacketIn{
+		{Data: pisa.BuildTCPPacket(1, 2, 3, 4, 0x10, 64), Features: rec.Features},
+		{Data: []byte{0xde, 0xad}},
+		{Data: pisa.BuildTCPPacket(1, 2, 3, 4, 0x10, 64)},
+	}
+	out := make([]Decision, len(ins))
+	if err := dev.ProcessBatch(ins, out); err != nil {
+		t.Fatal(err)
+	}
+	if out[1].Verdict != Drop {
+		t.Errorf("malformed packet verdict = %v, want drop", out[1].Verdict)
+	}
+	if dev.Stats().ParseErrors != 1 {
+		t.Errorf("ParseErrors = %d, want 1", dev.Stats().ParseErrors)
+	}
+	if err := dev.ProcessBatch(ins, out[:1]); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("short out slice: %v, want ErrBadConfig", err)
+	}
+	// A wrong-width feature vector is a caller bug, not traffic: abort.
+	bad := []PacketIn{{Data: pisa.BuildTCPPacket(1, 2, 3, 4, 0x10, 64), Features: make([]float32, 3)}}
+	if err := dev.ProcessBatch(bad, out[:1]); !errors.Is(err, ErrBadFeatureWidth) {
+		t.Errorf("bad feature width: %v, want ErrBadFeatureWidth", err)
+	}
+}
+
+func TestProcessBatchZeroAlloc(t *testing.T) {
+	dev, _, gen := buildAnomalyDevice(t)
+	ins := make([]PacketIn, 64)
+	for i := range ins {
+		rec := gen.Record()
+		ins[i] = PacketIn{
+			Data:     pisa.BuildTCPPacket(uint32(i), 2, 3, 4, 0x10, 64),
+			Features: rec.Features,
+		}
+	}
+	out := make([]Decision, len(ins))
+	if err := dev.ProcessBatch(ins, out); err != nil { // warm up
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := dev.ProcessBatch(ins, out); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("steady-state ProcessBatch allocates %.2f times per batch, want 0", allocs)
+	}
+}
+
+func TestShardHashMatchesFlowKey(t *testing.T) {
+	dev, err := NewDevice(DefaultConfig(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkt := pisa.BuildTCPPacket(0x0a010203, 0x0a800001, 3456, 443, 0x10, 64)
+	want := dev.FlowKey(0x0a010203, 0x0a800001, 3456, 443, 6)
+	if got := ShardHash(pkt); got != want {
+		t.Errorf("ShardHash = %#x, FlowKey = %#x", got, want)
+	}
+	if got := ShardHash([]byte{1, 2, 3}); got != 0 {
+		t.Errorf("short packet hash = %#x, want 0", got)
+	}
+	arp := make([]byte, 40)
+	arp[12], arp[13] = 0x08, 0x06
+	if got := ShardHash(arp); got != 0 {
+		t.Errorf("non-IP hash = %#x, want 0", got)
+	}
+}
+
+func TestModelBusyAccounting(t *testing.T) {
+	dev, _, gen := buildAnomalyDevice(t)
+	rec := gen.Record()
+	pkt := pisa.BuildTCPPacket(1, 2, 3, 4, 0x10, 64)
+	if _, err := dev.Process(PacketIn{Data: pkt, Features: rec.Features}); err != nil {
+		t.Fatal(err)
+	}
+	want := float64(dev.ModelII())
+	if got := dev.Stats().ModelBusyNs; got != want {
+		t.Errorf("ML packet busy = %v ns, want II = %v", got, want)
+	}
+	arp := make([]byte, 14)
+	arp[12], arp[13] = 0x08, 0x06
+	if _, err := dev.Process(PacketIn{Data: arp}); err != nil {
+		t.Fatal(err)
+	}
+	if got := dev.Stats().ModelBusyNs; got != want+1 {
+		t.Errorf("bypass packet busy = %v ns, want %v", got, want+1)
 	}
 }
 

@@ -1,0 +1,136 @@
+package mapreduce
+
+// Evaluator interprets a fixed Graph without allocating per evaluation: all
+// intermediate vectors are carved out of one backing array at construction.
+// It models the steady state of the hardware, where every pipeline register
+// and MU buffer exists before the first packet arrives — and it is what the
+// device's per-packet hot path runs, so Eval must stay allocation-free.
+//
+// An Evaluator is tied to the Graph it was built from and sees in-place
+// weight mutations (the out-of-band update path copies new constants and LUT
+// tables into the existing nodes). It is not safe for concurrent use; give
+// each shard its own Evaluator over its own Graph clone.
+type Evaluator struct {
+	g    *Graph
+	vals [][]int32
+}
+
+// NewEvaluator validates the graph and preallocates every intermediate.
+func NewEvaluator(g *Graph) (*Evaluator, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	e := &Evaluator{g: g, vals: make([][]int32, len(g.Nodes))}
+	owned := 0
+	for _, n := range g.Nodes {
+		switch n.Kind {
+		case KConst, KSlice:
+			// aliased below
+		default:
+			owned += n.Width
+		}
+	}
+	backing := make([]int32, owned)
+	for _, n := range g.Nodes {
+		switch n.Kind {
+		case KConst:
+			// Alias the node's constant storage so weight updates (which
+			// copy into it) are visible without re-binding.
+			e.vals[n.ID] = n.Const
+		case KSlice:
+			// Pure routing: alias the producer's buffer, fixed for the
+			// graph's lifetime.
+			e.vals[n.ID] = e.vals[n.Args[0]][n.Start : n.Start+n.Width]
+		default:
+			e.vals[n.ID] = backing[:n.Width:n.Width]
+			backing = backing[n.Width:]
+		}
+	}
+	return e, nil
+}
+
+// Graph returns the graph this evaluator interprets.
+func (e *Evaluator) Graph() *Graph { return e.g }
+
+// Input returns the buffer for the i-th declared input; the caller writes
+// feature codes directly into it before Eval.
+func (e *Evaluator) Input(i int) []int32 { return e.vals[e.g.Inputs[i]] }
+
+// Output returns the buffer holding the i-th declared output after Eval.
+func (e *Evaluator) Output(i int) []int32 { return e.vals[e.g.Outputs[i]] }
+
+// Eval runs the program over the bound inputs. It allocates nothing and is
+// bit-exact with Graph.Eval (the reference semantics).
+func (e *Evaluator) Eval() {
+	for _, n := range e.g.Nodes {
+		out := e.vals[n.ID]
+		switch n.Kind {
+		case KInput, KConst, KSlice:
+			// Inputs are caller-filled; consts and slices are aliases.
+		case KMap:
+			a, b := e.vals[n.Args[0]], e.vals[n.Args[1]]
+			if len(b) == 1 {
+				bv := b[0]
+				for i := range out {
+					out[i] = n.Map.Apply(a[i], bv)
+				}
+			} else {
+				for i := range out {
+					out[i] = n.Map.Apply(a[i], b[i])
+				}
+			}
+		case KUnary:
+			a := e.vals[n.Args[0]]
+			for i := range out {
+				out[i] = n.Unary.Apply(a[i])
+			}
+		case KReduce:
+			out[0] = n.Reduce.Apply(e.vals[n.Args[0]])
+		case KConcat:
+			off := 0
+			for _, arg := range n.Args {
+				off += copy(out[off:], e.vals[arg])
+			}
+		case KRequant:
+			a := e.vals[n.Args[0]]
+			for i := range out {
+				out[i] = int32(n.Mult.ApplySat8(a[i]))
+			}
+		case KScale:
+			a := e.vals[n.Args[0]]
+			for i := range out {
+				out[i] = n.Mult.Apply(a[i])
+			}
+		case KLUT:
+			a := e.vals[n.Args[0]]
+			for i := range out {
+				out[i] = n.LUT.Apply(a[i])
+			}
+		}
+	}
+}
+
+// Clone deep-copies the graph so a holder can mutate weights (or evaluate)
+// independently of the original — each pipeline shard owns a clone, keeping
+// out-of-band weight updates shard-local.
+func (g *Graph) Clone() *Graph {
+	out := &Graph{
+		Name:    g.Name,
+		Nodes:   make([]*Node, len(g.Nodes)),
+		Inputs:  append([]NodeID(nil), g.Inputs...),
+		Outputs: append([]NodeID(nil), g.Outputs...),
+	}
+	for i, n := range g.Nodes {
+		c := *n
+		c.Args = append([]NodeID(nil), n.Args...)
+		if n.Const != nil {
+			c.Const = append([]int32(nil), n.Const...)
+		}
+		if n.LUT != nil {
+			lut := *n.LUT
+			c.LUT = &lut
+		}
+		out.Nodes[i] = &c
+	}
+	return out
+}

@@ -1,0 +1,157 @@
+package mapreduce
+
+import (
+	"testing"
+
+	"taurus/internal/fixed"
+)
+
+// buildTestGraph exercises every node kind: slice, map (broadcast and full),
+// unary, reduce, requant, scale, LUT, concat.
+func buildTestGraph(t *testing.T) *Graph {
+	t.Helper()
+	b := NewBuilder("eval-test")
+	in := b.Input("x", 8)
+	w := b.Const("w", []int32{1, -2, 3, -4, 5, -6, 7, -8})
+	prod := b.Map(MMul, in, w)
+	act := b.Unary(UReLU, prod)
+	sum := b.Reduce(RAdd, act)
+	mult := func(f float64) fixed.Multiplier {
+		m, err := fixed.NewMultiplier(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	sc := b.Scale(sum, mult(1.5))
+	rq := b.Requant(sc, mult(0.25))
+	lo := b.Slice(in, 0, 4)
+	hi := b.Slice(in, 4, 4)
+	mx := b.Map(MMax, lo, hi)
+	var lut LUT
+	lut.Mult = mult(1.0)
+	for i := range lut.Table {
+		lut.Table[i] = int8((i % 251) - 125)
+	}
+	nl := b.ApplyLUT(mx, &lut)
+	cat := b.Concat(rq, nl)
+	b.Output(cat)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestEvaluatorMatchesGraphEval(t *testing.T) {
+	g := buildTestGraph(t)
+	ev, err := NewEvaluator(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 50; trial++ {
+		in := ev.Input(0)
+		for i := range in {
+			in[i] = int32((trial*31+i*17)%255 - 127)
+		}
+		want, err := g.Eval(append([]int32(nil), in...))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ev.Eval()
+		got := ev.Output(0)
+		if len(got) != len(want[0]) {
+			t.Fatalf("output width %d, want %d", len(got), len(want[0]))
+		}
+		for i := range got {
+			if got[i] != want[0][i] {
+				t.Fatalf("trial %d lane %d: evaluator %d != reference %d", trial, i, got[i], want[0][i])
+			}
+		}
+	}
+}
+
+func TestEvaluatorZeroAlloc(t *testing.T) {
+	g := buildTestGraph(t)
+	ev, err := NewEvaluator(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := ev.Input(0)
+	for i := range in {
+		in[i] = int32(i - 4)
+	}
+	ev.Eval() // warm up
+	if n := testing.AllocsPerRun(100, ev.Eval); n > 0 {
+		t.Errorf("Eval allocates %v times per run, want 0", n)
+	}
+}
+
+func TestEvaluatorSeesWeightUpdates(t *testing.T) {
+	g := buildTestGraph(t)
+	ev, err := NewEvaluator(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := ev.Input(0)
+	for i := range in {
+		in[i] = 10
+	}
+	ev.Eval()
+	before := ev.Output(0)[0]
+	// Mutate the constant in place, the way Device.UpdateWeights does.
+	for _, n := range g.Nodes {
+		if n.Kind == KConst {
+			for i := range n.Const {
+				n.Const[i] *= 5
+			}
+		}
+	}
+	ev.Eval()
+	after := ev.Output(0)[0]
+	if before == after {
+		t.Error("evaluator did not observe in-place constant update")
+	}
+}
+
+func TestGraphClone(t *testing.T) {
+	g := buildTestGraph(t)
+	c := g.Clone()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	in := []int32{1, 2, 3, 4, 5, 6, 7, 8}
+	want, err := g.Eval(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Eval(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want[0] {
+		if got[0][i] != want[0][i] {
+			t.Fatalf("clone diverges at lane %d", i)
+		}
+	}
+	// Mutating the clone's weights must not touch the original.
+	for _, n := range c.Nodes {
+		switch n.Kind {
+		case KConst:
+			for i := range n.Const {
+				n.Const[i] = 0
+			}
+		case KLUT:
+			n.LUT.Table[0] = 99
+		}
+	}
+	again, err := g.Eval(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want[0] {
+		if again[0][i] != want[0][i] {
+			t.Fatal("mutating clone changed the original graph")
+		}
+	}
+}

@@ -4,6 +4,11 @@
 // telemetry -> XDP -> database -> batched ML inference -> flow-rule
 // installation) or in the Taurus data plane (per-packet inference).
 //
+// The Taurus side is not shortcut: packets are serialised, batched and
+// pushed through a real sharded pipeline.Pipeline — parser, MATs, stateful
+// registers and the lowered MapReduce program — exactly the traffic plane
+// the public API serves.
+//
 // The baseline's stages are batching servers: an idle stage grabs its whole
 // queue as one batch and serves it in Setup + PerItem*len time. Under load
 // the service time of a large batch lets more items accumulate — the
@@ -19,8 +24,13 @@ import (
 	"fmt"
 	"math/rand"
 
+	"taurus/internal/compiler"
+	"taurus/internal/core"
 	"taurus/internal/dataset"
+	"taurus/internal/lower"
 	"taurus/internal/ml"
+	"taurus/internal/pipeline"
+	"taurus/internal/pisa"
 )
 
 // StageConfig is one batching server of the control loop.
@@ -44,6 +54,12 @@ type Config struct {
 	// Control-loop stages (§5.2.1's XDP / InfluxDB / Keras / ONOS+TCAM).
 	XDP, DB, ML, Install StageConfig
 	Seed                 int64
+	// Shards is the Taurus pipeline's shard count (0 = the pipeline
+	// default).
+	Shards int
+	// TaurusBatch is how many packets the traffic plane batches per
+	// ProcessBatch call (default 1024).
+	TaurusBatch int
 }
 
 // DefaultStages returns stage constants calibrated so the batch-size and
@@ -73,6 +89,8 @@ func DefaultConfig(model *ml.QuantizedDNN, sampling float64, packets int) Config
 		ML:           mlStage,
 		Install:      install,
 		Seed:         1,
+		Shards:       4,
+		TaurusBatch:  1024,
 	}
 }
 
@@ -96,6 +114,9 @@ type Result struct {
 	RulesInstalled                         int
 	PacketsSimulated                       int
 	SampledPackets                         int
+	// TaurusStats is the merged counter set of the data-plane pipeline
+	// that served the Taurus side.
+	TaurusStats core.Stats
 }
 
 // item is one telemetry packet travelling the control loop.
@@ -153,6 +174,24 @@ func Run(cfg Config) (Result, error) {
 		return Result{}, err
 	}
 
+	// The Taurus data plane: the same quantised model, lowered to MapReduce
+	// and installed across a sharded pipeline. Each packet is serialised and
+	// pushed through parser, MATs and the MapReduce block in batches.
+	g, err := lower.DNN(cfg.Model, "netsim-dnn")
+	if err != nil {
+		return Result{}, err
+	}
+	devCfg := core.DefaultConfig(g.Node(g.Inputs[0]).Width)
+	devCfg.Threshold = cfg.Threshold
+	pl, err := pipeline.New(pipeline.Config{Shards: cfg.Shards, Device: devCfg})
+	if err != nil {
+		return Result{}, err
+	}
+	defer pl.Close()
+	if err := pl.LoadModel(g, cfg.Model.InputQ, compiler.Options{}); err != nil {
+		return Result{}, err
+	}
+
 	stages := []*stage{
 		{cfg: cfg.XDP}, {cfg: cfg.DB}, {cfg: cfg.ML}, {cfg: cfg.Install},
 	}
@@ -165,8 +204,10 @@ func Run(cfg Config) (Result, error) {
 
 	var events eventHeap
 
-	// Per-flow cached verdict of the quantised model (flows have static
-	// feature vectors, so the per-packet inference is flow-constant).
+	// Per-flow cached verdict of the quantised model for the baseline's
+	// batched control-plane inference (flows have static feature vectors,
+	// so the software inference is flow-constant). The Taurus side does NOT
+	// use this cache — it runs the real data-plane pipeline per packet.
 	verdicts := map[*dataset.Flow]bool{}
 	verdict := func(f *dataset.Flow) bool {
 		if v, ok := verdicts[f]; ok {
@@ -239,6 +280,32 @@ func Run(cfg Config) (Result, error) {
 
 	var baseConf, taurusConf ml.BinaryConfusion
 	sampled := 0
+
+	// Taurus batching: packets accumulate into reusable buffers and flush
+	// through the pipeline; confusion is scored when the batch returns.
+	batchSize := cfg.TaurusBatch
+	if batchSize <= 0 {
+		batchSize = 1024
+	}
+	wire := map[*dataset.Flow][]byte{} // per-flow serialised packet
+	ins := make([]core.PacketIn, 0, batchSize)
+	truths := make([]bool, 0, batchSize)
+	out := make([]core.Decision, batchSize)
+	flushTaurus := func() error {
+		if len(ins) == 0 {
+			return nil
+		}
+		if _, err := pl.ProcessBatch(ins, out[:len(ins)]); err != nil {
+			return err
+		}
+		for i := range ins {
+			taurusConf.Observe(out[i].Verdict != core.Forward, truths[i])
+		}
+		ins = ins[:0]
+		truths = truths[:0]
+		return nil
+	}
+
 	for i := 0; i < cfg.Packets; i++ {
 		pkt := gen.Next()
 		nowMs := pkt.Time * 1000
@@ -250,14 +317,29 @@ func Run(cfg Config) (Result, error) {
 		instT, has := rules[pkt.Flow.Tuple.SrcIP]
 		baseConf.Observe(has && instT <= nowMs, truth)
 
-		// Taurus marking: per-packet inference.
-		taurusConf.Observe(verdict(pkt.Flow), truth)
+		// Taurus marking: enqueue for per-packet data-plane inference.
+		data, ok := wire[pkt.Flow]
+		if !ok {
+			tu := pkt.Flow.Tuple
+			data = pisa.BuildTCPPacket(tu.SrcIP, tu.DstIP, tu.SrcPort, tu.DstPort, 0x10, 64)
+			wire[pkt.Flow] = data
+		}
+		ins = append(ins, core.PacketIn{Data: data, Features: pkt.Flow.Record.Features})
+		truths = append(truths, truth)
+		if len(ins) == batchSize {
+			if err := flushTaurus(); err != nil {
+				return Result{}, err
+			}
+		}
 
 		// Telemetry sampling into the control loop.
 		if rng.Float64() < cfg.SamplingRate {
 			sampled++
 			deliver(stXDP, item{flow: pkt.Flow, bornMs: nowMs}, nowMs)
 		}
+	}
+	if err := flushTaurus(); err != nil {
+		return Result{}, err
 	}
 	// Drain the loop so stage stats cover everything in flight.
 	drainEventsUntil(1 << 40)
@@ -267,6 +349,7 @@ func Run(cfg Config) (Result, error) {
 		PacketsSimulated: cfg.Packets,
 		SampledPackets:   sampled,
 		RulesInstalled:   len(rules),
+		TaurusStats:      pl.Stats(),
 	}
 	stat := func(si int) StageResult {
 		st := stages[si]

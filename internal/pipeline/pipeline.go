@@ -1,0 +1,301 @@
+// Package pipeline is the traffic plane of the Taurus reproduction: a
+// sharded, batched front end over N core.Device instances, one per shard,
+// the way a line-rate deployment would replicate the MapReduce block per
+// pipe (§4 pairs one block with each PISA pipeline).
+//
+// Packets are routed to shards by a hash of their five-tuple, so the
+// per-flow feature registers a flow touches live entirely inside one shard
+// and never need cross-shard coherence. Batches fan out across persistent
+// worker goroutines; per-shard statistics merge on demand; out-of-band
+// weight updates (§3.3.1) reach every shard without stopping traffic —
+// each shard swaps weights between its batches.
+//
+// The steady-state batch path performs no heap allocation: partition index
+// buffers, devices, PHVs and MapReduce intermediates are all preallocated.
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"taurus/internal/cgra"
+	"taurus/internal/compiler"
+	"taurus/internal/core"
+	"taurus/internal/fixed"
+	mr "taurus/internal/mapreduce"
+)
+
+// DefaultShards is used when Config.Shards is zero.
+const DefaultShards = 4
+
+// Config parameterises a pipeline.
+type Config struct {
+	// Shards is the number of device shards (default DefaultShards).
+	// Modelled throughput scales with shards: each shard's MapReduce block
+	// accepts a packet every II cycles, so N shards sustain N packets per
+	// II.
+	Shards int
+	// Device is the per-shard device configuration.
+	Device core.Config
+}
+
+// BatchStats summarises one ProcessBatch call.
+type BatchStats struct {
+	// Packets is the number of packets in the batch.
+	Packets int
+	// ModelNs is the modelled time for the hardware to drain the batch:
+	// the busiest shard's MapReduce occupancy (II ns per ML packet, one
+	// cycle per bypass, shards running in parallel).
+	ModelNs float64
+}
+
+// ModelPacketsPerSec converts the modelled drain time to a throughput.
+func (b BatchStats) ModelPacketsPerSec() float64 {
+	if b.ModelNs <= 0 {
+		return 0
+	}
+	return float64(b.Packets) / b.ModelNs * 1e9
+}
+
+type shard struct {
+	mu     sync.Mutex
+	dev    *core.Device
+	idx    []int   // indices into the current batch owned by this shard
+	busyNs float64 // modelled occupancy of the last batch
+	err    error   // caller error (bad feature width) from the last batch
+}
+
+type batchReq struct {
+	ins []core.PacketIn
+	out []core.Decision
+}
+
+// Pipeline fans packet batches out across device shards. All methods are
+// safe for concurrent use; batches are dispatched one at a time (each
+// fanned out across every shard), and weight updates interleave with
+// traffic at shard granularity.
+type Pipeline struct {
+	shards []*shard
+	reqs   []chan batchReq
+
+	dispatchMu sync.Mutex // serialises batch partitioning + fan-out
+	wg         sync.WaitGroup
+	closed     atomic.Bool
+}
+
+// New builds a pipeline of cfg.Shards devices and starts its workers.
+func New(cfg Config) (*Pipeline, error) {
+	if cfg.Shards == 0 {
+		cfg.Shards = DefaultShards
+	}
+	if cfg.Shards < 0 {
+		return nil, fmt.Errorf("%w: Shards must be positive, got %d", core.ErrBadConfig, cfg.Shards)
+	}
+	p := &Pipeline{
+		shards: make([]*shard, cfg.Shards),
+		reqs:   make([]chan batchReq, cfg.Shards),
+	}
+	for i := range p.shards {
+		dev, err := core.NewDevice(cfg.Device)
+		if err != nil {
+			return nil, err
+		}
+		p.shards[i] = &shard{dev: dev}
+		p.reqs[i] = make(chan batchReq, 1)
+		go p.worker(p.shards[i], p.reqs[i])
+	}
+	return p, nil
+}
+
+func (p *Pipeline) worker(s *shard, reqs <-chan batchReq) {
+	for r := range reqs {
+		s.mu.Lock()
+		s.err = nil
+		before := s.dev.Stats().ModelBusyNs
+		for _, i := range s.idx {
+			if err := s.dev.ProcessInto(r.ins[i], &r.out[i]); err != nil {
+				if errors.Is(err, core.ErrBadFeatureWidth) {
+					// Caller bug, not traffic: surface it from ProcessBatch.
+					s.err = err
+				}
+				// Malformed packet: drop it, keep the batch going (the
+				// parse error is counted in the shard's stats).
+				r.out[i] = core.Decision{Verdict: core.Drop}
+			}
+		}
+		s.busyNs = s.dev.Stats().ModelBusyNs - before
+		s.mu.Unlock()
+		p.wg.Done()
+	}
+}
+
+// NumShards returns the shard count.
+func (p *Pipeline) NumShards() int { return len(p.shards) }
+
+// shardOf picks the owning shard for a raw packet.
+func (p *Pipeline) shardOf(data []byte) int {
+	return int(core.ShardHash(data) % uint32(len(p.shards)))
+}
+
+// LoadModel compiles the program once and installs the placed design on
+// every shard. Each shard owns a deep copy of the graph (so later weight
+// updates stay shard-local) but shares the placement and timing, which are
+// structure-only — the hardware analogue of flashing one bitstream to N
+// identical blocks.
+func (p *Pipeline) LoadModel(g *mr.Graph, inQ fixed.Quantizer, opts compiler.Options) error {
+	if opts.Grid == (cgra.GridSpec{}) {
+		opts.Grid = p.shards[0].dev.Config().Grid
+	}
+	res, err := compiler.Compile(g.Clone(), opts)
+	if err != nil {
+		return err
+	}
+	for _, s := range p.shards {
+		shardRes := *res
+		shardRes.Graph = g.Clone()
+		s.mu.Lock()
+		err := s.dev.InstallModel(&shardRes, inQ)
+		s.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// UpdateWeights pushes new weights to every shard without re-placement or
+// stopping traffic: each shard applies the update between its batches. The
+// graph is only read and may be shared across concurrent updates.
+func (p *Pipeline) UpdateWeights(newGraph *mr.Graph) error {
+	for _, s := range p.shards {
+		s.mu.Lock()
+		err := s.dev.UpdateWeights(newGraph)
+		s.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ProcessBatch partitions ins across the shards by flow hash, processes
+// every packet, and writes out[i] for ins[i]. Malformed packets are dropped
+// (counted in Stats().ParseErrors); a feature vector of the wrong width is
+// a caller bug and surfaces as ErrBadFeatureWidth after the batch drains.
+// The steady-state path performs no heap allocation. out must be at least
+// as long as ins.
+func (p *Pipeline) ProcessBatch(ins []core.PacketIn, out []core.Decision) (BatchStats, error) {
+	if len(out) < len(ins) {
+		return BatchStats{}, fmt.Errorf("%w: out has %d slots for %d packets", core.ErrBadConfig, len(out), len(ins))
+	}
+	p.dispatchMu.Lock()
+	defer p.dispatchMu.Unlock()
+	if p.closed.Load() {
+		return BatchStats{}, fmt.Errorf("%w: pipeline is closed", core.ErrBadConfig)
+	}
+
+	for _, s := range p.shards {
+		s.idx = s.idx[:0]
+	}
+	for i := range ins {
+		s := p.shards[p.shardOf(ins[i].Data)]
+		s.idx = append(s.idx, i)
+	}
+
+	active := 0
+	for _, s := range p.shards {
+		if len(s.idx) > 0 {
+			active++
+		}
+	}
+	p.wg.Add(active)
+	for si, s := range p.shards {
+		if len(s.idx) > 0 {
+			p.reqs[si] <- batchReq{ins: ins, out: out}
+		}
+	}
+	p.wg.Wait()
+
+	bs := BatchStats{Packets: len(ins)}
+	for _, s := range p.shards {
+		if len(s.idx) == 0 {
+			continue
+		}
+		if s.err != nil {
+			return bs, s.err
+		}
+		if s.busyNs > bs.ModelNs {
+			bs.ModelNs = s.busyNs
+		}
+	}
+	return bs, nil
+}
+
+// Process runs a single packet through its owning shard — the one-packet
+// convenience wrapper around the batch plane.
+func (p *Pipeline) Process(in core.PacketIn) (core.Decision, error) {
+	if p.closed.Load() {
+		return core.Decision{}, fmt.Errorf("%w: pipeline is closed", core.ErrBadConfig)
+	}
+	s := p.shards[p.shardOf(in.Data)]
+	var dec core.Decision
+	s.mu.Lock()
+	err := s.dev.ProcessInto(in, &dec)
+	s.mu.Unlock()
+	return dec, err
+}
+
+// Stats merges the per-shard device counters.
+func (p *Pipeline) Stats() core.Stats {
+	var total core.Stats
+	for _, s := range p.shards {
+		s.mu.Lock()
+		st := s.dev.Stats()
+		s.mu.Unlock()
+		total.Add(st)
+	}
+	return total
+}
+
+// ShardStats returns each shard's counters (index = shard).
+func (p *Pipeline) ShardStats() []core.Stats {
+	out := make([]core.Stats, len(p.shards))
+	for i, s := range p.shards {
+		s.mu.Lock()
+		out[i] = s.dev.Stats()
+		s.mu.Unlock()
+	}
+	return out
+}
+
+// ModelLatencyNs returns the per-packet model latency (shards are
+// identical, so shard 0 speaks for all; 0 before LoadModel).
+func (p *Pipeline) ModelLatencyNs() float64 {
+	s := p.shards[0]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dev.ModelLatencyNs()
+}
+
+// ModelII returns the compiled model's initiation interval.
+func (p *Pipeline) ModelII() int {
+	s := p.shards[0]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dev.ModelII()
+}
+
+// Close stops the worker goroutines. Further traffic (batch or single
+// packet) errors; per-shard state remains readable through Stats.
+func (p *Pipeline) Close() {
+	p.dispatchMu.Lock()
+	defer p.dispatchMu.Unlock()
+	if p.closed.Swap(true) {
+		return
+	}
+	for _, ch := range p.reqs {
+		close(ch)
+	}
+}

@@ -1,0 +1,357 @@
+package pipeline
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"taurus/internal/compiler"
+	"taurus/internal/core"
+	"taurus/internal/dataset"
+	"taurus/internal/lower"
+	mr "taurus/internal/mapreduce"
+	"taurus/internal/ml"
+	"taurus/internal/pisa"
+	"taurus/internal/trafficgen"
+)
+
+// trainModel trains the 6-12-6-3-1 anomaly DNN once per test binary.
+var (
+	modelOnce sync.Once
+	modelQ    *ml.QuantizedDNN
+	modelG    *mr.Graph
+	modelG2   *mr.Graph // same structure, different weights
+	modelGen  *dataset.AnomalyGenerator
+	modelErr  error
+)
+
+func trainModel(t *testing.T) (*ml.QuantizedDNN, *mr.Graph, *mr.Graph, *dataset.AnomalyGenerator) {
+	t.Helper()
+	modelOnce.Do(func() {
+		rng := rand.New(rand.NewSource(99))
+		gen, err := dataset.NewAnomalyGenerator(dataset.DefaultAnomalyConfig(), rng)
+		if err != nil {
+			modelErr = err
+			return
+		}
+		train := func(records, epochs int) (*ml.QuantizedDNN, *mr.Graph, error) {
+			X, y := dataset.Split(gen.Records(records))
+			n := ml.NewDNN([]int{6, 12, 6, 3, 1}, ml.ReLU, ml.Sigmoid, rng)
+			ml.NewTrainer(n, ml.SGDConfig{LearningRate: 0.05, Momentum: 0.9, BatchSize: 32, Epochs: epochs}, rng).Fit(X, y)
+			q, err := ml.Quantize(n, X[:200])
+			if err != nil {
+				return nil, nil, err
+			}
+			g, err := lower.DNN(q, "anomaly")
+			if err != nil {
+				return nil, nil, err
+			}
+			return q, g, nil
+		}
+		modelQ, modelG, modelErr = train(800, 20)
+		if modelErr != nil {
+			return
+		}
+		_, modelG2, modelErr = train(400, 8)
+		modelGen = gen
+	})
+	if modelErr != nil {
+		t.Fatal(modelErr)
+	}
+	return modelQ, modelG, modelG2, modelGen
+}
+
+func newLoadedPipeline(t *testing.T, shards int) *Pipeline {
+	t.Helper()
+	q, g, _, _ := trainModel(t)
+	p, err := New(Config{Shards: shards, Device: core.DefaultConfig(6)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Close)
+	if err := p.LoadModel(g, q.InputQ, compiler.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// makeBatch builds n TCP packets over nflows flows, each carrying its
+// flow's feature vector.
+func makeBatch(t *testing.T, n, nflows int) ([]core.PacketIn, []core.Decision) {
+	t.Helper()
+	ins, out, err := trafficgen.AnomalyBatch(42, n, nflows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ins, out
+}
+
+func TestPipelineMatchesSingleDevice(t *testing.T) {
+	q, g, _, _ := trainModel(t)
+	p := newLoadedPipeline(t, 4)
+	ins, out := makeBatch(t, 512, 64)
+	if _, err := p.ProcessBatch(ins, out); err != nil {
+		t.Fatal(err)
+	}
+
+	dev, err := core.NewDevice(core.DefaultConfig(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.LoadModel(g.Clone(), q.InputQ, compiler.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range ins {
+		want, err := dev.Process(ins[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out[i].Verdict != want.Verdict || out[i].MLScore != want.MLScore || out[i].Bypassed != want.Bypassed {
+			t.Fatalf("packet %d: pipeline %+v != device %+v", i, out[i], want)
+		}
+	}
+
+	st := p.Stats()
+	if st.Processed != 512 || st.MLInferences != 512 {
+		t.Errorf("merged stats: %+v", st)
+	}
+}
+
+func TestPipelineShardLocality(t *testing.T) {
+	p := newLoadedPipeline(t, 4)
+	// One flow: every packet must land on the same shard.
+	pkt := pisa.BuildTCPPacket(1, 2, 3, 4, 0x10, 64)
+	_, _, _, gen := trainModel(t)
+	feats := gen.Record().Features
+	ins := make([]core.PacketIn, 64)
+	for i := range ins {
+		ins[i] = core.PacketIn{Data: pkt, Features: feats}
+	}
+	out := make([]core.Decision, len(ins))
+	if _, err := p.ProcessBatch(ins, out); err != nil {
+		t.Fatal(err)
+	}
+	busy := 0
+	for _, st := range p.ShardStats() {
+		if st.Processed > 0 {
+			busy++
+			if st.Processed != 64 {
+				t.Errorf("owning shard processed %d packets, want 64", st.Processed)
+			}
+		}
+	}
+	if busy != 1 {
+		t.Errorf("one flow spread across %d shards", busy)
+	}
+}
+
+func TestPipelineDropsMalformed(t *testing.T) {
+	p := newLoadedPipeline(t, 2)
+	ins, out := makeBatch(t, 8, 4)
+	ins[3] = core.PacketIn{Data: []byte{1, 2}} // truncated
+	if _, err := p.ProcessBatch(ins, out); err != nil {
+		t.Fatal(err)
+	}
+	if out[3].Verdict != core.Drop {
+		t.Errorf("malformed packet verdict = %v, want drop", out[3].Verdict)
+	}
+	if p.Stats().ParseErrors != 1 {
+		t.Errorf("ParseErrors = %d, want 1", p.Stats().ParseErrors)
+	}
+	// A wrong-width feature vector is a caller bug and must surface.
+	ins[2] = core.PacketIn{Data: ins[0].Data, Features: make([]float32, 2)}
+	if _, err := p.ProcessBatch(ins, out); !errors.Is(err, core.ErrBadFeatureWidth) {
+		t.Errorf("bad feature width: %v, want ErrBadFeatureWidth", err)
+	}
+}
+
+func TestPipelineUpdateWeightsLive(t *testing.T) {
+	q, g, g2, _ := trainModel(t)
+	p := newLoadedPipeline(t, 3)
+	ins, out := makeBatch(t, 128, 16)
+	if _, err := p.ProcessBatch(ins, out); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.UpdateWeights(g2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.ProcessBatch(ins, out); err != nil {
+		t.Fatal(err)
+	}
+	// After the update every shard must score like a reference device
+	// holding g2's weights.
+	dev, err := core.NewDevice(core.DefaultConfig(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.LoadModel(g.Clone(), q.InputQ, compiler.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.UpdateWeights(g2); err != nil {
+		t.Fatal(err)
+	}
+	for i := range ins {
+		want, err := dev.Process(ins[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out[i].MLScore != want.MLScore {
+			t.Fatalf("packet %d after update: score %d != %d", i, out[i].MLScore, want.MLScore)
+		}
+	}
+}
+
+func TestPipelineSentinelErrors(t *testing.T) {
+	p, err := New(Config{Shards: 2, Device: core.DefaultConfig(6)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	_, g, _, _ := trainModel(t)
+	if err := p.UpdateWeights(g); !errors.Is(err, core.ErrNoModel) {
+		t.Errorf("UpdateWeights before LoadModel: %v, want ErrNoModel", err)
+	}
+	if _, err := New(Config{Shards: 2, Device: core.Config{NumFeatures: 0}}); !errors.Is(err, core.ErrBadConfig) {
+		t.Errorf("bad device config: %v, want ErrBadConfig", err)
+	}
+	wide, err := lower.InnerProduct(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var inQ = modelQ.InputQ
+	if err := p.LoadModel(wide, inQ, compiler.Options{}); !errors.Is(err, core.ErrBadFeatureWidth) {
+		t.Errorf("width-16 model: %v, want ErrBadFeatureWidth", err)
+	}
+}
+
+// TestPipelineConcurrentTraffic drives one Pipeline from several goroutines
+// (batch and single-packet planes) while the control plane pushes weight
+// updates — must be race-clean under -race.
+func TestPipelineConcurrentTraffic(t *testing.T) {
+	_, g, g2, _ := trainModel(t)
+	p := newLoadedPipeline(t, 4)
+
+	const rounds = 20
+	var wg sync.WaitGroup
+	errCh := make(chan error, 8)
+
+	for w := 0; w < 3; w++ {
+		ins, out := makeBatch(t, 256, 32)
+		wg.Add(1)
+		go func(ins []core.PacketIn, out []core.Decision) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				if _, err := p.ProcessBatch(ins, out); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(ins, out)
+	}
+	singleFeats := modelGen.Record().Features
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		pkt := pisa.BuildTCPPacket(7, 8, 9, 10, 0x10, 64)
+		feats := singleFeats
+		for r := 0; r < rounds*16; r++ {
+			if _, err := p.Process(core.PacketIn{Data: pkt, Features: feats}); err != nil {
+				errCh <- err
+				return
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for r := 0; r < rounds; r++ {
+			which := g
+			if r%2 == 0 {
+				which = g2
+			}
+			if err := p.UpdateWeights(which); err != nil {
+				errCh <- err
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+
+	st := p.Stats()
+	want := 3*rounds*256 + rounds*16
+	if st.Processed != want {
+		t.Errorf("processed %d packets, want %d", st.Processed, want)
+	}
+}
+
+// TestPipelineBatchZeroAlloc asserts the steady-state batch path allocates
+// nothing (the acceptance bar for the traffic plane's hot path).
+func TestPipelineBatchZeroAlloc(t *testing.T) {
+	p := newLoadedPipeline(t, 4)
+	ins, out := makeBatch(t, 512, 64)
+	for i := 0; i < 3; i++ { // warm up: registers touched, buffers sized
+		if _, err := p.ProcessBatch(ins, out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := p.ProcessBatch(ins, out); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("steady-state ProcessBatch allocates %.2f times per batch, want 0", allocs)
+	}
+}
+
+// TestPipelineModelledScaling checks the throughput model: with balanced
+// flows, 8 shards must drain a batch at least 3x faster than 1 shard.
+func TestPipelineModelledScaling(t *testing.T) {
+	ins, out := makeBatch(t, 2048, 256)
+	drain := func(shards int) float64 {
+		p := newLoadedPipeline(t, shards)
+		bs, err := p.ProcessBatch(ins, out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bs.ModelNs <= 0 {
+			t.Fatalf("shards=%d: ModelNs = %v", shards, bs.ModelNs)
+		}
+		return bs.ModelNs
+	}
+	one := drain(1)
+	eight := drain(8)
+	if ratio := one / eight; ratio < 3 {
+		t.Errorf("8-shard drain only %.2fx faster than 1 shard (1: %.0f ns, 8: %.0f ns)", ratio, one, eight)
+	}
+}
+
+func TestPipelineClose(t *testing.T) {
+	p := newLoadedPipeline(t, 2)
+	ins, out := makeBatch(t, 8, 4)
+	p.Close()
+	p.Close() // idempotent
+	if _, err := p.ProcessBatch(ins, out); err == nil {
+		t.Error("ProcessBatch after Close should error")
+	}
+	if _, err := p.Process(ins[0]); err == nil {
+		t.Error("Process after Close should error")
+	}
+}
+
+func TestPipelineDefaultShards(t *testing.T) {
+	p, err := New(Config{Device: core.DefaultConfig(6)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if p.NumShards() != DefaultShards {
+		t.Errorf("zero-shard config -> %d shards, want %d", p.NumShards(), DefaultShards)
+	}
+}

@@ -1,0 +1,38 @@
+// Package trafficgen builds synthetic traffic-plane workloads: batches of
+// serialised TCP packets over a working set of flows, each packet carrying
+// its flow's anomaly-record feature vector. Shared by the throughput
+// experiment, the benchmarks and the pipeline tests so the traffic shape is
+// defined once.
+package trafficgen
+
+import (
+	"math/rand"
+
+	"taurus/internal/core"
+	"taurus/internal/dataset"
+	"taurus/internal/pisa"
+)
+
+// AnomalyBatch builds n packets over nflows flows (round-robin), with
+// features drawn from the §5.2.2 anomaly generator under the given seed.
+// The returned decision slice is sized to match for ProcessBatch.
+func AnomalyBatch(seed int64, n, nflows int) ([]core.PacketIn, []core.Decision, error) {
+	rng := rand.New(rand.NewSource(seed))
+	gen, err := dataset.NewAnomalyGenerator(dataset.DefaultAnomalyConfig(), rng)
+	if err != nil {
+		return nil, nil, err
+	}
+	pkts := make([][]byte, nflows)
+	feats := make([][]float32, nflows)
+	for f := 0; f < nflows; f++ {
+		pkts[f] = pisa.BuildTCPPacket(0x0a000000+uint32(f), 0x0a800001,
+			uint16(1024+f), 443, 0x10, 64)
+		feats[f] = gen.Record().Features
+	}
+	ins := make([]core.PacketIn, n)
+	for i := range ins {
+		f := i % nflows
+		ins[i] = core.PacketIn{Data: pkts[f], Features: feats[f]}
+	}
+	return ins, make([]core.Decision, n), nil
+}

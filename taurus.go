@@ -1,22 +1,33 @@
 // Package taurus is the public API of the Taurus reproduction: a data-plane
 // architecture for per-packet ML (Swamy et al., ASPLOS 2022).
 //
-// The library is organised the way the hardware is (Figure 6):
+// The v1 surface is organised around the traffic plane:
+//
+//   - NewPipeline builds the primary entry point for serving traffic: a
+//     sharded Pipeline of N Taurus devices. Packets are routed to shards by
+//     a five-tuple hash (per-flow register state stays shard-local), batches
+//     fan out across worker goroutines via ProcessBatch, and control-plane
+//     weight pushes (Figure 1) reach every shard live via UpdateWeights.
+//     The steady-state batch path performs no heap allocation.
+//
+//   - NewDevice builds a single Taurus switch — parser, preprocessing MATs
+//     with stateful feature registers, the MapReduce block with a bypass
+//     path, postprocessing MATs — for callers that want one shard and no
+//     goroutines. Process is the one-packet convenience wrapper;
+//     ProcessBatch is the same zero-allocation hot path the Pipeline runs.
+//
+//   - Both constructors take functional options: WithGrid, WithFlowTable,
+//     WithThreshold, WithDropOnAnomaly, and (pipelines only) WithShards.
+//     Failures surface sentinel errors — ErrNoModel, ErrBadFeatureWidth,
+//     ErrStructureMismatch, ErrBadConfig — for errors.Is dispatch.
 //
 //   - MapReduce programs (the paper's P4 MapReduce control block, Figure 4)
 //     are built with NewProgram and the Builder's Map/Reduce/LUT methods, or
 //     by lowering a trained model with LowerDNN / LowerSVM / LowerKMeans /
-//     LowerLSTMStep.
-//
-//   - Compile places a program onto the CGRA grid of compute and memory
-//     units (§4), returning latency, initiation interval, area and power —
-//     the quantities behind Tables 5-7.
-//
-//   - NewDevice assembles a full Taurus switch: parser, preprocessing MATs
-//     with stateful feature registers, the MapReduce block with a bypass
-//     path, postprocessing MATs and a scheduler. LoadModel installs a
-//     compiled program; UpdateWeights applies control-plane weight pushes
-//     (Figure 1) without re-placing the design.
+//     LowerLSTMStep. Compile places a program onto the CGRA grid of compute
+//     and memory units (§4), returning latency, initiation interval, area
+//     and power — the quantities behind Tables 5-7. LoadModel installs a
+//     compiled program on a Device or every Pipeline shard.
 //
 //   - The ML subpackage types (DNN, SVM, KMeans, LSTM) cover the paper's
 //     application suite with float training for the control plane and
@@ -34,6 +45,7 @@ import (
 	"taurus/internal/lower"
 	"taurus/internal/mapreduce"
 	"taurus/internal/ml"
+	"taurus/internal/pipeline"
 	"taurus/internal/pisa"
 	"taurus/internal/tensor"
 )
@@ -51,6 +63,14 @@ type (
 // NewProgram starts a MapReduce program (the paper's dedicated P4 control
 // block).
 func NewProgram(name string) *Builder { return mapreduce.NewBuilder(name) }
+
+// Evaluator interprets a MapReduce program with preallocated buffers: write
+// codes into Input(i), call Eval, read Output(i). It is the allocation-free
+// reference semantics the device hot path runs per packet.
+type Evaluator = mapreduce.Evaluator
+
+// NewEvaluator validates the program and preallocates every intermediate.
+func NewEvaluator(g *Graph) (*Evaluator, error) { return mapreduce.NewEvaluator(g) }
 
 // Compilation onto the CGRA grid (§4).
 type (
@@ -71,18 +91,23 @@ func Compile(g *Graph, opts CompileOptions) (*Compiled, error) {
 // CU:MU ratio, 16-lane 4-stage CUs, 8-bit datapath (§5.1.1).
 func DefaultGrid() GridSpec { return cgra.DefaultGrid() }
 
-// The integrated device (Figure 6).
+// The traffic plane (Figure 6 instantiated per shard).
 type (
-	// Device is a Taurus switch.
+	// Device is a single Taurus switch (one shard, no goroutines).
 	Device = core.Device
-	// DeviceConfig parameterises a Device.
-	DeviceConfig = core.Config
-	// PacketIn is one packet presented to a Device.
+	// Pipeline is the sharded, batched traffic plane over N devices.
+	Pipeline = pipeline.Pipeline
+	// BatchStats summarises one Pipeline.ProcessBatch call, including the
+	// modelled drain time of the busiest shard.
+	BatchStats = pipeline.BatchStats
+	// PacketIn is one packet presented to a Device or Pipeline.
 	PacketIn = core.PacketIn
 	// Decision is a per-packet outcome.
 	Decision = core.Decision
 	// Verdict is the postprocessing decision.
 	Verdict = core.Verdict
+	// Stats counts device (or merged pipeline) activity.
+	Stats = core.Stats
 )
 
 // Verdicts.
@@ -92,11 +117,73 @@ const (
 	Drop    = core.Drop
 )
 
-// NewDevice builds a Taurus switch.
-func NewDevice(cfg DeviceConfig) (*Device, error) { return core.NewDevice(cfg) }
+// Sentinel errors of the traffic plane, for errors.Is.
+var (
+	// ErrNoModel: the operation needs a loaded model.
+	ErrNoModel = core.ErrNoModel
+	// ErrBadFeatureWidth: a feature vector or model input width disagrees
+	// with the device's feature count.
+	ErrBadFeatureWidth = core.ErrBadFeatureWidth
+	// ErrStructureMismatch: a weight update would change the placed design.
+	ErrStructureMismatch = core.ErrStructureMismatch
+	// ErrBadConfig: invalid construction options or batch arguments.
+	ErrBadConfig = core.ErrBadConfig
+)
 
-// DefaultDeviceConfig returns the anomaly-detection device configuration.
-func DefaultDeviceConfig(numFeatures int) DeviceConfig { return core.DefaultConfig(numFeatures) }
+// Option configures NewDevice and NewPipeline.
+type Option func(*options)
+
+type options struct {
+	dev    core.Config
+	shards int
+}
+
+// WithGrid sets the MapReduce block configuration (DefaultGrid otherwise).
+func WithGrid(g GridSpec) Option { return func(o *options) { o.dev.Grid = g } }
+
+// WithFlowTable sets the number of per-flow register slots for feature
+// accumulation (default 4096; power of two recommended).
+func WithFlowTable(n int) Option { return func(o *options) { o.dev.FlowTableSize = n } }
+
+// WithThreshold sets the postprocessing cut on the model's output code:
+// score >= t is treated as anomalous (default 64, the §5.2.2 operating
+// point).
+func WithThreshold(t int32) Option { return func(o *options) { o.dev.Threshold = t } }
+
+// WithDropOnAnomaly makes anomalous packets Drop instead of the default
+// Flag.
+func WithDropOnAnomaly() Option { return func(o *options) { o.dev.DropOnAnomaly = true } }
+
+// WithShards sets the pipeline's shard count (default 4). NewDevice ignores
+// it — a Device is always a single shard.
+func WithShards(n int) Option { return func(o *options) { o.shards = n } }
+
+// DefaultShards is the shard count NewPipeline uses when WithShards is not
+// given.
+const DefaultShards = pipeline.DefaultShards
+
+func buildOptions(numFeatures int, opts []Option) options {
+	o := options{dev: core.DefaultConfig(numFeatures), shards: DefaultShards}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return o
+}
+
+// NewDevice builds a single Taurus switch with numFeatures model inputs.
+func NewDevice(numFeatures int, opts ...Option) (*Device, error) {
+	o := buildOptions(numFeatures, opts)
+	return core.NewDevice(o.dev)
+}
+
+// NewPipeline builds the sharded traffic plane: WithShards(n) devices
+// behind one batched front end. Load a model with LoadModel, drive traffic
+// with ProcessBatch, push weight updates live with UpdateWeights, and Close
+// when done.
+func NewPipeline(numFeatures int, opts ...Option) (*Pipeline, error) {
+	o := buildOptions(numFeatures, opts)
+	return pipeline.New(pipeline.Config{Shards: o.shards, Device: o.dev})
+}
 
 // Machine-learning models (§5.1.2) and quantisation (Table 3).
 type (
@@ -201,5 +288,5 @@ const (
 )
 
 // BuildTCPPacket serialises a minimal Ethernet+IPv4+TCP packet for
-// Device.Process.
+// Device.Process and Pipeline batches.
 var BuildTCPPacket = pisa.BuildTCPPacket

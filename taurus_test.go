@@ -1,0 +1,53 @@
+package taurus
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestOptionsConstruction exercises the v1 functional-options surface.
+func TestOptionsConstruction(t *testing.T) {
+	dev, err := NewDevice(6,
+		WithGrid(DefaultGrid()),
+		WithFlowTable(1024),
+		WithThreshold(32),
+		WithDropOnAnomaly(),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := dev.Config()
+	if cfg.NumFeatures != 6 || cfg.FlowTableSize != 1024 || cfg.Threshold != 32 || !cfg.DropOnAnomaly {
+		t.Errorf("options not applied: %+v", cfg)
+	}
+
+	if _, err := NewDevice(0); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("NewDevice(0): %v, want ErrBadConfig", err)
+	}
+}
+
+func TestPipelineConstruction(t *testing.T) {
+	pl, err := NewPipeline(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pl.Close()
+	if pl.NumShards() != DefaultShards {
+		t.Errorf("default shards = %d, want %d", pl.NumShards(), DefaultShards)
+	}
+
+	pl2, err := NewPipeline(6, WithShards(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pl2.Close()
+	if pl2.NumShards() != 8 {
+		t.Errorf("WithShards(8) -> %d shards", pl2.NumShards())
+	}
+
+	if err := pl.UpdateWeights(nil); err == nil {
+		t.Error("UpdateWeights on empty pipeline should fail")
+	} else if !errors.Is(err, ErrNoModel) {
+		t.Errorf("UpdateWeights before LoadModel: %v, want ErrNoModel", err)
+	}
+}
