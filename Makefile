@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench check fmt
+.PHONY: build test bench bench-smoke check fmt
 
 build:
 	$(GO) build ./...
@@ -12,6 +12,12 @@ test:
 # also asserts the zero-allocation hot path (0 B/op on the batch plane).
 bench:
 	$(GO) test -run xxx -bench . -benchmem .
+
+# One iteration of every benchmark in the module (no unit tests — CI runs
+# those separately): cheap enough for CI, and keeps benchmark code compiling
+# and running so it can't silently rot.
+bench-smoke:
+	$(GO) test -run xxx -bench=. -benchtime=1x ./...
 
 check:
 	@fmtout=$$(gofmt -l .); \

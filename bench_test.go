@@ -198,6 +198,23 @@ func BenchmarkFigure14(b *testing.B) {
 	b.ReportMetric(final, "final-f1")
 }
 
+// BenchmarkDriftControlLoop runs the full closed-control-loop drift
+// experiment: two pipelines serving drifting traffic, drift detection,
+// retrains and live weight pushes.
+func BenchmarkDriftControlLoop(b *testing.B) {
+	var frozen, loop float64
+	for i := 0; i < b.N; i++ {
+		rows, _, err := experiments.Drift(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := rows[len(rows)-1]
+		frozen, loop = last.FrozenF1, last.LoopF1
+	}
+	b.ReportMetric(frozen, "frozen-f1")
+	b.ReportMetric(loop, "loop-f1")
+}
+
 // BenchmarkPerPacketInference measures the simulated data-plane inference
 // path itself (quantised DNN through the lowered graph), the operation a
 // real Taurus does once per packet.

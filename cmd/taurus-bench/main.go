@@ -7,7 +7,7 @@
 //	taurus-bench -packets 100000 # smaller Table 8 run
 //
 // Experiments: table1 table2 table3 table4 table5 table6 table7 table8
-// fig9 fig10 fig11 fig13 fig14 mats throughput.
+// fig9 fig10 fig11 fig13 fig14 mats throughput drift.
 package main
 
 import (
@@ -20,7 +20,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (all, table1..table8, fig9..fig14, mats, throughput)")
+	exp := flag.String("exp", "all", "experiment to run (all, table1..table8, fig9..fig14, mats, throughput, drift)")
 	packets := flag.Int("packets", 400_000, "packets for the Table 8 simulation")
 	seed := flag.Int64("seed", 1, "training seed")
 	flag.Parse()
@@ -120,6 +120,14 @@ func run(exp string, packets int, seed int64) error {
 	}
 	if want("throughput") {
 		_, text, err := experiments.Throughput(models)
+		if err != nil {
+			return err
+		}
+		emit(text)
+	}
+	if want("drift") {
+		fmt.Fprintln(os.Stderr, "running closed-control-loop drift experiment...")
+		_, text, err := experiments.Drift(seed)
 		if err != nil {
 			return err
 		}

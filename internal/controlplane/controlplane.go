@@ -1,0 +1,446 @@
+// Package controlplane closes the Taurus control loop (Figure 1, §3.3.1):
+// while traffic flows through the data plane, the controller samples the
+// data plane's per-packet decisions, watches for concept drift — a shift of
+// the flagged-packet rate or of the score distribution against a reference
+// window — retrains its float DNN on freshly collected labelled telemetry,
+// requantises the result against the data plane's pinned input domain, and
+// pushes the new weights to every shard out-of-band via UpdateWeights.
+//
+// The ownership split mirrors a MapReduce coordinator and its workers: the
+// controller is the single writer of the float model and the only caller of
+// UpdateWeights, the pipeline's shards own their graph clones and never see
+// the trainer's copy, and the two sides meet only at the push — a read-only
+// handoff of a freshly lowered graph, after which the trainer may keep
+// mutating its own state freely.
+//
+// The controller has two driving modes. Synchronous: the traffic driver
+// calls Observe after each batch and, when it returns true (drift), calls
+// RetrainNow — fully deterministic, used by the drift experiment. Background:
+// Start launches a worker goroutine that retrains whenever drift is observed
+// (and, optionally, on a fixed RetrainInterval) while the caller keeps
+// pushing batches — the live deployment shape, exercised under -race.
+package controlplane
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"taurus/internal/core"
+	"taurus/internal/dataset"
+	"taurus/internal/fixed"
+	"taurus/internal/lower"
+	mr "taurus/internal/mapreduce"
+	"taurus/internal/ml"
+)
+
+// Pusher is the controller's view of the data plane: anything that accepts
+// an out-of-band weight push. *pipeline.Pipeline and *core.Device both
+// satisfy it.
+type Pusher interface {
+	UpdateWeights(newGraph *mr.Graph) error
+}
+
+// LabelSource returns n freshly sampled labelled records reflecting the
+// current traffic distribution — the control plane's telemetry joined with
+// ground truth (in deployment: operator labels, honeypots, or delayed
+// feedback; in the testbed: the drifting generator). It must be safe for
+// concurrent use when the controller runs in the background.
+type LabelSource func(n int) []dataset.Record
+
+// Config parameterises a Controller. The zero value of any field selects
+// the default noted on it.
+type Config struct {
+	// SampleEvery samples one in N non-bypassed decisions into the drift
+	// windows (default 4) — the telemetry sampling rate of §5.2.3.
+	SampleEvery int
+	// Window is the number of sampled decisions per observation window
+	// (default 512).
+	Window int
+	// RefWindows is how many initial windows form the reference profile the
+	// drift detector compares against (default 2). The reference is re-armed
+	// after every retrain, so the post-push distribution becomes the new
+	// normal.
+	RefWindows int
+	// FlagDelta is the absolute shift of the flagged-packet rate that
+	// declares drift (default 0.10).
+	FlagDelta float64
+	// ScoreDelta is the shift of the mean model score, in output code units,
+	// that declares drift (default 16).
+	ScoreDelta float64
+	// DriftPatience is how many consecutive out-of-threshold windows it
+	// takes to declare drift (default 2) — hysteresis against the sampling
+	// noise of a single window.
+	DriftPatience int
+	// RetrainRecords is how many labelled records each retrain collects
+	// (default 2048).
+	RetrainRecords int
+	// RetrainEpochs is how many passes each retrain makes over its records
+	// (default 8).
+	RetrainEpochs int
+	// RetrainInterval, when positive, retrains periodically in background
+	// mode even without a drift signal (0 = drift-triggered only).
+	RetrainInterval time.Duration
+	// LearningRate and BatchSize configure the SGD steps (defaults 0.05, 32).
+	LearningRate float32
+	BatchSize    int
+	// Seed seeds the trainer's shuffling (default 1).
+	Seed int64
+}
+
+// DefaultConfig returns the default controller configuration.
+func DefaultConfig() Config {
+	return Config{
+		SampleEvery:    4,
+		Window:         512,
+		RefWindows:     2,
+		FlagDelta:      0.10,
+		ScoreDelta:     16,
+		DriftPatience:  2,
+		RetrainRecords: 2048,
+		RetrainEpochs:  8,
+		LearningRate:   0.05,
+		BatchSize:      32,
+		Seed:           1,
+	}
+}
+
+func (c *Config) applyDefaults() {
+	d := DefaultConfig()
+	if c.SampleEvery <= 0 {
+		c.SampleEvery = d.SampleEvery
+	}
+	if c.Window <= 0 {
+		c.Window = d.Window
+	}
+	if c.RefWindows <= 0 {
+		c.RefWindows = d.RefWindows
+	}
+	if c.FlagDelta <= 0 {
+		c.FlagDelta = d.FlagDelta
+	}
+	if c.ScoreDelta <= 0 {
+		c.ScoreDelta = d.ScoreDelta
+	}
+	if c.DriftPatience <= 0 {
+		c.DriftPatience = d.DriftPatience
+	}
+	if c.RetrainRecords <= 0 {
+		c.RetrainRecords = d.RetrainRecords
+	}
+	if c.RetrainEpochs <= 0 {
+		c.RetrainEpochs = d.RetrainEpochs
+	}
+	if c.LearningRate <= 0 {
+		c.LearningRate = d.LearningRate
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = d.BatchSize
+	}
+	if c.Seed == 0 {
+		c.Seed = d.Seed
+	}
+}
+
+// Stats reports the controller's activity.
+type Stats struct {
+	// Sampled is the number of decisions sampled into windows.
+	Sampled int
+	// Windows is the number of completed observation windows.
+	Windows int
+	// Drifts is the number of drift detections.
+	Drifts int
+	// Retrains is the number of completed retrain-and-push cycles.
+	Retrains int
+	// RefFlagRate and RefMeanScore describe the current reference profile.
+	RefFlagRate  float64
+	RefMeanScore float64
+	// LastFlagRate and LastMeanScore describe the last completed window.
+	LastFlagRate  float64
+	LastMeanScore float64
+}
+
+// Controller is the closed-loop control plane over one data plane.
+type Controller struct {
+	cfg    Config
+	pusher Pusher
+	inQ    fixed.Quantizer
+	source LabelSource
+
+	// mu guards the observation window, reference profile and stats —
+	// everything Observe touches, kept separate from training so a
+	// background retrain never stalls the traffic driver's Observe calls.
+	mu         sync.Mutex
+	winN       int
+	winFlagged int
+	winScore   float64
+	sampleTick int
+	refWindows int
+	refFlag    float64
+	refScore   float64
+	outOfBand  int // consecutive windows past a threshold
+	drifted    bool
+	stats      Stats
+	lastErr    error
+
+	// trainMu serialises retrains; the float net and trainer belong to the
+	// retrain path exclusively.
+	trainMu sync.Mutex
+	net     *ml.DNN
+	trainer *ml.Trainer
+	version int
+
+	// Background mode.
+	runMu sync.Mutex
+	kick  chan struct{}
+	done  chan struct{}
+	wg    sync.WaitGroup
+}
+
+// New builds a controller that pushes to pusher, retraining net (the float
+// twin of the deployed model — the controller takes ownership) on records
+// from source. inQ must be the input quantiser the model was deployed with
+// (LoadModel's argument): retrained weights are requantised against that
+// pinned input domain, since the data plane's preprocessing MATs keep using
+// it across pushes.
+func New(pusher Pusher, net *ml.DNN, inQ fixed.Quantizer, source LabelSource, cfg Config) (*Controller, error) {
+	if pusher == nil {
+		return nil, fmt.Errorf("controlplane: nil pusher")
+	}
+	if net == nil {
+		return nil, fmt.Errorf("controlplane: nil model")
+	}
+	if source == nil {
+		return nil, fmt.Errorf("controlplane: nil label source")
+	}
+	if inQ.Scale <= 0 {
+		return nil, fmt.Errorf("controlplane: input quantiser has scale %v; pass the quantiser the model was loaded with", inQ.Scale)
+	}
+	cfg.applyDefaults()
+	c := &Controller{
+		cfg:    cfg,
+		pusher: pusher,
+		inQ:    inQ,
+		source: source,
+		net:    net,
+		kick:   make(chan struct{}, 1),
+	}
+	c.trainer = ml.NewTrainer(net, ml.SGDConfig{
+		LearningRate: cfg.LearningRate,
+		Momentum:     0.9,
+		BatchSize:    cfg.BatchSize,
+		Epochs:       1,
+	}, rand.New(rand.NewSource(cfg.Seed)))
+	return c, nil
+}
+
+// Observe feeds a batch of data-plane decisions into the drift detector —
+// the sampled mirror of §3.3.1's decision telemetry. It samples one in
+// SampleEvery non-bypassed decisions; each full Window of samples is
+// compared against the reference profile. It returns true when this call
+// completed a window that newly crossed a drift threshold; in background
+// mode that also schedules a retrain. Safe for concurrent use.
+func (c *Controller) Observe(decs []core.Decision) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	newDrift := false
+	for i := range decs {
+		if decs[i].Bypassed {
+			continue
+		}
+		c.sampleTick++
+		if c.sampleTick%c.cfg.SampleEvery != 0 {
+			continue
+		}
+		c.stats.Sampled++
+		c.winN++
+		if decs[i].Verdict != core.Forward {
+			c.winFlagged++
+		}
+		c.winScore += float64(decs[i].MLScore)
+		if c.winN >= c.cfg.Window {
+			if c.closeWindowLocked() {
+				newDrift = true
+			}
+		}
+	}
+	if newDrift {
+		select {
+		case c.kick <- struct{}{}:
+		default: // a retrain is already pending; coalesce
+		}
+	}
+	return newDrift
+}
+
+// closeWindowLocked folds the completed window into the reference (while it
+// is still being established) or checks it for drift. Reports whether drift
+// was newly detected. Caller holds c.mu.
+func (c *Controller) closeWindowLocked() bool {
+	flagRate := float64(c.winFlagged) / float64(c.winN)
+	meanScore := c.winScore / float64(c.winN)
+	c.winN, c.winFlagged, c.winScore = 0, 0, 0
+	c.stats.Windows++
+	c.stats.LastFlagRate, c.stats.LastMeanScore = flagRate, meanScore
+
+	if c.refWindows < c.cfg.RefWindows {
+		n := float64(c.refWindows)
+		c.refFlag = (c.refFlag*n + flagRate) / (n + 1)
+		c.refScore = (c.refScore*n + meanScore) / (n + 1)
+		c.refWindows++
+		c.stats.RefFlagRate, c.stats.RefMeanScore = c.refFlag, c.refScore
+		return false
+	}
+	if c.drifted {
+		return false
+	}
+	if abs(flagRate-c.refFlag) > c.cfg.FlagDelta || abs(meanScore-c.refScore) > c.cfg.ScoreDelta {
+		c.outOfBand++
+	} else {
+		c.outOfBand = 0
+	}
+	if c.outOfBand >= c.cfg.DriftPatience {
+		c.drifted = true
+		c.stats.Drifts++
+		return true
+	}
+	return false
+}
+
+// RetrainNow synchronously runs one control-loop cycle: collect
+// RetrainRecords labelled records, train RetrainEpochs over them, requantise
+// against the pinned input domain, lower, and push to the data plane. On
+// success the drift detector's reference is re-armed so the post-push
+// distribution becomes the new normal. Concurrent calls serialise.
+func (c *Controller) RetrainNow() error {
+	c.trainMu.Lock()
+	defer c.trainMu.Unlock()
+
+	recs := c.source(c.cfg.RetrainRecords)
+	if len(recs) == 0 {
+		return c.fail(fmt.Errorf("controlplane: label source returned no records"))
+	}
+	X, y := dataset.Split(recs)
+	for e := 0; e < c.cfg.RetrainEpochs; e++ {
+		c.trainer.FitEpoch(X, y)
+	}
+	calib := X
+	if len(calib) > 256 {
+		calib = calib[:256]
+	}
+	q, err := ml.QuantizeWithInput(c.net, calib, c.inQ)
+	if err != nil {
+		return c.fail(err)
+	}
+	c.version++
+	g, err := lower.DNN(q, fmt.Sprintf("%s-v%d", c.net.KernelString(), c.version))
+	if err != nil {
+		return c.fail(err)
+	}
+	if err := c.pusher.UpdateWeights(g); err != nil {
+		return c.fail(err)
+	}
+
+	c.mu.Lock()
+	c.stats.Retrains++
+	c.winN, c.winFlagged, c.winScore = 0, 0, 0
+	c.refWindows, c.refFlag, c.refScore = 0, 0, 0
+	c.outOfBand = 0
+	c.drifted = false
+	c.lastErr = nil
+	c.mu.Unlock()
+	return nil
+}
+
+func (c *Controller) fail(err error) error {
+	c.mu.Lock()
+	c.lastErr = err
+	// Re-arm the detector: with drifted left set, closeWindowLocked would
+	// never signal again and a single failed retrain would end drift-driven
+	// retraining for good. Clearing it lets the still-shifted distribution
+	// re-trigger on the next out-of-band windows.
+	c.drifted = false
+	c.outOfBand = 0
+	c.mu.Unlock()
+	return err
+}
+
+// Start launches the background retrain worker: it retrains whenever
+// Observe detects drift, and on every RetrainInterval when one is
+// configured. Calling Start twice is a no-op.
+func (c *Controller) Start() {
+	c.runMu.Lock()
+	defer c.runMu.Unlock()
+	if c.done != nil {
+		return
+	}
+	c.done = make(chan struct{})
+	c.wg.Add(1)
+	go c.run(c.done)
+}
+
+func (c *Controller) run(done <-chan struct{}) {
+	defer c.wg.Done()
+	var tick <-chan time.Time
+	if c.cfg.RetrainInterval > 0 {
+		t := time.NewTicker(c.cfg.RetrainInterval)
+		defer t.Stop()
+		tick = t.C
+	}
+	for {
+		select {
+		case <-done:
+			return
+		case <-c.kick:
+		case <-tick:
+		}
+		// Errors are retained in Err(); the loop keeps serving future drift
+		// signals — one failed push must not end the control plane.
+		_ = c.RetrainNow()
+	}
+}
+
+// Close stops the background worker (if started) and waits for any retrain
+// in flight to finish. The controller remains usable synchronously.
+func (c *Controller) Close() {
+	c.runMu.Lock()
+	if c.done == nil {
+		c.runMu.Unlock()
+		return
+	}
+	close(c.done)
+	c.done = nil
+	c.runMu.Unlock()
+	c.wg.Wait()
+}
+
+// Stats returns a snapshot of the controller's counters.
+func (c *Controller) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Err returns the error of the most recent failed retrain, or nil if the
+// last retrain succeeded (or none ran).
+func (c *Controller) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lastErr
+}
+
+// Drifted reports whether drift has been detected and not yet answered by a
+// retrain.
+func (c *Controller) Drifted() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.drifted
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,306 @@
+package controlplane
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"taurus/internal/compiler"
+	"taurus/internal/core"
+	"taurus/internal/dataset"
+	"taurus/internal/fixed"
+	"taurus/internal/lower"
+	"taurus/internal/ml"
+	"taurus/internal/pipeline"
+	"taurus/internal/trafficgen"
+)
+
+// loopFixture is a deployed pipeline plus the drifting stream and the float
+// net the controller retrains.
+type loopFixture struct {
+	pipe   *pipeline.Pipeline
+	stream *trafficgen.DriftingStream
+	net    *ml.DNN
+	inQ    fixed.Quantizer
+}
+
+func newLoopFixture(t *testing.T, shards int) *loopFixture {
+	t.Helper()
+	stream, err := trafficgen.NewDriftingStream(dataset.DefaultDriftConfig(), 11, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	X, y := dataset.Split(stream.Labelled(2000))
+	net := ml.NewDNN([]int{6, 12, 6, 3, 1}, ml.ReLU, ml.Sigmoid, rng)
+	ml.NewTrainer(net, ml.SGDConfig{LearningRate: 0.05, Momentum: 0.9, BatchSize: 32, Epochs: 15}, rng).Fit(X, y)
+	q, err := ml.Quantize(net, X[:200])
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := lower.DNN(q, "loop-dnn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := pipeline.New(pipeline.Config{Shards: shards, Device: core.DefaultConfig(6)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(pl.Close)
+	if err := pl.LoadModel(g, q.InputQ, compiler.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	return &loopFixture{pipe: pl, stream: stream, net: net, inQ: q.InputQ}
+}
+
+func (f *loopFixture) f1(out []core.Decision, truth []bool) float64 {
+	var conf ml.BinaryConfusion
+	for i := range out {
+		conf.Observe(out[i].Verdict != core.Forward, truth[i])
+	}
+	return conf.F1()
+}
+
+func TestControllerValidation(t *testing.T) {
+	f := newLoopFixture(t, 1)
+	goodQ := f.inQ
+	src := f.stream.Labelled
+	if _, err := New(nil, f.net, goodQ, src, Config{}); err == nil {
+		t.Error("nil pusher accepted")
+	}
+	if _, err := New(f.pipe, nil, goodQ, src, Config{}); err == nil {
+		t.Error("nil net accepted")
+	}
+	if _, err := New(f.pipe, f.net, goodQ, nil, Config{}); err == nil {
+		t.Error("nil source accepted")
+	}
+	if _, err := New(f.pipe, f.net, fixed.Quantizer{}, src, Config{}); err == nil {
+		t.Error("zero input quantiser accepted")
+	}
+	if _, err := New(f.pipe, f.net, goodQ, src, Config{}); err != nil {
+		t.Errorf("valid construction failed: %v", err)
+	}
+}
+
+// TestControllerClosesTheLoop drives the loop synchronously: drift must be
+// detected after the distribution shifts, a retrain must push new weights,
+// and accuracy must recover while an untouched run would have stayed broken.
+func TestControllerClosesTheLoop(t *testing.T) {
+	f := newLoopFixture(t, 2)
+	cfg := DefaultConfig()
+	cfg.Window = 256
+	cfg.RefWindows = 2
+	cfg.RetrainRecords = 2000
+	cfg.RetrainEpochs = 10
+	ctrl, err := New(f.pipe, f.net, f.inQ, f.stream.Labelled, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const batch = 1024
+	run := func(rounds int) (last float64) {
+		for r := 0; r < rounds; r++ {
+			ins, out, truth := f.stream.NextBatch(batch)
+			if _, err := f.pipe.ProcessBatch(ins, out); err != nil {
+				t.Fatal(err)
+			}
+			if ctrl.Observe(out) {
+				if err := ctrl.RetrainNow(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			last = f.f1(out, truth)
+		}
+		return last
+	}
+
+	preF1 := run(3)
+	if preF1 < 50 {
+		t.Fatalf("pre-drift F1 = %.1f, deployment model did not train", preF1)
+	}
+	if got := ctrl.Stats().Drifts; got != 0 {
+		t.Fatalf("drift declared on stationary traffic (drifts = %d)", got)
+	}
+
+	f.stream.SetPhase(1)
+	run(4)
+	st := ctrl.Stats()
+	if st.Drifts == 0 {
+		t.Fatal("drift never detected after phase shift")
+	}
+	if st.Retrains == 0 {
+		t.Fatal("no retrain pushed after drift")
+	}
+	postF1 := run(3)
+	if postF1 < preF1-10 {
+		t.Errorf("closed loop did not recover: pre-drift F1 %.1f, post-retrain F1 %.1f", preF1, postF1)
+	}
+}
+
+// TestControllerBackgroundRetrainUnderTraffic exercises the deployment
+// shape under the race detector: batches keep flowing through ProcessBatch
+// on several goroutines while the background worker retrains and pushes
+// weights into the live shards.
+func TestControllerBackgroundRetrainUnderTraffic(t *testing.T) {
+	f := newLoopFixture(t, 4)
+	cfg := DefaultConfig()
+	cfg.Window = 128
+	cfg.RefWindows = 1
+	cfg.RetrainRecords = 512
+	cfg.RetrainEpochs = 2
+	cfg.RetrainInterval = time.Millisecond // force pushes regardless of drift
+	ctrl, err := New(f.pipe, f.net, f.inQ, f.stream.Labelled, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl.Start()
+	ctrl.Start() // second Start must be a harmless no-op
+
+	f.stream.SetPhase(1) // drive drifted traffic so Observe also kicks
+
+	const workers = 3
+	ins, _, _ := f.stream.NextBatch(512)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out := make([]core.Decision, len(ins))
+			for r := 0; r < 30; r++ {
+				if _, err := f.pipe.ProcessBatch(ins, out); err != nil {
+					t.Error(err)
+					return
+				}
+				ctrl.Observe(out)
+			}
+		}()
+	}
+	wg.Wait()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for ctrl.Stats().Retrains == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	ctrl.Close()
+	ctrl.Close() // idempotent
+	if err := ctrl.Err(); err != nil {
+		t.Fatalf("background retrain failed: %v", err)
+	}
+	if got := ctrl.Stats().Retrains; got == 0 {
+		t.Fatal("background worker never retrained")
+	}
+
+	// The pipeline must still serve traffic after the controller is closed.
+	out := make([]core.Decision, len(ins))
+	if _, err := f.pipe.ProcessBatch(ins, out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestControllerFailedRetrainRearms verifies a failed retrain does not end
+// drift-driven retraining: the detector must be able to re-signal on the
+// still-shifted distribution so a later retrain can succeed.
+func TestControllerFailedRetrainRearms(t *testing.T) {
+	f := newLoopFixture(t, 1)
+	failures := 1
+	flaky := func(n int) []dataset.Record {
+		if failures > 0 {
+			failures--
+			return nil // transient label-source outage
+		}
+		return f.stream.Labelled(n)
+	}
+	cfg := DefaultConfig()
+	cfg.Window = 128
+	cfg.RefWindows = 1
+	cfg.RetrainRecords = 1000
+	cfg.RetrainEpochs = 5
+	ctrl, err := New(f.pipe, f.net, f.inQ, flaky, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const batch = 512
+	drive := func(rounds int) (retrainErr error) {
+		for r := 0; r < rounds; r++ {
+			ins, out, _ := f.stream.NextBatch(batch)
+			if _, err := f.pipe.ProcessBatch(ins, out); err != nil {
+				t.Fatal(err)
+			}
+			if ctrl.Observe(out) {
+				if err := ctrl.RetrainNow(); err != nil {
+					retrainErr = err
+				}
+			}
+		}
+		return retrainErr
+	}
+	drive(2) // establish reference
+	f.stream.SetPhase(1)
+	if err := drive(6); err == nil {
+		t.Fatal("flaky source never made a retrain fail; test needs retuning")
+	}
+	if ctrl.Drifted() {
+		t.Error("failed retrain left the drift flag latched")
+	}
+	// The distribution is still shifted: the detector must fire again and
+	// the retry must succeed.
+	if err := drive(8); err != nil {
+		t.Fatalf("retry after failed retrain errored: %v", err)
+	}
+	st := ctrl.Stats()
+	if st.Drifts < 2 {
+		t.Errorf("drift not re-detected after failed retrain (drifts = %d)", st.Drifts)
+	}
+	if st.Retrains == 0 {
+		t.Error("no successful retrain after the transient failure")
+	}
+	if err := ctrl.Err(); err != nil {
+		t.Errorf("Err() still reports a failure after a successful retrain: %v", err)
+	}
+}
+
+// TestControllerReferenceRearms verifies the detector re-learns its
+// reference after a retrain instead of flagging the recovered distribution
+// as drifted forever.
+func TestControllerReferenceRearms(t *testing.T) {
+	f := newLoopFixture(t, 1)
+	cfg := DefaultConfig()
+	cfg.Window = 128
+	cfg.RefWindows = 1
+	ctrl, err := New(f.pipe, f.net, f.inQ, f.stream.Labelled, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const batch = 512
+	drive := func(rounds int) {
+		for r := 0; r < rounds; r++ {
+			ins, out, _ := f.stream.NextBatch(batch)
+			if _, err := f.pipe.ProcessBatch(ins, out); err != nil {
+				t.Fatal(err)
+			}
+			if ctrl.Observe(out) {
+				if err := ctrl.RetrainNow(); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	drive(2)
+	f.stream.SetPhase(1)
+	drive(4)
+	if !t.Failed() && ctrl.Stats().Retrains == 0 {
+		t.Fatal("no retrain on drift")
+	}
+	if ctrl.Drifted() {
+		t.Error("drift flag still set after retrain re-armed the reference")
+	}
+	// Stationary post-recovery traffic must not keep declaring drift.
+	before := ctrl.Stats().Drifts
+	drive(4)
+	after := ctrl.Stats().Drifts
+	if after > before+1 {
+		t.Errorf("detector kept firing on stationary recovered traffic: %d -> %d drifts", before, after)
+	}
+}

@@ -304,6 +304,22 @@ func inputWidth(g *mr.Graph) int {
 // Model returns the installed compiled model (nil before LoadModel).
 func (d *Device) Model() *compiler.Result { return d.model }
 
+// InputQuantizer returns the feature quantiser installed with the model (the
+// zero Quantizer before LoadModel). The control plane needs it to requantise
+// retrained weights into the same input domain the preprocessing MATs use.
+func (d *Device) InputQuantizer() fixed.Quantizer { return d.inQ }
+
+// ClearModel removes the installed model; packets bypass the MapReduce block
+// again until the next install. Used to roll a device back to its pre-model
+// state when a multi-device install fails partway.
+func (d *Device) ClearModel() {
+	d.model = nil
+	d.eval = nil
+	d.inQ = fixed.Quantizer{}
+	d.modelLat = 0
+	d.modelII = 0
+}
+
 // UpdateWeights swaps the constants and LUT tables of the installed model
 // for those of newGraph without re-placing the design — the out-of-band
 // weight update of §3.3.1/Figure 1. The new graph must be structurally
@@ -334,8 +350,13 @@ func (d *Device) UpdateWeights(newGraph *mr.Graph) error {
 		case mr.KConst:
 			copy(o.Const, n.Const)
 		case mr.KLUT:
+			// Explicit content copy into the shard-owned LUT object. Table
+			// is a value array today, so plain assignment would copy too;
+			// the copy form keeps the "newGraph is only read" contract —
+			// a trainer may mutate its graph right after the push — from
+			// silently breaking if Table ever becomes a slice.
 			o.LUT.Mult = n.LUT.Mult
-			o.LUT.Table = n.LUT.Table
+			copy(o.LUT.Table[:], n.LUT.Table[:])
 		case mr.KRequant, mr.KScale:
 			o.Mult = n.Mult
 		}

@@ -422,6 +422,64 @@ func TestUpdateWeights(t *testing.T) {
 	}
 }
 
+// TestUpdateWeightsIsolatesTrainerGraph pins the §3.3.1 push contract: the
+// pushed graph is only read, so a trainer that keeps mutating its own graph
+// after UpdateWeights returns must not change what the device computes.
+func TestUpdateWeightsIsolatesTrainerGraph(t *testing.T) {
+	dev, _, gen := buildAnomalyDevice(t)
+
+	rng := rand.New(rand.NewSource(77))
+	X, y := dataset.Split(gen.Records(400))
+	n2 := ml.NewDNN([]int{6, 12, 6, 3, 1}, ml.ReLU, ml.Sigmoid, rng)
+	ml.NewTrainer(n2, ml.SGDConfig{LearningRate: 0.05, Momentum: 0.9, BatchSize: 32, Epochs: 5}, rng).Fit(X, y)
+	q2, err := ml.Quantize(n2, X[:100])
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := lower.DNN(q2, "trainer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.UpdateWeights(g2); err != nil {
+		t.Fatal(err)
+	}
+
+	recs := gen.Records(32)
+	pkt := pisa.BuildTCPPacket(77, 2, 3, 4, 0, 0)
+	score := func(r dataset.Record) int32 {
+		t.Helper()
+		dec, err := dev.Process(PacketIn{Data: pkt, Features: r.Features})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return dec.MLScore
+	}
+	want := make([]int32, len(recs))
+	for i, r := range recs {
+		want[i] = score(r)
+	}
+
+	// The trainer keeps going: clobber every weight payload of its graph.
+	for _, n := range g2.Nodes {
+		for i := range n.Const {
+			n.Const[i] = 99
+		}
+		if n.LUT != nil {
+			for i := range n.LUT.Table {
+				n.LUT.Table[i] = -128
+			}
+			n.LUT.Mult.M0, n.LUT.Mult.Shift = 1<<30, 1
+		}
+		n.Mult.M0, n.Mult.Shift = 1<<30, 1
+	}
+
+	for i, r := range recs {
+		if got := score(r); got != want[i] {
+			t.Fatalf("record %d: score changed from %d to %d after trainer mutated its graph", i, want[i], got)
+		}
+	}
+}
+
 func TestUpdateWeightsNoModel(t *testing.T) {
 	dev, err := NewDevice(DefaultConfig(6))
 	if err != nil {

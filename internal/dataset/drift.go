@@ -1,0 +1,159 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"taurus/internal/tensor"
+)
+
+// DriftConfig parameterises the concept-drifting variant of the anomaly
+// workload: the generator interpolates between the calibrated class models
+// and a "drifted world" whose feature means and attack mix have moved, so a
+// model trained before the drift faces a decision boundary that no longer
+// holds (§3.3.1's motivation for continuous online retraining).
+type DriftConfig struct {
+	// Base is the pre-drift workload (DefaultAnomalyConfig if zero).
+	Base AnomalyConfig
+	// MeanShift scales how far the drifted world's feature means move from
+	// the base models. At the default 1.0 the benign flash-crowd occupies
+	// the feature band the pre-drift DoS signature lived in, inverting the
+	// learned boundary on the count features while the classes stay
+	// separable (a retrained model recovers).
+	MeanShift float64
+}
+
+// DefaultDriftConfig returns the calibrated drifting workload.
+func DefaultDriftConfig() DriftConfig {
+	return DriftConfig{Base: DefaultAnomalyConfig(), MeanShift: 1.0}
+}
+
+// driftedClassModels builds the phase-1 world: benign traffic turns into a
+// flash crowd (connection and service counts rise into the band volumetric
+// attacks used to own), the dominant DoS family goes low-and-slow (counts
+// collapse, payloads shrink further), and probes slow down. The boundary a
+// pre-drift model learned on the count features is inverted, but every class
+// keeps a learnable signature.
+func driftedClassModels(sep, shift float64) [numClasses][8]featureModel {
+	m := classModels(sep)
+	// Benign flash crowd: high counts, slightly longer sessions.
+	m[Benign][0].mu += 0.4 * shift
+	m[Benign][3].mu += 1.8 * shift
+	m[Benign][4].mu += 1.5 * shift
+	m[Benign][6].mu += 0.6 * shift
+	// DoS low-and-slow: counts fall below the new benign band, payloads
+	// shrink, error rate spikes harder.
+	m[DoS][1].mu -= 1.0 * shift
+	m[DoS][2].mu -= 0.8 * shift
+	m[DoS][3].mu -= 1.6 * shift
+	m[DoS][4].mu -= 1.2 * shift
+	m[DoS][6].mu += 0.6 * shift
+	// Probes pace themselves under the noise floor.
+	m[Probe][3].mu -= 1.0 * shift
+	m[Probe][4].mu -= 0.6 * shift
+	m[Probe][1].mu -= 0.6 * shift
+	return m
+}
+
+// driftedAttackMix is the phase-1 attack mix: volumetric DoS recedes while
+// the stealthier families grow.
+var driftedAttackMix = []struct {
+	class Class
+	w     float64
+}{
+	{DoS, 0.38}, {Probe, 0.30}, {R2L, 0.24}, {U2R, 0.08},
+}
+
+// DriftingGenerator produces labelled KDD-like records whose distribution
+// interpolates between the base world (phase 0) and the drifted world
+// (phase 1). Phase is advanced explicitly by the traffic driver, so
+// experiments control drift speed deterministically.
+type DriftingGenerator struct {
+	cfg     DriftConfig
+	base    [numClasses][8]featureModel
+	drifted [numClasses][8]featureModel
+	phase   float64
+	rng     *rand.Rand
+}
+
+// NewDriftingGenerator validates cfg and builds a generator seeded by rng,
+// starting at phase 0.
+func NewDriftingGenerator(cfg DriftConfig, rng *rand.Rand) (*DriftingGenerator, error) {
+	if cfg.Base == (AnomalyConfig{}) {
+		cfg.Base = DefaultAnomalyConfig()
+	}
+	if err := cfg.Base.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.MeanShift < 0 {
+		return nil, fmt.Errorf("dataset: MeanShift must be non-negative, got %v", cfg.MeanShift)
+	}
+	if cfg.MeanShift == 0 {
+		cfg.MeanShift = 1.0
+	}
+	return &DriftingGenerator{
+		cfg:     cfg,
+		base:    classModels(cfg.Base.Separation),
+		drifted: driftedClassModels(cfg.Base.Separation, cfg.MeanShift),
+		rng:     rng,
+	}, nil
+}
+
+// SetPhase moves the generator to phase p (clamped into [0, 1]).
+func (g *DriftingGenerator) SetPhase(p float64) {
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	g.phase = p
+}
+
+// Phase returns the current drift phase.
+func (g *DriftingGenerator) Phase() float64 { return g.phase }
+
+// sampleClass draws a class from the phase-interpolated attack mix.
+func (g *DriftingGenerator) sampleClass() Class {
+	if g.rng.Float64() >= g.cfg.Base.AnomalyFraction {
+		return Benign
+	}
+	r := g.rng.Float64()
+	var acc float64
+	for i, am := range attackMix {
+		w := (1-g.phase)*am.w + g.phase*driftedAttackMix[i].w
+		acc += w
+		if r < acc {
+			return am.class
+		}
+	}
+	return DoS
+}
+
+// Record draws one labelled record at the current phase.
+func (g *DriftingGenerator) Record() Record {
+	class := g.sampleClass()
+	feats := make(tensor.Vec, g.cfg.Base.NumFeatures)
+	for f := 0; f < g.cfg.Base.NumFeatures; f++ {
+		b, d := g.base[class][f], g.drifted[class][f]
+		mu := (1-g.phase)*b.mu + g.phase*d.mu
+		sigma := (1-g.phase)*b.sigma + g.phase*d.sigma
+		raw := math.Exp(mu + sigma*g.rng.NormFloat64())
+		v := math.Log1p(raw)
+		if v > 8 {
+			v = 8
+		}
+		feats[f] = float32(v)
+	}
+	return Record{Features: feats, Class: class}
+}
+
+// Records draws n labelled records at the current phase.
+func (g *DriftingGenerator) Records(n int) []Record {
+	out := make([]Record, n)
+	for i := range out {
+		out[i] = g.Record()
+	}
+	return out
+}

@@ -1,0 +1,106 @@
+package dataset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestDriftingGeneratorValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := NewDriftingGenerator(DriftConfig{MeanShift: -1}, rng); err == nil {
+		t.Error("negative MeanShift accepted")
+	}
+	if _, err := NewDriftingGenerator(DriftConfig{Base: AnomalyConfig{NumFeatures: 99, AnomalyFraction: 0.3, Separation: 0.5}}, rng); err == nil {
+		t.Error("invalid base config accepted")
+	}
+	g, err := NewDriftingGenerator(DriftConfig{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Phase() != 0 {
+		t.Errorf("initial phase = %v, want 0", g.Phase())
+	}
+}
+
+func TestDriftingGeneratorPhaseClamps(t *testing.T) {
+	g, err := NewDriftingGenerator(DefaultDriftConfig(), rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.SetPhase(-0.5)
+	if g.Phase() != 0 {
+		t.Errorf("phase after SetPhase(-0.5) = %v, want 0", g.Phase())
+	}
+	g.SetPhase(2)
+	if g.Phase() != 1 {
+		t.Errorf("phase after SetPhase(2) = %v, want 1", g.Phase())
+	}
+}
+
+// TestDriftingGeneratorMovesDistributions checks the drift actually inverts
+// the count-feature boundary: pre-drift DoS out-counts benign; post-drift
+// the benign flash-crowd out-counts the low-and-slow DoS.
+func TestDriftingGeneratorMovesDistributions(t *testing.T) {
+	g, err := NewDriftingGenerator(DefaultDriftConfig(), rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const countFeature = 3
+	meanCount := func(n int) (benign, dos float64) {
+		var nb, nd int
+		for i := 0; i < n; i++ {
+			r := g.Record()
+			switch r.Class {
+			case Benign:
+				benign += float64(r.Features[countFeature])
+				nb++
+			case DoS:
+				dos += float64(r.Features[countFeature])
+				nd++
+			}
+		}
+		if nb == 0 || nd == 0 {
+			t.Fatal("class starved in sample")
+		}
+		return benign / float64(nb), dos / float64(nd)
+	}
+
+	preBenign, preDoS := meanCount(8000)
+	if preDoS <= preBenign {
+		t.Errorf("pre-drift: DoS count mean %.2f should exceed benign %.2f", preDoS, preBenign)
+	}
+	g.SetPhase(1)
+	postBenign, postDoS := meanCount(8000)
+	if postBenign <= postDoS {
+		t.Errorf("post-drift: benign count mean %.2f should exceed DoS %.2f", postBenign, postDoS)
+	}
+	if postBenign <= preBenign {
+		t.Errorf("benign count mean should rise under drift: %.2f -> %.2f", preBenign, postBenign)
+	}
+}
+
+// TestDriftingGeneratorPhaseZeroMatchesBase: at phase 0 the drifting
+// generator must sample the same distributions as the plain generator.
+func TestDriftingGeneratorPhaseZeroMatchesBase(t *testing.T) {
+	cfg := DefaultDriftConfig()
+	dg, err := NewDriftingGenerator(cfg, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bg, err := NewAnomalyGenerator(cfg.Base, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identical seeds and identical sampling structure: record streams match.
+	for i := 0; i < 64; i++ {
+		dr, br := dg.Record(), bg.Record()
+		if dr.Class != br.Class {
+			t.Fatalf("record %d: class %v vs base %v", i, dr.Class, br.Class)
+		}
+		for f := range dr.Features {
+			if dr.Features[f] != br.Features[f] {
+				t.Fatalf("record %d feature %d: %v vs base %v", i, f, dr.Features[f], br.Features[f])
+			}
+		}
+	}
+}

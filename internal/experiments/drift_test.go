@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestDriftRecovery is the acceptance check for the closed control loop:
+// under concept drift the frozen baseline must degrade badly while the
+// controller-driven pipeline recovers to near its pre-drift operating point.
+func TestDriftRecovery(t *testing.T) {
+	rows, text, err := Drift(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "Frozen F1") || !strings.Contains(text, "Loop F1") {
+		t.Errorf("table missing columns:\n%s", text)
+	}
+
+	var pre float64
+	var preN int
+	for _, r := range rows {
+		if r.Phase == 0 {
+			pre += r.FrozenF1
+			preN++
+		}
+	}
+	if preN == 0 {
+		t.Fatal("no pre-drift rounds")
+	}
+	pre /= float64(preN)
+	last := rows[len(rows)-1]
+
+	if pre < 55 {
+		t.Fatalf("pre-drift F1 = %.1f, deployment model did not train properly", pre)
+	}
+	if last.Retrains == 0 {
+		t.Fatal("controller never retrained under drift")
+	}
+	// The frozen baseline must collapse well below the closed loop.
+	if last.FrozenF1 > pre-20 {
+		t.Errorf("frozen baseline barely degraded: pre %.1f, post %.1f — drift too weak to demonstrate the loop", pre, last.FrozenF1)
+	}
+	// The closed loop must recover to within a few points of pre-drift.
+	if last.LoopF1 < pre-5 {
+		t.Errorf("closed loop did not recover: pre-drift F1 %.1f, post-drift %.1f", pre, last.LoopF1)
+	}
+	if last.LoopF1 < last.FrozenF1+20 {
+		t.Errorf("loop (%.1f) should clearly beat frozen (%.1f) post-drift", last.LoopF1, last.FrozenF1)
+	}
+}

@@ -94,6 +94,20 @@ type QuantizedDNN struct {
 // inputs) to calibrate per-layer activation ranges. It returns an error when
 // the calibration set is empty.
 func Quantize(n *DNN, calib []tensor.Vec) (*QuantizedDNN, error) {
+	return quantize(n, calib, nil)
+}
+
+// QuantizeWithInput quantises like Quantize but pins the input quantiser to
+// inQ instead of calibrating it. The control plane uses this when retraining
+// a model that is already deployed: the data plane's preprocessing MATs keep
+// quantising features with the quantiser installed at LoadModel, so pushed
+// weights must be scaled against that same input domain — not against
+// whatever range the retraining batch happened to cover.
+func QuantizeWithInput(n *DNN, calib []tensor.Vec, inQ fixed.Quantizer) (*QuantizedDNN, error) {
+	return quantize(n, calib, &inQ)
+}
+
+func quantize(n *DNN, calib []tensor.Vec, pinnedInQ *fixed.Quantizer) (*QuantizedDNN, error) {
 	if len(calib) == 0 {
 		return nil, fmt.Errorf("ml: quantisation needs a calibration set")
 	}
@@ -116,6 +130,9 @@ func Quantize(n *DNN, calib []tensor.Vec) (*QuantizedDNN, error) {
 	}
 
 	q := &QuantizedDNN{InputQ: fixed.NewQuantizer(float64(inMax[0]))}
+	if pinnedInQ != nil {
+		q.InputQ = *pinnedInQ
+	}
 	inQ := q.InputQ
 	for i, l := range n.Layers {
 		wq := fixed.QuantizerFor(l.W.Data)

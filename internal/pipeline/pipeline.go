@@ -97,6 +97,8 @@ func New(cfg Config) (*Pipeline, error) {
 		shards: make([]*shard, cfg.Shards),
 		reqs:   make([]chan batchReq, cfg.Shards),
 	}
+	// Construct every device before starting any worker, so a constructor
+	// failure for a later shard cannot leak the goroutines of earlier ones.
 	for i := range p.shards {
 		dev, err := core.NewDevice(cfg.Device)
 		if err != nil {
@@ -104,6 +106,8 @@ func New(cfg Config) (*Pipeline, error) {
 		}
 		p.shards[i] = &shard{dev: dev}
 		p.reqs[i] = make(chan batchReq, 1)
+	}
+	for i := range p.shards {
 		go p.worker(p.shards[i], p.reqs[i])
 	}
 	return p, nil
@@ -144,6 +148,11 @@ func (p *Pipeline) shardOf(data []byte) int {
 // updates stay shard-local) but shares the placement and timing, which are
 // structure-only — the hardware analogue of flashing one bitstream to N
 // identical blocks.
+//
+// The install is all-or-nothing: every per-shard clone is built and
+// validated before any device is touched, and if an install still fails
+// partway the already-switched shards are rolled back to their previous
+// model, so the pipeline never serves traffic from a mix of models.
 func (p *Pipeline) LoadModel(g *mr.Graph, inQ fixed.Quantizer, opts compiler.Options) error {
 	if opts.Grid == (cgra.GridSpec{}) {
 		opts.Grid = p.shards[0].dev.Config().Grid
@@ -152,15 +161,41 @@ func (p *Pipeline) LoadModel(g *mr.Graph, inQ fixed.Quantizer, opts compiler.Opt
 	if err != nil {
 		return err
 	}
-	for _, s := range p.shards {
+	prepared := make([]*compiler.Result, len(p.shards))
+	for i := range p.shards {
 		shardRes := *res
 		shardRes.Graph = g.Clone()
-		s.mu.Lock()
-		err := s.dev.InstallModel(&shardRes, inQ)
-		s.mu.Unlock()
-		if err != nil {
+		if _, err := mr.NewEvaluator(shardRes.Graph); err != nil {
 			return err
 		}
+		prepared[i] = &shardRes
+	}
+	type prev struct {
+		res *compiler.Result
+		inQ fixed.Quantizer
+	}
+	prevs := make([]prev, 0, len(p.shards))
+	for i, s := range p.shards {
+		s.mu.Lock()
+		old := prev{s.dev.Model(), s.dev.InputQuantizer()}
+		err := s.dev.InstallModel(prepared[i], inQ)
+		s.mu.Unlock()
+		if err != nil {
+			for j, o := range prevs {
+				sj := p.shards[j]
+				sj.mu.Lock()
+				if o.res == nil {
+					sj.dev.ClearModel()
+				} else if rbErr := sj.dev.InstallModel(o.res, o.inQ); rbErr != nil {
+					// The previous model installed once already; reinstalling
+					// it cannot fail, but never leave a shard half-set.
+					sj.dev.ClearModel()
+				}
+				sj.mu.Unlock()
+			}
+			return err
+		}
+		prevs = append(prevs, old)
 	}
 	return nil
 }

@@ -202,6 +202,91 @@ func TestPipelineUpdateWeightsLive(t *testing.T) {
 	}
 }
 
+// TestLoadModelAllOrNothing verifies a failed LoadModel leaves every shard
+// on the model it was serving — never a mix.
+func TestLoadModelAllOrNothing(t *testing.T) {
+	p := newLoadedPipeline(t, 3)
+	ins, out := makeBatch(t, 96, 12)
+	if _, err := p.ProcessBatch(ins, out); err != nil {
+		t.Fatal(err)
+	}
+	before := append([]core.Decision(nil), out...)
+
+	wide, err := lower.InnerProduct(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.LoadModel(wide, modelQ.InputQ, compiler.Options{}); !errors.Is(err, core.ErrBadFeatureWidth) {
+		t.Fatalf("wide model: %v, want ErrBadFeatureWidth", err)
+	}
+	if _, err := p.ProcessBatch(ins, out); err != nil {
+		t.Fatal(err)
+	}
+	for i := range out {
+		if out[i] != before[i] {
+			t.Fatalf("packet %d decision changed after failed install: %+v -> %+v", i, before[i], out[i])
+		}
+	}
+
+	// A pipeline that never had a model stays modelless after the failure:
+	// traffic bypasses, nothing is half-installed.
+	fresh, err := New(Config{Shards: 2, Device: core.DefaultConfig(6)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fresh.Close()
+	if err := fresh.LoadModel(wide, modelQ.InputQ, compiler.Options{}); !errors.Is(err, core.ErrBadFeatureWidth) {
+		t.Fatalf("wide model on fresh pipeline: %v, want ErrBadFeatureWidth", err)
+	}
+	if _, err := fresh.ProcessBatch(ins, out); err != nil {
+		t.Fatal(err)
+	}
+	for i := range out {
+		if !out[i].Bypassed {
+			t.Fatalf("packet %d not bypassed on modelless pipeline after failed install", i)
+		}
+	}
+}
+
+// TestPipelineUpdateWeightsIsolatesTrainer pins the push contract at shard
+// granularity: after UpdateWeights returns, the trainer mutating its own
+// graph must not change any shard's outputs.
+func TestPipelineUpdateWeightsIsolatesTrainer(t *testing.T) {
+	_, _, g2, _ := trainModel(t)
+	p := newLoadedPipeline(t, 3)
+	trainer := g2.Clone() // private copy this test may clobber
+	if err := p.UpdateWeights(trainer); err != nil {
+		t.Fatal(err)
+	}
+	ins, out := makeBatch(t, 96, 12)
+	if _, err := p.ProcessBatch(ins, out); err != nil {
+		t.Fatal(err)
+	}
+	want := append([]core.Decision(nil), out...)
+
+	for _, n := range trainer.Nodes {
+		for i := range n.Const {
+			n.Const[i] = 99
+		}
+		if n.LUT != nil {
+			for i := range n.LUT.Table {
+				n.LUT.Table[i] = -128
+			}
+			n.LUT.Mult.M0, n.LUT.Mult.Shift = 1<<30, 1
+		}
+		n.Mult.M0, n.Mult.Shift = 1<<30, 1
+	}
+
+	if _, err := p.ProcessBatch(ins, out); err != nil {
+		t.Fatal(err)
+	}
+	for i := range out {
+		if out[i] != want[i] {
+			t.Fatalf("packet %d decision changed after trainer mutated its graph: %+v -> %+v", i, want[i], out[i])
+		}
+	}
+}
+
 func TestPipelineSentinelErrors(t *testing.T) {
 	p, err := New(Config{Shards: 2, Device: core.DefaultConfig(6)})
 	if err != nil {

@@ -233,19 +233,21 @@ func NewRegisterArray(name string, size int) *RegisterArray {
 func (r *RegisterArray) Size() int { return len(r.vals) }
 
 // Read returns the value at idx (indexes wrap like hardware hash indices).
+// The reduction stays in uint32: int(idx) overflows to a negative value for
+// idx >= 2^31 on 32-bit platforms, and a negative modulus panics.
 func (r *RegisterArray) Read(idx uint32) int32 {
-	return r.vals[int(idx)%len(r.vals)]
+	return r.vals[idx%uint32(len(r.vals))]
 }
 
 // Write stores a value at idx.
 func (r *RegisterArray) Write(idx uint32, v int32) {
-	r.vals[int(idx)%len(r.vals)] = v
+	r.vals[idx%uint32(len(r.vals))] = v
 }
 
 // Add atomically accumulates into idx and returns the new value — the
 // read-modify-write register action used for feature accumulation.
 func (r *RegisterArray) Add(idx uint32, delta int32) int32 {
-	i := int(idx) % len(r.vals)
+	i := idx % uint32(len(r.vals))
 	r.vals[i] += delta
 	return r.vals[i]
 }

@@ -290,6 +290,24 @@ func TestRegisterArray(t *testing.T) {
 	}
 }
 
+func TestRegisterArrayHighBitIndex(t *testing.T) {
+	// Hash indices use the full uint32 range. Indexing must reduce in
+	// uint32: converting to int first goes negative for idx >= 2^31 on
+	// 32-bit platforms and panics on the negative modulus.
+	r := NewRegisterArray("cnt", 3)
+	const idx = uint32(1)<<31 + 2 // 2147483650 % 3 == 1
+	r.Write(idx, 7)
+	if got := r.Read(idx); got != 7 {
+		t.Errorf("Read(2^31+2) = %d, want 7", got)
+	}
+	if got := r.Read(1); got != 7 {
+		t.Errorf("high-bit index should reduce to slot 1, Read(1) = %d", got)
+	}
+	if got := r.Add(idx, 3); got != 10 {
+		t.Errorf("Add at high-bit index = %d, want 10", got)
+	}
+}
+
 func TestFIFO(t *testing.T) {
 	q := NewFIFO[int](2)
 	if !q.Push(1) || !q.Push(2) {

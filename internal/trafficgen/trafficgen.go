@@ -7,6 +7,7 @@ package trafficgen
 
 import (
 	"math/rand"
+	"sync"
 
 	"taurus/internal/core"
 	"taurus/internal/dataset"
@@ -35,4 +36,90 @@ func AnomalyBatch(seed int64, n, nflows int) ([]core.PacketIn, []core.Decision, 
 		ins[i] = core.PacketIn{Data: pkts[f], Features: feats[f]}
 	}
 	return ins, make([]core.Decision, n), nil
+}
+
+// DriftingStream produces labelled traffic whose distribution drifts over
+// time (dataset.DriftingGenerator): batches of packets over a fixed flow
+// working set, each flow re-drawing its record — features and ground-truth
+// class — every batch at the stream's current phase.
+//
+// The stream holds two independently-seeded generators at the same phase:
+// one drives the traffic, the other serves the control plane's labelled
+// telemetry (Labelled), so a controller sampling labels never perturbs the
+// packet sequence the data plane sees — frozen-baseline and closed-loop runs
+// over the same stream stay packet-for-packet comparable.
+type DriftingStream struct {
+	traffic *dataset.DriftingGenerator
+
+	labelMu sync.Mutex // a background controller samples labels concurrently
+	labels  *dataset.DriftingGenerator
+
+	pkts  [][]byte
+	feats [][]float32
+	truth []bool
+}
+
+// NewDriftingStream builds a stream of nflows flows under cfg, at phase 0.
+func NewDriftingStream(cfg dataset.DriftConfig, seed int64, nflows int) (*DriftingStream, error) {
+	traffic, err := dataset.NewDriftingGenerator(cfg, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return nil, err
+	}
+	labels, err := dataset.NewDriftingGenerator(cfg, rand.New(rand.NewSource(seed+1)))
+	if err != nil {
+		return nil, err
+	}
+	s := &DriftingStream{
+		traffic: traffic,
+		labels:  labels,
+		pkts:    make([][]byte, nflows),
+		feats:   make([][]float32, nflows),
+		truth:   make([]bool, nflows),
+	}
+	for f := 0; f < nflows; f++ {
+		s.pkts[f] = pisa.BuildTCPPacket(0x0a000000+uint32(f), 0x0a800001,
+			uint16(1024+f), 443, 0x10, 64)
+	}
+	return s, nil
+}
+
+// SetPhase moves both generators to drift phase p (clamped into [0, 1]).
+func (s *DriftingStream) SetPhase(p float64) {
+	s.traffic.SetPhase(p)
+	s.labelMu.Lock()
+	s.labels.SetPhase(p)
+	s.labelMu.Unlock()
+}
+
+// Phase returns the current drift phase.
+func (s *DriftingStream) Phase() float64 { return s.traffic.Phase() }
+
+// NextBatch re-draws every flow's record at the current phase and returns n
+// packets round-robin across the flows, a matching decision buffer, and the
+// per-packet ground truth (true = anomalous).
+func (s *DriftingStream) NextBatch(n int) ([]core.PacketIn, []core.Decision, []bool) {
+	for f := range s.pkts {
+		r := s.traffic.Record()
+		s.feats[f] = r.Features
+		s.truth[f] = r.Anomalous()
+	}
+	ins := make([]core.PacketIn, n)
+	truth := make([]bool, n)
+	for i := range ins {
+		f := i % len(s.pkts)
+		ins[i] = core.PacketIn{Data: s.pkts[f], Features: s.feats[f]}
+		truth[i] = s.truth[f]
+	}
+	return ins, make([]core.Decision, n), truth
+}
+
+// Labelled draws n labelled records at the current phase from the stream's
+// label generator — the control plane's sampled, ground-truth-joined
+// telemetry feed. It never perturbs the traffic sequence, and it is safe to
+// call from a background controller concurrently with SetPhase and
+// NextBatch.
+func (s *DriftingStream) Labelled(n int) []dataset.Record {
+	s.labelMu.Lock()
+	defer s.labelMu.Unlock()
+	return s.labels.Records(n)
 }

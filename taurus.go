@@ -16,6 +16,19 @@
 //     goroutines. Process is the one-packet convenience wrapper;
 //     ProcessBatch is the same zero-allocation hot path the Pipeline runs.
 //
+//   - NewController closes the control loop over a running Pipeline
+//     (Figure 1, §3.3.1): feed it the data plane's decisions with Observe,
+//     and it detects concept drift (flagged-rate or score-distribution
+//     shift against a reference window), retrains its float DNN on freshly
+//     labelled telemetry from a LabelSource, requantises against the
+//     deployed input domain, and pushes the new weights to every shard via
+//     UpdateWeights — out-of-band, while batches keep flowing. Run it
+//     synchronously (Observe + RetrainNow) for deterministic experiments or
+//     in the background (Start/Close) for live serving; tune it with
+//     WithRetrainInterval, WithRetrainEpochs, WithDriftThresholds and
+//     friends. NewDriftingStream generates the matching concept-drifting
+//     workload.
+//
 //   - Both constructors take functional options: WithGrid, WithFlowTable,
 //     WithThreshold, WithDropOnAnomaly, and (pipelines only) WithShards.
 //     Failures surface sentinel errors — ErrNoModel, ErrBadFeatureWidth,
@@ -37,8 +50,12 @@
 package taurus
 
 import (
+	"fmt"
+	"time"
+
 	"taurus/internal/cgra"
 	"taurus/internal/compiler"
+	"taurus/internal/controlplane"
 	"taurus/internal/core"
 	"taurus/internal/dataset"
 	"taurus/internal/fixed"
@@ -48,6 +65,7 @@ import (
 	"taurus/internal/pipeline"
 	"taurus/internal/pisa"
 	"taurus/internal/tensor"
+	"taurus/internal/trafficgen"
 )
 
 // MapReduce program construction (Figure 4).
@@ -185,6 +203,93 @@ func NewPipeline(numFeatures int, opts ...Option) (*Pipeline, error) {
 	return pipeline.New(pipeline.Config{Shards: o.shards, Device: o.dev})
 }
 
+// The control plane (Figure 1, §3.3.1): online retraining and live weight
+// pushes over a running traffic plane.
+type (
+	// Controller is the closed-loop control plane: drift detection,
+	// background retraining, out-of-band weight pushes.
+	Controller = controlplane.Controller
+	// ControllerStats reports the controller's activity (windows observed,
+	// drifts detected, retrains pushed).
+	ControllerStats = controlplane.Stats
+	// LabelSource supplies freshly sampled labelled records reflecting the
+	// current traffic distribution (the control plane's telemetry joined
+	// with ground truth).
+	LabelSource = controlplane.LabelSource
+)
+
+// ControllerOption configures NewController.
+type ControllerOption func(*controlplane.Config)
+
+// WithSampleEvery samples one in n non-bypassed decisions into the drift
+// windows (default 4) — the telemetry sampling rate of §5.2.3.
+func WithSampleEvery(n int) ControllerOption {
+	return func(c *controlplane.Config) { c.SampleEvery = n }
+}
+
+// WithDriftWindow sets how many sampled decisions form one observation
+// window (default 512).
+func WithDriftWindow(n int) ControllerOption {
+	return func(c *controlplane.Config) { c.Window = n }
+}
+
+// WithDriftThresholds sets the absolute flagged-rate shift and the
+// mean-score shift (in output code units) that declare drift (defaults
+// 0.10 and 16).
+func WithDriftThresholds(flagDelta, scoreDelta float64) ControllerOption {
+	return func(c *controlplane.Config) {
+		c.FlagDelta = flagDelta
+		c.ScoreDelta = scoreDelta
+	}
+}
+
+// WithDriftPatience sets how many consecutive out-of-threshold windows
+// declare drift (default 2) — hysteresis against single-window sampling
+// noise.
+func WithDriftPatience(n int) ControllerOption {
+	return func(c *controlplane.Config) { c.DriftPatience = n }
+}
+
+// WithRetrainInterval makes the background worker retrain every d even
+// without a drift signal (default: drift-triggered only).
+func WithRetrainInterval(d time.Duration) ControllerOption {
+	return func(c *controlplane.Config) { c.RetrainInterval = d }
+}
+
+// WithRetrainRecords sets how many labelled records each retrain collects
+// (default 2048).
+func WithRetrainRecords(n int) ControllerOption {
+	return func(c *controlplane.Config) { c.RetrainRecords = n }
+}
+
+// WithRetrainEpochs sets how many passes each retrain makes over its
+// records (default 8).
+func WithRetrainEpochs(n int) ControllerOption {
+	return func(c *controlplane.Config) { c.RetrainEpochs = n }
+}
+
+// WithControllerSeed seeds the controller's SGD shuffling (default 1).
+func WithControllerSeed(seed int64) ControllerOption {
+	return func(c *controlplane.Config) { c.Seed = seed }
+}
+
+// NewController builds the closed-loop controller for a pipeline: it
+// retrains net — the float twin of the deployed model; the controller takes
+// ownership — on records from src, and pushes requantised weights to every
+// shard. inQ must be the quantiser the model was deployed with (LoadModel's
+// argument), so pushed weights stay scaled to the data plane's fixed input
+// domain.
+func NewController(p *Pipeline, net *DNN, inQ Quantizer, src LabelSource, opts ...ControllerOption) (*Controller, error) {
+	if p == nil {
+		return nil, fmt.Errorf("%w: nil pipeline", ErrBadConfig)
+	}
+	cfg := controlplane.DefaultConfig()
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return controlplane.New(p, net, inQ, src, cfg)
+}
+
 // Machine-learning models (§5.1.2) and quantisation (Table 3).
 type (
 	// DNN is a float feed-forward network (control-plane training).
@@ -227,6 +332,15 @@ type (
 	IoTGenerator = dataset.IoTGenerator
 	// Record is one labelled connection.
 	Record = dataset.Record
+	// DriftConfig parameterises the concept-drifting anomaly workload.
+	DriftConfig = dataset.DriftConfig
+	// DriftingGenerator produces records whose distribution interpolates
+	// between the base world (phase 0) and a drifted one (phase 1).
+	DriftingGenerator = dataset.DriftingGenerator
+	// DriftingStream produces labelled packet batches over a flow working
+	// set whose feature distributions drift with the stream's phase, plus
+	// the label feed a Controller retrains on.
+	DriftingStream = trafficgen.DriftingStream
 )
 
 // Dataset constructors and helpers.
@@ -243,6 +357,12 @@ var (
 	KMeansIoTConfig = dataset.KMeansIoTConfig
 	// SplitRecords converts records to (X, y) with y=1 for anomalies.
 	SplitRecords = dataset.Split
+	// NewDriftingGenerator builds a concept-drifting record generator.
+	NewDriftingGenerator = dataset.NewDriftingGenerator
+	// DefaultDriftConfig is the calibrated drifting workload.
+	DefaultDriftConfig = dataset.DefaultDriftConfig
+	// NewDriftingStream builds drifting packet traffic over n flows.
+	NewDriftingStream = trafficgen.NewDriftingStream
 )
 
 // Training helpers.
@@ -261,6 +381,11 @@ var (
 	NewTrainer = ml.NewTrainer
 	// QuantizeDNN converts a trained DNN to 8-bit (Table 3's scheme).
 	QuantizeDNN = ml.Quantize
+	// QuantizeDNNWithInput quantises against a pinned input quantiser —
+	// what a Controller does when requantising a retrained model for a
+	// data plane whose preprocessing MATs keep their deployment-time
+	// quantiser.
+	QuantizeDNNWithInput = ml.QuantizeWithInput
 	// TrainKMeans runs k-means++ plus Lloyd iterations.
 	TrainKMeans = ml.TrainKMeans
 	// TrainSVM fits an RBF SVM with SMO.

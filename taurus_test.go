@@ -2,7 +2,9 @@ package taurus
 
 import (
 	"errors"
+	"math/rand"
 	"testing"
+	"time"
 )
 
 // TestOptionsConstruction exercises the v1 functional-options surface.
@@ -49,5 +51,70 @@ func TestPipelineConstruction(t *testing.T) {
 		t.Error("UpdateWeights on empty pipeline should fail")
 	} else if !errors.Is(err, ErrNoModel) {
 		t.Errorf("UpdateWeights before LoadModel: %v, want ErrNoModel", err)
+	}
+}
+
+// TestControllerConstruction exercises the control-plane facade: a pipeline
+// with a deployed model, a drifting stream, and a controller built with the
+// functional options, driven one synchronous loop iteration.
+func TestControllerConstruction(t *testing.T) {
+	stream, err := NewDriftingStream(DefaultDriftConfig(), 5, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	X, y := SplitRecords(stream.Labelled(800))
+	net := NewDNN([]int{6, 12, 6, 3, 1}, ReLU, Sigmoid, rng)
+	NewTrainer(net, SGDConfig{LearningRate: 0.05, Momentum: 0.9, BatchSize: 32, Epochs: 10}, rng).Fit(X, y)
+	q, err := QuantizeDNN(net, X[:200])
+	if err != nil {
+		t.Fatal(err)
+	}
+	program, err := LowerDNN(q, "facade-dnn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := NewPipeline(6, WithShards(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pl.Close()
+	if err := pl.LoadModel(program, q.InputQ, CompileOptions{}); err != nil {
+		t.Fatal(err)
+	}
+
+	ctrl, err := NewController(pl, net, q.InputQ, stream.Labelled,
+		WithSampleEvery(2),
+		WithDriftWindow(128),
+		WithDriftThresholds(0.2, 32),
+		WithDriftPatience(1),
+		WithRetrainInterval(time.Hour),
+		WithRetrainRecords(400),
+		WithRetrainEpochs(1),
+		WithControllerSeed(5),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctrl.Close()
+
+	ins, out, _ := stream.NextBatch(256)
+	if _, err := pl.ProcessBatch(ins, out); err != nil {
+		t.Fatal(err)
+	}
+	ctrl.Observe(out)
+	if err := ctrl.RetrainNow(); err != nil {
+		t.Fatal(err)
+	}
+	st := ctrl.Stats()
+	if st.Retrains != 1 {
+		t.Errorf("Retrains = %d, want 1", st.Retrains)
+	}
+	if st.Sampled == 0 {
+		t.Error("controller sampled no decisions")
+	}
+
+	if _, err := NewController(nil, net, q.InputQ, stream.Labelled); err == nil {
+		t.Error("nil pipeline accepted")
 	}
 }
