@@ -15,9 +15,11 @@ bench:
 
 # One iteration of every benchmark in the module (no unit tests — CI runs
 # those separately): cheap enough for CI, and keeps benchmark code compiling
-# and running so it can't silently rot.
+# and running so it can't silently rot. The drift invocation smokes the
+# model-agnostic control loop end to end on the non-DNN path.
 bench-smoke:
 	$(GO) test -run xxx -bench=. -benchtime=1x ./...
+	$(GO) run ./cmd/taurus-bench -exp drift -model svm
 
 check:
 	@fmtout=$$(gofmt -l .); \

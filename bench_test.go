@@ -204,7 +204,7 @@ func BenchmarkFigure14(b *testing.B) {
 func BenchmarkDriftControlLoop(b *testing.B) {
 	var frozen, loop float64
 	for i := 0; i < b.N; i++ {
-		rows, _, err := experiments.Drift(1)
+		rows, _, err := experiments.DriftTable(1, "dnn")
 		if err != nil {
 			b.Fatal(err)
 		}

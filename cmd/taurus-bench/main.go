@@ -2,12 +2,14 @@
 //
 // Usage:
 //
-//	taurus-bench                 # everything
-//	taurus-bench -exp table5     # one experiment
-//	taurus-bench -packets 100000 # smaller Table 8 run
+//	taurus-bench                     # everything
+//	taurus-bench -exp table5         # one experiment
+//	taurus-bench -packets 100000     # smaller Table 8 run
+//	taurus-bench -exp drift -model svm # close the loop over the SVM
 //
 // Experiments: table1 table2 table3 table4 table5 table6 table7 table8
-// fig9 fig10 fig11 fig13 fig14 mats throughput drift.
+// fig9 fig10 fig11 fig13 fig14 mats throughput drift. The drift experiment
+// takes -model dnn|svm|iot to pick the retrained model family.
 package main
 
 import (
@@ -23,15 +25,16 @@ func main() {
 	exp := flag.String("exp", "all", "experiment to run (all, table1..table8, fig9..fig14, mats, throughput, drift)")
 	packets := flag.Int("packets", 400_000, "packets for the Table 8 simulation")
 	seed := flag.Int64("seed", 1, "training seed")
+	driftModel := flag.String("model", "dnn", "model family for the drift experiment (dnn, svm, iot)")
 	flag.Parse()
 
-	if err := run(*exp, *packets, *seed); err != nil {
+	if err := run(*exp, *packets, *seed, *driftModel); err != nil {
 		fmt.Fprintln(os.Stderr, "taurus-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, packets int, seed int64) error {
+func run(exp string, packets int, seed int64, driftModel string) error {
 	want := func(name string) bool { return exp == "all" || strings.EqualFold(exp, name) }
 
 	needModels := exp == "all" || want("table5") || want("table8") || want("fig11") || want("mats") || want("throughput")
@@ -126,8 +129,8 @@ func run(exp string, packets int, seed int64) error {
 		emit(text)
 	}
 	if want("drift") {
-		fmt.Fprintln(os.Stderr, "running closed-control-loop drift experiment...")
-		_, text, err := experiments.Drift(seed)
+		fmt.Fprintf(os.Stderr, "running closed-control-loop drift experiment (%s)...\n", driftModel)
+		_, text, err := experiments.Drift(seed, driftModel)
 		if err != nil {
 			return err
 		}

@@ -1,10 +1,13 @@
 // The closed control loop, live (Figure 1, §3.3.1): a sharded Pipeline
 // serves concept-drifting traffic while a background Controller samples its
-// decisions, detects the drift, retrains the anomaly DNN on freshly labelled
-// telemetry, and pushes requantised weights to every shard out-of-band —
-// packets never stop flowing. A frozen-model baseline would collapse here
-// (run `taurus-bench -exp drift` for the side-by-side table); the loop
-// recovers to its pre-drift operating point.
+// decisions, detects the drift, retrains the deployed model on freshly
+// labelled telemetry, and pushes requantised weights to every shard
+// out-of-band — packets never stop flowing. The controller is
+// model-agnostic: this example deploys the anomaly DNN through its
+// Deployable lifecycle, and the same loop retrains the SVM or the KMeans
+// IoT classifier (run `taurus-bench -exp drift -model svm|iot` for the
+// frozen-vs-loop tables). Labels arrive one round stale with 5% noise —
+// the control plane trains on realistic telemetry, not oracle truth.
 package main
 
 import (
@@ -24,24 +27,30 @@ func main() {
 	)
 
 	// Concept-drifting workload: phase 0 is the calibrated KDD-like world,
-	// phase 1 has the benign flash-crowd and low-and-slow attacks.
-	stream, err := taurus.NewDriftingStream(taurus.DefaultDriftConfig(), 1, flows)
+	// phase 1 has the benign flash-crowd and low-and-slow attacks. The
+	// label feed lags a round and carries 5% wrong labels.
+	stream, err := taurus.NewDriftingStream(taurus.DefaultDriftConfig(), 1, flows,
+		taurus.WithLabelDelay(1), taurus.WithLabelNoise(0.05))
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// Deployment-time training on the pre-drift world.
-	rng := rand.New(rand.NewSource(1))
-	X, y := taurus.SplitRecords(stream.Labelled(4000))
-	net := taurus.NewDNN([]int{6, 12, 6, 3, 1}, taurus.ReLU, taurus.Sigmoid, rng)
-	taurus.NewTrainer(net, taurus.SGDConfig{
-		LearningRate: 0.05, Momentum: 0.9, BatchSize: 32, Epochs: 25,
-	}, rng).Fit(X, y)
-	q, err := taurus.QuantizeDNN(net, X[:300])
+	// Deployment-time training through the Deployable lifecycle: Fit on
+	// pre-drift telemetry, calibrate the input domain, Lower, install.
+	net := taurus.NewDNN([]int{6, 12, 6, 3, 1}, taurus.ReLU, taurus.Sigmoid,
+		rand.New(rand.NewSource(1)))
+	dep, err := taurus.NewDNNDeployable(net, taurus.DNNDeployableConfig{Epochs: 10, Seed: 1})
 	if err != nil {
 		log.Fatal(err)
 	}
-	program, err := taurus.LowerDNN(q, "anomaly-dnn")
+	recs := stream.Labelled(4000)
+	inQ := taurus.InputQuantizerFor(recs)
+	for i := 0; i < 3; i++ { // ~30 warm epochs
+		if err := dep.Fit(recs); err != nil {
+			log.Fatal(err)
+		}
+	}
+	program, err := dep.Lower(inQ)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -51,15 +60,16 @@ func main() {
 		log.Fatal(err)
 	}
 	defer pl.Close()
-	if err := pl.LoadModel(program, q.InputQ, taurus.CompileOptions{}); err != nil {
+	if err := pl.LoadModel(program, inQ, taurus.CompileOptions{}); err != nil {
 		log.Fatal(err)
 	}
 
-	// The controller owns the float net from here on; it retrains on the
-	// stream's labelled telemetry and pushes to every shard. Background
-	// mode: retraining overlaps the traffic below.
-	ctrl, err := taurus.NewController(pl, net, q.InputQ, stream.Labelled,
-		taurus.WithRetrainRecords(3000), taurus.WithRetrainEpochs(10))
+	// The controller owns the Deployable from here on; it retrains on the
+	// stream's labelled telemetry and pushes to every shard, with the input
+	// quantiser pinned from the pipeline. Background mode: retraining
+	// overlaps the traffic below.
+	ctrl, err := taurus.NewController(pl, dep, stream.Labelled,
+		taurus.WithRetrainRecords(3000))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -67,22 +77,11 @@ func main() {
 	defer ctrl.Close()
 
 	f1 := func(out []taurus.Decision, truth []bool) float64 {
-		var tp, fp, fn int
+		var conf taurus.BinaryConfusion
 		for i := range out {
-			pred := out[i].Verdict != taurus.Forward
-			switch {
-			case pred && truth[i]:
-				tp++
-			case pred && !truth[i]:
-				fp++
-			case !pred && truth[i]:
-				fn++
-			}
+			conf.Observe(out[i].Verdict != taurus.Forward, truth[i])
 		}
-		if 2*tp+fp+fn == 0 {
-			return 0
-		}
-		return 100 * 2 * float64(tp) / float64(2*tp+fp+fn)
+		return conf.F1()
 	}
 
 	out := make([]taurus.Decision, batchSize)

@@ -2,9 +2,15 @@
 // while traffic flows through the data plane, the controller samples the
 // data plane's per-packet decisions, watches for concept drift — a shift of
 // the flagged-packet rate or of the score distribution against a reference
-// window — retrains its float DNN on freshly collected labelled telemetry,
+// window — retrains its model on freshly collected labelled telemetry,
 // requantises the result against the data plane's pinned input domain, and
 // pushes the new weights to every shard out-of-band via UpdateWeights.
+//
+// The controller is model-agnostic: it drives any model.Deployable — the
+// anomaly DNN, the RBF SVM, the KMeans IoT classifier — through the same
+// Fit → Lower → push cycle. Everything model-specific (training policy,
+// quantisation, graph shape) lives behind the Deployable contract; the
+// controller owns only the drift detection and the push.
 //
 // The ownership split mirrors a MapReduce coordinator and its workers: the
 // controller is the single writer of the float model and the only caller of
@@ -23,16 +29,14 @@ package controlplane
 
 import (
 	"fmt"
-	"math/rand"
 	"sync"
 	"time"
 
 	"taurus/internal/core"
 	"taurus/internal/dataset"
 	"taurus/internal/fixed"
-	"taurus/internal/lower"
 	mr "taurus/internal/mapreduce"
-	"taurus/internal/ml"
+	"taurus/internal/model"
 )
 
 // Pusher is the controller's view of the data plane: anything that accepts
@@ -49,8 +53,26 @@ type Pusher interface {
 // concurrent use when the controller runs in the background.
 type LabelSource func(n int) []dataset.Record
 
+// DriftStatistic selects how a completed observation window is compared
+// against the reference profile.
+type DriftStatistic int
+
+const (
+	// DriftMeanShift compares the window's flagged-packet rate and mean
+	// model score against the reference (the defaults FlagDelta and
+	// ScoreDelta). Cheap and robust for boundary shifts that move the mean.
+	DriftMeanShift DriftStatistic = iota
+	// DriftPSI computes the population stability index between the window's
+	// score histogram and the reference's, over quantile bins learned from
+	// the reference. Scale-free (it adapts to any score range) and
+	// sensitive to distribution change that leaves the mean untouched —
+	// symmetric variance widening, bimodal splits.
+	DriftPSI
+)
+
 // Config parameterises a Controller. The zero value of any field selects
-// the default noted on it.
+// the default noted on it. Training policy (epochs, learning rates, SMO
+// parameters) belongs to the model.Deployable, not the controller.
 type Config struct {
 	// SampleEvery samples one in N non-bypassed decisions into the drift
 	// windows (default 4) — the telemetry sampling rate of §5.2.3.
@@ -63,12 +85,18 @@ type Config struct {
 	// after every retrain, so the post-push distribution becomes the new
 	// normal.
 	RefWindows int
+	// Statistic selects the drift detector (default DriftMeanShift).
+	Statistic DriftStatistic
 	// FlagDelta is the absolute shift of the flagged-packet rate that
-	// declares drift (default 0.10).
+	// declares drift (default 0.10). Applies to both statistics.
 	FlagDelta float64
 	// ScoreDelta is the shift of the mean model score, in output code units,
-	// that declares drift (default 16).
+	// that declares drift (default 16). DriftMeanShift only.
 	ScoreDelta float64
+	// PSIThreshold is the population-stability-index value that declares
+	// drift (default 0.25 — the conventional "significant shift" point).
+	// DriftPSI only.
+	PSIThreshold float64
 	// DriftPatience is how many consecutive out-of-threshold windows it
 	// takes to declare drift (default 2) — hysteresis against the sampling
 	// noise of a single window.
@@ -76,17 +104,9 @@ type Config struct {
 	// RetrainRecords is how many labelled records each retrain collects
 	// (default 2048).
 	RetrainRecords int
-	// RetrainEpochs is how many passes each retrain makes over its records
-	// (default 8).
-	RetrainEpochs int
 	// RetrainInterval, when positive, retrains periodically in background
 	// mode even without a drift signal (0 = drift-triggered only).
 	RetrainInterval time.Duration
-	// LearningRate and BatchSize configure the SGD steps (defaults 0.05, 32).
-	LearningRate float32
-	BatchSize    int
-	// Seed seeds the trainer's shuffling (default 1).
-	Seed int64
 }
 
 // DefaultConfig returns the default controller configuration.
@@ -97,12 +117,9 @@ func DefaultConfig() Config {
 		RefWindows:     2,
 		FlagDelta:      0.10,
 		ScoreDelta:     16,
+		PSIThreshold:   0.25,
 		DriftPatience:  2,
 		RetrainRecords: 2048,
-		RetrainEpochs:  8,
-		LearningRate:   0.05,
-		BatchSize:      32,
-		Seed:           1,
 	}
 }
 
@@ -123,23 +140,14 @@ func (c *Config) applyDefaults() {
 	if c.ScoreDelta <= 0 {
 		c.ScoreDelta = d.ScoreDelta
 	}
+	if c.PSIThreshold <= 0 {
+		c.PSIThreshold = d.PSIThreshold
+	}
 	if c.DriftPatience <= 0 {
 		c.DriftPatience = d.DriftPatience
 	}
 	if c.RetrainRecords <= 0 {
 		c.RetrainRecords = d.RetrainRecords
-	}
-	if c.RetrainEpochs <= 0 {
-		c.RetrainEpochs = d.RetrainEpochs
-	}
-	if c.LearningRate <= 0 {
-		c.LearningRate = d.LearningRate
-	}
-	if c.BatchSize <= 0 {
-		c.BatchSize = d.BatchSize
-	}
-	if c.Seed == 0 {
-		c.Seed = d.Seed
 	}
 }
 
@@ -159,6 +167,9 @@ type Stats struct {
 	// LastFlagRate and LastMeanScore describe the last completed window.
 	LastFlagRate  float64
 	LastMeanScore float64
+	// LastPSI is the population stability index of the last completed
+	// window (0 until the reference is armed; DriftPSI only).
+	LastPSI float64
 }
 
 // Controller is the closed-loop control plane over one data plane.
@@ -179,17 +190,16 @@ type Controller struct {
 	refWindows int
 	refFlag    float64
 	refScore   float64
+	psi        psiDetector
 	outOfBand  int // consecutive windows past a threshold
 	drifted    bool
 	stats      Stats
 	lastErr    error
 
-	// trainMu serialises retrains; the float net and trainer belong to the
-	// retrain path exclusively.
+	// trainMu serialises retrains; the model belongs to the retrain path
+	// exclusively.
 	trainMu sync.Mutex
-	net     *ml.DNN
-	trainer *ml.Trainer
-	version int
+	model   model.Deployable
 
 	// Background mode.
 	runMu sync.Mutex
@@ -198,17 +208,17 @@ type Controller struct {
 	wg    sync.WaitGroup
 }
 
-// New builds a controller that pushes to pusher, retraining net (the float
-// twin of the deployed model — the controller takes ownership) on records
-// from source. inQ must be the input quantiser the model was deployed with
-// (LoadModel's argument): retrained weights are requantised against that
-// pinned input domain, since the data plane's preprocessing MATs keep using
-// it across pushes.
-func New(pusher Pusher, net *ml.DNN, inQ fixed.Quantizer, source LabelSource, cfg Config) (*Controller, error) {
+// New builds a controller that pushes to pusher, retraining m (the
+// control-plane lifecycle of the deployed model — the controller takes
+// ownership) on records from source. inQ must be the input quantiser the
+// model was deployed with (LoadModel's argument): every Lower call
+// requantises against that pinned input domain, since the data plane's
+// preprocessing MATs keep using it across pushes.
+func New(pusher Pusher, m model.Deployable, inQ fixed.Quantizer, source LabelSource, cfg Config) (*Controller, error) {
 	if pusher == nil {
 		return nil, fmt.Errorf("controlplane: nil pusher")
 	}
-	if net == nil {
+	if m == nil {
 		return nil, fmt.Errorf("controlplane: nil model")
 	}
 	if source == nil {
@@ -223,15 +233,9 @@ func New(pusher Pusher, net *ml.DNN, inQ fixed.Quantizer, source LabelSource, cf
 		pusher: pusher,
 		inQ:    inQ,
 		source: source,
-		net:    net,
+		model:  m,
 		kick:   make(chan struct{}, 1),
 	}
-	c.trainer = ml.NewTrainer(net, ml.SGDConfig{
-		LearningRate: cfg.LearningRate,
-		Momentum:     0.9,
-		BatchSize:    cfg.BatchSize,
-		Epochs:       1,
-	}, rand.New(rand.NewSource(cfg.Seed)))
 	return c, nil
 }
 
@@ -258,7 +262,11 @@ func (c *Controller) Observe(decs []core.Decision) bool {
 		if decs[i].Verdict != core.Forward {
 			c.winFlagged++
 		}
-		c.winScore += float64(decs[i].MLScore)
+		score := float64(decs[i].MLScore)
+		c.winScore += score
+		if c.cfg.Statistic == DriftPSI {
+			c.psi.observe(score)
+		}
 		if c.winN >= c.cfg.Window {
 			if c.closeWindowLocked() {
 				newDrift = true
@@ -290,12 +298,26 @@ func (c *Controller) closeWindowLocked() bool {
 		c.refScore = (c.refScore*n + meanScore) / (n + 1)
 		c.refWindows++
 		c.stats.RefFlagRate, c.stats.RefMeanScore = c.refFlag, c.refScore
+		if c.cfg.Statistic == DriftPSI && c.refWindows == c.cfg.RefWindows {
+			c.psi.armReference()
+		}
 		return false
 	}
+
+	outOfBand := false
+	switch c.cfg.Statistic {
+	case DriftPSI:
+		p := c.psi.closeWindow()
+		c.stats.LastPSI = p
+		outOfBand = p > c.cfg.PSIThreshold || abs(flagRate-c.refFlag) > c.cfg.FlagDelta
+	default:
+		outOfBand = abs(flagRate-c.refFlag) > c.cfg.FlagDelta || abs(meanScore-c.refScore) > c.cfg.ScoreDelta
+	}
+
 	if c.drifted {
 		return false
 	}
-	if abs(flagRate-c.refFlag) > c.cfg.FlagDelta || abs(meanScore-c.refScore) > c.cfg.ScoreDelta {
+	if outOfBand {
 		c.outOfBand++
 	} else {
 		c.outOfBand = 0
@@ -309,10 +331,10 @@ func (c *Controller) closeWindowLocked() bool {
 }
 
 // RetrainNow synchronously runs one control-loop cycle: collect
-// RetrainRecords labelled records, train RetrainEpochs over them, requantise
-// against the pinned input domain, lower, and push to the data plane. On
-// success the drift detector's reference is re-armed so the post-push
-// distribution becomes the new normal. Concurrent calls serialise.
+// RetrainRecords labelled records, Fit the model on them, Lower against the
+// pinned input domain, and push to the data plane. On success the drift
+// detector's reference is re-armed so the post-push distribution becomes
+// the new normal. Concurrent calls serialise.
 func (c *Controller) RetrainNow() error {
 	c.trainMu.Lock()
 	defer c.trainMu.Unlock()
@@ -321,20 +343,10 @@ func (c *Controller) RetrainNow() error {
 	if len(recs) == 0 {
 		return c.fail(fmt.Errorf("controlplane: label source returned no records"))
 	}
-	X, y := dataset.Split(recs)
-	for e := 0; e < c.cfg.RetrainEpochs; e++ {
-		c.trainer.FitEpoch(X, y)
-	}
-	calib := X
-	if len(calib) > 256 {
-		calib = calib[:256]
-	}
-	q, err := ml.QuantizeWithInput(c.net, calib, c.inQ)
-	if err != nil {
+	if err := c.model.Fit(recs); err != nil {
 		return c.fail(err)
 	}
-	c.version++
-	g, err := lower.DNN(q, fmt.Sprintf("%s-v%d", c.net.KernelString(), c.version))
+	g, err := c.model.Lower(c.inQ)
 	if err != nil {
 		return c.fail(err)
 	}
@@ -346,6 +358,7 @@ func (c *Controller) RetrainNow() error {
 	c.stats.Retrains++
 	c.winN, c.winFlagged, c.winScore = 0, 0, 0
 	c.refWindows, c.refFlag, c.refScore = 0, 0, 0
+	c.psi.reset()
 	c.outOfBand = 0
 	c.drifted = false
 	c.lastErr = nil

@@ -11,21 +11,24 @@ import (
 	"taurus/internal/dataset"
 	"taurus/internal/fixed"
 	"taurus/internal/lower"
+	mr "taurus/internal/mapreduce"
 	"taurus/internal/ml"
+	"taurus/internal/model"
 	"taurus/internal/pipeline"
+	"taurus/internal/tensor"
 	"taurus/internal/trafficgen"
 )
 
-// loopFixture is a deployed pipeline plus the drifting stream and the float
-// net the controller retrains.
+// loopFixture is a deployed pipeline plus the drifting stream and the
+// model lifecycle the controller retrains.
 type loopFixture struct {
 	pipe   *pipeline.Pipeline
 	stream *trafficgen.DriftingStream
-	net    *ml.DNN
+	dep    model.Deployable
 	inQ    fixed.Quantizer
 }
 
-func newLoopFixture(t *testing.T, shards int) *loopFixture {
+func newLoopFixture(t *testing.T, shards, epochs int) *loopFixture {
 	t.Helper()
 	stream, err := trafficgen.NewDriftingStream(dataset.DefaultDriftConfig(), 11, 128)
 	if err != nil {
@@ -51,7 +54,11 @@ func newLoopFixture(t *testing.T, shards int) *loopFixture {
 	if err := pl.LoadModel(g, q.InputQ, compiler.Options{}); err != nil {
 		t.Fatal(err)
 	}
-	return &loopFixture{pipe: pl, stream: stream, net: net, inQ: q.InputQ}
+	dep, err := model.NewDNN(net, model.DNNConfig{Epochs: epochs, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &loopFixture{pipe: pl, stream: stream, dep: dep, inQ: q.InputQ}
 }
 
 func (f *loopFixture) f1(out []core.Decision, truth []bool) float64 {
@@ -63,22 +70,22 @@ func (f *loopFixture) f1(out []core.Decision, truth []bool) float64 {
 }
 
 func TestControllerValidation(t *testing.T) {
-	f := newLoopFixture(t, 1)
+	f := newLoopFixture(t, 1, 5)
 	goodQ := f.inQ
 	src := f.stream.Labelled
-	if _, err := New(nil, f.net, goodQ, src, Config{}); err == nil {
+	if _, err := New(nil, f.dep, goodQ, src, Config{}); err == nil {
 		t.Error("nil pusher accepted")
 	}
 	if _, err := New(f.pipe, nil, goodQ, src, Config{}); err == nil {
-		t.Error("nil net accepted")
+		t.Error("nil model accepted")
 	}
-	if _, err := New(f.pipe, f.net, goodQ, nil, Config{}); err == nil {
+	if _, err := New(f.pipe, f.dep, goodQ, nil, Config{}); err == nil {
 		t.Error("nil source accepted")
 	}
-	if _, err := New(f.pipe, f.net, fixed.Quantizer{}, src, Config{}); err == nil {
+	if _, err := New(f.pipe, f.dep, fixed.Quantizer{}, src, Config{}); err == nil {
 		t.Error("zero input quantiser accepted")
 	}
-	if _, err := New(f.pipe, f.net, goodQ, src, Config{}); err != nil {
+	if _, err := New(f.pipe, f.dep, goodQ, src, Config{}); err != nil {
 		t.Errorf("valid construction failed: %v", err)
 	}
 }
@@ -87,13 +94,12 @@ func TestControllerValidation(t *testing.T) {
 // detected after the distribution shifts, a retrain must push new weights,
 // and accuracy must recover while an untouched run would have stayed broken.
 func TestControllerClosesTheLoop(t *testing.T) {
-	f := newLoopFixture(t, 2)
+	f := newLoopFixture(t, 2, 10)
 	cfg := DefaultConfig()
 	cfg.Window = 256
 	cfg.RefWindows = 2
 	cfg.RetrainRecords = 2000
-	cfg.RetrainEpochs = 10
-	ctrl, err := New(f.pipe, f.net, f.inQ, f.stream.Labelled, cfg)
+	ctrl, err := New(f.pipe, f.dep, f.inQ, f.stream.Labelled, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,14 +149,13 @@ func TestControllerClosesTheLoop(t *testing.T) {
 // on several goroutines while the background worker retrains and pushes
 // weights into the live shards.
 func TestControllerBackgroundRetrainUnderTraffic(t *testing.T) {
-	f := newLoopFixture(t, 4)
+	f := newLoopFixture(t, 4, 2)
 	cfg := DefaultConfig()
 	cfg.Window = 128
 	cfg.RefWindows = 1
 	cfg.RetrainRecords = 512
-	cfg.RetrainEpochs = 2
 	cfg.RetrainInterval = time.Millisecond // force pushes regardless of drift
-	ctrl, err := New(f.pipe, f.net, f.inQ, f.stream.Labelled, cfg)
+	ctrl, err := New(f.pipe, f.dep, f.inQ, f.stream.Labelled, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -202,7 +207,7 @@ func TestControllerBackgroundRetrainUnderTraffic(t *testing.T) {
 // drift-driven retraining: the detector must be able to re-signal on the
 // still-shifted distribution so a later retrain can succeed.
 func TestControllerFailedRetrainRearms(t *testing.T) {
-	f := newLoopFixture(t, 1)
+	f := newLoopFixture(t, 1, 5)
 	failures := 1
 	flaky := func(n int) []dataset.Record {
 		if failures > 0 {
@@ -215,8 +220,7 @@ func TestControllerFailedRetrainRearms(t *testing.T) {
 	cfg.Window = 128
 	cfg.RefWindows = 1
 	cfg.RetrainRecords = 1000
-	cfg.RetrainEpochs = 5
-	ctrl, err := New(f.pipe, f.net, f.inQ, flaky, cfg)
+	ctrl, err := New(f.pipe, f.dep, f.inQ, flaky, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -265,11 +269,11 @@ func TestControllerFailedRetrainRearms(t *testing.T) {
 // reference after a retrain instead of flagging the recovered distribution
 // as drifted forever.
 func TestControllerReferenceRearms(t *testing.T) {
-	f := newLoopFixture(t, 1)
+	f := newLoopFixture(t, 1, 8)
 	cfg := DefaultConfig()
 	cfg.Window = 128
 	cfg.RefWindows = 1
-	ctrl, err := New(f.pipe, f.net, f.inQ, f.stream.Labelled, cfg)
+	ctrl, err := New(f.pipe, f.dep, f.inQ, f.stream.Labelled, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -302,5 +306,153 @@ func TestControllerReferenceRearms(t *testing.T) {
 	after := ctrl.Stats().Drifts
 	if after > before+1 {
 		t.Errorf("detector kept firing on stationary recovered traffic: %d -> %d drifts", before, after)
+	}
+}
+
+// --- PSI drift statistic ---
+
+// nopPusher absorbs weight pushes.
+type nopPusher struct{}
+
+func (nopPusher) UpdateWeights(*mr.Graph) error { return nil }
+
+// stubModel is a minimal Deployable for detector-only tests.
+type stubModel struct{}
+
+func (stubModel) Name() string                             { return "stub" }
+func (stubModel) NumFeatures() int                         { return 1 }
+func (stubModel) Fit([]dataset.Record) error               { return nil }
+func (stubModel) Lower(fixed.Quantizer) (*mr.Graph, error) { return nil, nil }
+func (stubModel) Score(tensor.Vec) float64                 { return 0 }
+func (stubModel) ReferenceDecision(fixed.Quantizer, tensor.Vec) (int32, error) {
+	return 0, nil
+}
+
+// detectorController builds a controller wired to stubs, for feeding
+// synthetic decision streams straight into the drift detector.
+func detectorController(t *testing.T, stat DriftStatistic) *Controller {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Statistic = stat
+	cfg.SampleEvery = 1
+	cfg.Window = 256
+	cfg.RefWindows = 2
+	cfg.DriftPatience = 2
+	src := func(n int) []dataset.Record { return make([]dataset.Record, n) }
+	ctrl, err := New(nopPusher{}, stubModel{}, fixed.NewQuantizer(1), src, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ctrl
+}
+
+// scoreDecisions wraps synthetic model scores as forwarded (never flagged)
+// decisions, so the flag-rate detector arm stays silent and only the score
+// distribution carries signal.
+func scoreDecisions(scores []int32) []core.Decision {
+	out := make([]core.Decision, len(scores))
+	for i, s := range scores {
+		out[i] = core.Decision{Verdict: core.Forward, MLScore: s}
+	}
+	return out
+}
+
+// normalScores draws n integer scores from N(mean, sigma).
+func normalScores(rng *rand.Rand, n int, mean, sigma float64) []int32 {
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(mean + sigma*rng.NormFloat64())
+	}
+	return out
+}
+
+// TestPSIDetectsVarianceWidening is the satellite acceptance test: a
+// symmetric widening of the score distribution keeps the mean and the flag
+// rate unchanged — invisible to the mean-shift detector — but must trip the
+// PSI statistic.
+func TestPSIDetectsVarianceWidening(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	psiCtrl := detectorController(t, DriftPSI)
+	meanCtrl := detectorController(t, DriftMeanShift)
+
+	feed := func(c *Controller, scores []int32) bool {
+		return c.Observe(scoreDecisions(scores))
+	}
+
+	// Establish the reference on tight scores around 64.
+	for w := 0; w < 4; w++ {
+		scores := normalScores(rng, 256, 64, 8)
+		feed(psiCtrl, scores)
+		feed(meanCtrl, scores)
+	}
+	if psiCtrl.Drifted() || meanCtrl.Drifted() {
+		t.Fatal("drift declared during reference establishment")
+	}
+
+	// Symmetric variance widening: same mean 64, sigma 8 -> 40.
+	psiFired, meanFired := false, false
+	for w := 0; w < 8; w++ {
+		scores := normalScores(rng, 256, 64, 40)
+		psiFired = feed(psiCtrl, scores) || psiFired
+		meanFired = feed(meanCtrl, scores) || meanFired
+	}
+	if !psiFired {
+		t.Errorf("PSI detector missed symmetric variance widening (last PSI %.3f)", psiCtrl.Stats().LastPSI)
+	}
+	if meanFired {
+		st := meanCtrl.Stats()
+		t.Errorf("mean-shift detector unexpectedly fired (mean %.1f vs ref %.1f) — widening is no longer mean-preserving, retune the test",
+			st.LastMeanScore, st.RefMeanScore)
+	}
+	if psiCtrl.Stats().LastPSI <= psiCtrl.cfg.PSIThreshold {
+		t.Errorf("post-widening PSI %.3f not above threshold %.3f", psiCtrl.Stats().LastPSI, psiCtrl.cfg.PSIThreshold)
+	}
+}
+
+// TestPSIStationaryQuiet: on a stationary score stream the PSI detector
+// must not fire.
+func TestPSIStationaryQuiet(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	ctrl := detectorController(t, DriftPSI)
+	for w := 0; w < 16; w++ {
+		if ctrl.Observe(scoreDecisions(normalScores(rng, 256, 64, 8))) {
+			t.Fatalf("PSI fired on stationary traffic at window %d (PSI %.3f)", w, ctrl.Stats().LastPSI)
+		}
+	}
+}
+
+// TestPSIDiscreteScores: category-index scores (KMeans) must bin into the
+// deduplicated quantile edges and still detect a category-mix shift.
+func TestPSIDiscreteScores(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	ctrl := detectorController(t, DriftPSI)
+	classMix := func(n int, weights []float64) []int32 {
+		out := make([]int32, n)
+		for i := range out {
+			r := rng.Float64()
+			acc := 0.0
+			for c, w := range weights {
+				acc += w
+				if r < acc {
+					out[i] = int32(c)
+					break
+				}
+			}
+		}
+		return out
+	}
+	base := []float64{0.4, 0.3, 0.15, 0.1, 0.05}
+	for w := 0; w < 4; w++ {
+		if ctrl.Observe(scoreDecisions(classMix(256, base))) {
+			t.Fatal("PSI fired while the mix was stationary")
+		}
+	}
+	shifted := []float64{0.05, 0.1, 0.15, 0.3, 0.4}
+	fired := false
+	for w := 0; w < 8; w++ {
+		fired = ctrl.Observe(scoreDecisions(classMix(256, shifted))) || fired
+	}
+	if !fired {
+		t.Errorf("PSI missed the category-mix shift (last PSI %.3f)", ctrl.Stats().LastPSI)
 	}
 }

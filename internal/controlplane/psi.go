@@ -1,0 +1,122 @@
+package controlplane
+
+import (
+	"math"
+	"sort"
+)
+
+// psiBins is the number of quantile bins the PSI detector uses. Ten is the
+// conventional choice (deciles of the reference distribution).
+const psiBins = 10
+
+// psiRefCap bounds how many reference scores are retained for edge
+// estimation; reference windows are typically ~1k samples, so this only
+// guards pathological configurations.
+const psiRefCap = 16384
+
+// psiDetector computes the population stability index of each observation
+// window's score distribution against a reference distribution, over
+// quantile bins learned from the reference. Quantile binning makes the
+// statistic scale-free: it works unchanged on DNN output codes (~0..127),
+// SVM decision accumulators (~±10^5) and KMeans category indices (0..k-1).
+// The zero value is ready to use; the caller provides locking.
+type psiDetector struct {
+	refSamples []float64 // raw scores while the reference is being built
+	edges      []float64 // bin upper edges (len = bins-1) once armed
+	ref        []float64 // smoothed reference distribution (len = bins)
+	win        []int     // current-window bin counts
+	winN       int
+}
+
+// armed reports whether the reference distribution has been built.
+func (p *psiDetector) armed() bool { return p.ref != nil }
+
+// observe routes one sampled score: into the reference buffer while the
+// reference profile is still being established, into the current window's
+// histogram afterwards.
+func (p *psiDetector) observe(score float64) {
+	if !p.armed() {
+		if len(p.refSamples) < psiRefCap {
+			p.refSamples = append(p.refSamples, score)
+		}
+		return
+	}
+	p.win[p.binOf(score)]++
+	p.winN++
+}
+
+// binOf locates score among the quantile edges (edges[i] is the inclusive
+// upper bound of bin i).
+func (p *psiDetector) binOf(score float64) int {
+	for i, e := range p.edges {
+		if score <= e {
+			return i
+		}
+	}
+	return len(p.edges)
+}
+
+// armReference freezes the reference: quantile bin edges from the collected
+// scores, then the smoothed reference distribution over those bins.
+// Duplicate quantiles (heavily discrete scores, e.g. category indices)
+// collapse into fewer, wider bins.
+func (p *psiDetector) armReference() {
+	if len(p.refSamples) == 0 {
+		// Nothing sampled (e.g. all traffic bypassed): arm a single-bin
+		// detector that always reports PSI 0.
+		p.edges = nil
+	} else {
+		sorted := append([]float64(nil), p.refSamples...)
+		sort.Float64s(sorted)
+		p.edges = p.edges[:0]
+		for b := 1; b < psiBins; b++ {
+			e := sorted[b*len(sorted)/psiBins]
+			if len(p.edges) == 0 || e > p.edges[len(p.edges)-1] {
+				p.edges = append(p.edges, e)
+			}
+		}
+	}
+	bins := len(p.edges) + 1
+	counts := make([]int, bins)
+	for _, s := range p.refSamples {
+		counts[p.binOf(s)]++
+	}
+	p.ref = make([]float64, bins)
+	n := float64(len(p.refSamples))
+	for i, c := range counts {
+		// Laplace smoothing keeps empty bins from blowing up the logarithm.
+		p.ref[i] = (float64(c) + 0.5) / (n + 0.5*float64(bins))
+	}
+	p.win = make([]int, bins)
+	p.winN = 0
+	p.refSamples = p.refSamples[:0]
+}
+
+// closeWindow returns the PSI of the completed window against the reference
+// and resets the window histogram. Returns 0 before the reference is armed
+// or for an empty window.
+func (p *psiDetector) closeWindow() float64 {
+	if !p.armed() || p.winN == 0 {
+		return 0
+	}
+	bins := float64(len(p.win))
+	n := float64(p.winN)
+	var psi float64
+	for i, c := range p.win {
+		q := (float64(c) + 0.5) / (n + 0.5*bins)
+		psi += (q - p.ref[i]) * math.Log(q/p.ref[i])
+		p.win[i] = 0
+	}
+	p.winN = 0
+	return psi
+}
+
+// reset discards the reference and every buffered sample; the next windows
+// rebuild the profile from scratch (after a retrain re-arms the detector).
+func (p *psiDetector) reset() {
+	p.refSamples = p.refSamples[:0]
+	p.edges = nil
+	p.ref = nil
+	p.win = nil
+	p.winN = 0
+}

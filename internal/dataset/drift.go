@@ -157,3 +157,145 @@ func (g *DriftingGenerator) Records(n int) []Record {
 	}
 	return out
 }
+
+// IoTDriftConfig parameterises the drifting variant of the IoT traffic-
+// classification workload: device categories keep emitting traffic, but the
+// feature signature of each category migrates toward the territory another
+// category used to occupy — firmware updates, protocol changes, and new
+// device generations in the TMC setting. A classifier deployed before the
+// drift assigns the old owner's label to the new occupant; re-clustering on
+// fresh labelled telemetry recovers.
+type IoTDriftConfig struct {
+	// Base is the pre-drift workload (KMeansIoTConfig if zero).
+	Base IoTConfig
+	// CentreShift in (0, 1] is how far each class centre travels toward the
+	// next class's pre-drift centre at full phase (default 0.8: classes
+	// nearly swap territories but stay separable).
+	CentreShift float64
+	// DriftedMix is the phase-1 class mix (must sum to ~1 with one weight
+	// per class). The pre-drift mix is uniform; interpolating toward a
+	// skewed mix models device-generation turnover and gives the control
+	// plane's score-distribution detectors something to see. Default:
+	// weights proportional to NumClasses-c — skewed enough to move the
+	// predicted-category histogram, while the rarest class keeps enough
+	// traffic for a retrain to re-learn it.
+	DriftedMix []float64
+}
+
+// DefaultIoTDriftConfig returns the calibrated drifting IoT workload.
+func DefaultIoTDriftConfig() IoTDriftConfig {
+	return IoTDriftConfig{Base: KMeansIoTConfig(), CentreShift: 0.8}
+}
+
+// DriftingIoTGenerator produces labelled IoT samples whose class centres
+// interpolate between the base geometry (phase 0) and a drifted one
+// (phase 1). Phase is advanced explicitly by the traffic driver.
+type DriftingIoTGenerator struct {
+	cfg     IoTDriftConfig
+	base    []tensor.Vec
+	drifted []tensor.Vec
+	sigma   float64
+	phase   float64
+	rng     *rand.Rand
+}
+
+// NewDriftingIoTGenerator validates cfg and builds a generator seeded by
+// rng, starting at phase 0.
+func NewDriftingIoTGenerator(cfg IoTDriftConfig, rng *rand.Rand) (*DriftingIoTGenerator, error) {
+	if cfg.Base == (IoTConfig{}) {
+		cfg.Base = KMeansIoTConfig()
+	}
+	if err := cfg.Base.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.CentreShift == 0 {
+		cfg.CentreShift = 0.8
+	}
+	if cfg.CentreShift < 0 || cfg.CentreShift > 1 {
+		return nil, fmt.Errorf("dataset: CentreShift must be in (0,1], got %v", cfg.CentreShift)
+	}
+	k := cfg.Base.NumClasses
+	if cfg.DriftedMix == nil {
+		total := float64(k) * float64(k+1) / 2
+		for c := 0; c < k; c++ {
+			cfg.DriftedMix = append(cfg.DriftedMix, float64(k-c)/total)
+		}
+	}
+	if len(cfg.DriftedMix) != k {
+		return nil, fmt.Errorf("dataset: DriftedMix has %d weights for %d classes", len(cfg.DriftedMix), k)
+	}
+	var mixSum float64
+	for _, w := range cfg.DriftedMix {
+		if w < 0 {
+			return nil, fmt.Errorf("dataset: DriftedMix weight %v is negative", w)
+		}
+		mixSum += w
+	}
+	if math.Abs(mixSum-1) > 1e-6 {
+		return nil, fmt.Errorf("dataset: DriftedMix sums to %v, want 1", mixSum)
+	}
+	base, sigma := iotGeometry(cfg.Base)
+	// Drifted world: class c's centre moves CentreShift of the way toward
+	// class (c+1)'s base centre, so the pre-drift decision regions end up
+	// owned by different categories while pairwise separation survives.
+	drifted := make([]tensor.Vec, len(base))
+	for c := range base {
+		next := base[(c+1)%len(base)]
+		d := make(tensor.Vec, len(base[c]))
+		for f := range d {
+			d[f] = base[c][f] + float32(cfg.CentreShift)*(next[f]-base[c][f])
+		}
+		drifted[c] = d
+	}
+	return &DriftingIoTGenerator{cfg: cfg, base: base, drifted: drifted, sigma: sigma, rng: rng}, nil
+}
+
+// SetPhase moves the generator to phase p (clamped into [0, 1]).
+func (g *DriftingIoTGenerator) SetPhase(p float64) {
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	g.phase = p
+}
+
+// Phase returns the current drift phase.
+func (g *DriftingIoTGenerator) Phase() float64 { return g.phase }
+
+// sampleClass draws a category from the phase-interpolated mix: uniform at
+// phase 0, DriftedMix at phase 1.
+func (g *DriftingIoTGenerator) sampleClass() int {
+	k := g.cfg.Base.NumClasses
+	r := g.rng.Float64()
+	acc := 0.0
+	for c := 0; c < k; c++ {
+		acc += (1-g.phase)/float64(k) + g.phase*g.cfg.DriftedMix[c]
+		if r < acc {
+			return c
+		}
+	}
+	return k - 1
+}
+
+// Record draws one labelled sample at the current phase. Class carries the
+// device-category index (0..NumClasses-1), reusing the Record container.
+func (g *DriftingIoTGenerator) Record() Record {
+	class := g.sampleClass()
+	x := make(tensor.Vec, g.cfg.Base.NumFeatures)
+	for f := range x {
+		mu := (1-g.phase)*float64(g.base[class][f]) + g.phase*float64(g.drifted[class][f])
+		x[f] = float32(mu + g.rng.NormFloat64()*g.sigma)
+	}
+	return Record{Features: x, Class: Class(class)}
+}
+
+// Records draws n labelled samples at the current phase.
+func (g *DriftingIoTGenerator) Records(n int) []Record {
+	out := make([]Record, n)
+	for i := range out {
+		out[i] = g.Record()
+	}
+	return out
+}

@@ -79,6 +79,85 @@ func TestDriftingGeneratorMovesDistributions(t *testing.T) {
 	}
 }
 
+func TestDriftingIoTGeneratorValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := NewDriftingIoTGenerator(IoTDriftConfig{CentreShift: -0.5}, rng); err == nil {
+		t.Error("negative CentreShift accepted")
+	}
+	if _, err := NewDriftingIoTGenerator(IoTDriftConfig{Base: IoTConfig{NumFeatures: 0, NumClasses: 5, Overlap: 0.3}}, rng); err == nil {
+		t.Error("invalid base config accepted")
+	}
+	g, err := NewDriftingIoTGenerator(IoTDriftConfig{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Phase() != 0 {
+		t.Errorf("initial phase = %v, want 0", g.Phase())
+	}
+	g.SetPhase(3)
+	if g.Phase() != 1 {
+		t.Errorf("phase after SetPhase(3) = %v, want 1", g.Phase())
+	}
+}
+
+// TestDriftingIoTGeneratorMovesCentres: at phase 1 every class's empirical
+// centre must sit closer to the next class's pre-drift centre than to its
+// own — the territory migration a frozen classifier cannot survive.
+func TestDriftingIoTGeneratorMovesCentres(t *testing.T) {
+	cfg := DefaultIoTDriftConfig()
+	g, err := NewDriftingIoTGenerator(cfg, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := cfg.Base.NumClasses
+	empirical := func(n int) [][]float64 {
+		sums := make([][]float64, k)
+		counts := make([]int, k)
+		for c := range sums {
+			sums[c] = make([]float64, cfg.Base.NumFeatures)
+		}
+		for i := 0; i < n; i++ {
+			r := g.Record()
+			c := int(r.Class)
+			counts[c]++
+			for f, v := range r.Features {
+				sums[c][f] += float64(v)
+			}
+		}
+		for c := range sums {
+			if counts[c] == 0 {
+				t.Fatal("class starved in sample")
+			}
+			for f := range sums[c] {
+				sums[c][f] /= float64(counts[c])
+			}
+		}
+		return sums
+	}
+	sqDist := func(a []float64, b []float32) float64 {
+		var d float64
+		for i := range a {
+			dd := a[i] - float64(b[i])
+			d += dd * dd
+		}
+		return d
+	}
+
+	pre := empirical(6000)
+	for c := 0; c < k; c++ {
+		if sqDist(pre[c], g.base[c]) >= sqDist(pre[c], g.base[(c+1)%k]) {
+			t.Errorf("phase 0: class %d centre should sit at its own base centre", c)
+		}
+	}
+	g.SetPhase(1)
+	post := empirical(6000)
+	for c := 0; c < k; c++ {
+		if sqDist(post[c], g.base[(c+1)%k]) >= sqDist(post[c], g.base[c]) {
+			t.Errorf("phase 1: class %d centre should have migrated toward class %d's territory", c, (c+1)%k)
+		}
+	}
+}
+
 // TestDriftingGeneratorPhaseZeroMatchesBase: at phase 0 the drifting
 // generator must sample the same distributions as the plain generator.
 func TestDriftingGeneratorPhaseZeroMatchesBase(t *testing.T) {

@@ -40,33 +40,45 @@ type IoTGenerator struct {
 	rng     *rand.Rand
 }
 
+// validate checks the configuration.
+func (c IoTConfig) validate() error {
+	if c.NumFeatures <= 0 {
+		return fmt.Errorf("dataset: NumFeatures must be positive, got %d", c.NumFeatures)
+	}
+	if c.NumClasses < 2 {
+		return fmt.Errorf("dataset: NumClasses must be >= 2, got %d", c.NumClasses)
+	}
+	if c.Overlap < 0 || c.Overlap >= 1 {
+		return fmt.Errorf("dataset: Overlap must be in [0,1), got %v", c.Overlap)
+	}
+	return nil
+}
+
 // NewIoTGenerator validates cfg and builds a generator.
 func NewIoTGenerator(cfg IoTConfig, rng *rand.Rand) (*IoTGenerator, error) {
-	if cfg.NumFeatures <= 0 {
-		return nil, fmt.Errorf("dataset: NumFeatures must be positive, got %d", cfg.NumFeatures)
+	if err := cfg.validate(); err != nil {
+		return nil, err
 	}
-	if cfg.NumClasses < 2 {
-		return nil, fmt.Errorf("dataset: NumClasses must be >= 2, got %d", cfg.NumClasses)
-	}
-	if cfg.Overlap < 0 || cfg.Overlap >= 1 {
-		return nil, fmt.Errorf("dataset: Overlap must be in [0,1), got %v", cfg.Overlap)
-	}
-	g := &IoTGenerator{cfg: cfg, rng: rng}
-	// Class centres: deterministic pseudo-random directions at unit
-	// separation, derived from a fixed internal source so the geometry does
-	// not depend on the caller's rng state.
+	centres, sigma := iotGeometry(cfg)
+	return &IoTGenerator{cfg: cfg, centres: centres, sigma: sigma, rng: rng}, nil
+}
+
+// iotGeometry places the class centres and derives the cluster width.
+// Centres are deterministic pseudo-random directions at unit separation,
+// derived from a fixed internal source so the geometry does not depend on
+// the caller's rng state; sigma grows with overlap: at Overlap=0 clusters
+// are tight (~0.2 separation units); as Overlap→1 they merge.
+func iotGeometry(cfg IoTConfig) ([]tensor.Vec, float64) {
 	geo := rand.New(rand.NewSource(42))
+	centres := make([]tensor.Vec, 0, cfg.NumClasses)
 	for c := 0; c < cfg.NumClasses; c++ {
 		centre := make(tensor.Vec, cfg.NumFeatures)
 		for f := range centre {
 			centre[f] = float32(geo.NormFloat64())
 		}
-		g.centres = append(g.centres, centre)
+		centres = append(centres, centre)
 	}
-	// sigma grows with overlap: at Overlap=0 clusters are tight (~0.2
-	// separation units); as Overlap→1 they merge.
-	g.sigma = 0.2 + 1.6*cfg.Overlap
-	return g, nil
+	return centres, 0.2 + 1.6*cfg.Overlap
 }
 
 // Sample draws one labelled feature vector.

@@ -5,16 +5,17 @@ import (
 	"testing"
 )
 
-// TestDriftRecovery is the acceptance check for the closed control loop:
-// under concept drift the frozen baseline must degrade badly while the
-// controller-driven pipeline recovers to near its pre-drift operating point.
-func TestDriftRecovery(t *testing.T) {
-	rows, text, err := Drift(1)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !strings.Contains(text, "Frozen F1") || !strings.Contains(text, "Loop F1") {
+// checkCollapseAndRecover is the acceptance shape shared by every model
+// family: under concept drift the frozen baseline must degrade badly while
+// the controller-driven pipeline recovers to near its pre-drift operating
+// point.
+func checkCollapseAndRecover(t *testing.T, rows []DriftRow, text string, collapse, recoverSlack float64) {
+	t.Helper()
+	if !strings.Contains(text, "Frozen") || !strings.Contains(text, "Loop") {
 		t.Errorf("table missing columns:\n%s", text)
+	}
+	if !strings.Contains(text, "label-realism sweep") || !strings.Contains(text, "p=0.20") {
+		t.Errorf("label-realism sweep missing:\n%s", text)
 	}
 
 	var pre float64
@@ -32,20 +33,57 @@ func TestDriftRecovery(t *testing.T) {
 	last := rows[len(rows)-1]
 
 	if pre < 55 {
-		t.Fatalf("pre-drift F1 = %.1f, deployment model did not train properly", pre)
+		t.Fatalf("pre-drift score = %.1f, deployment model did not train properly", pre)
 	}
 	if last.Retrains == 0 {
 		t.Fatal("controller never retrained under drift")
 	}
 	// The frozen baseline must collapse well below the closed loop.
-	if last.FrozenF1 > pre-20 {
+	if last.FrozenF1 > pre-collapse {
 		t.Errorf("frozen baseline barely degraded: pre %.1f, post %.1f — drift too weak to demonstrate the loop", pre, last.FrozenF1)
 	}
-	// The closed loop must recover to within a few points of pre-drift.
-	if last.LoopF1 < pre-5 {
-		t.Errorf("closed loop did not recover: pre-drift F1 %.1f, post-drift %.1f", pre, last.LoopF1)
+	// The closed loop must recover to near pre-drift.
+	if last.LoopF1 < pre-recoverSlack {
+		t.Errorf("closed loop did not recover: pre-drift %.1f, post-drift %.1f", pre, last.LoopF1)
 	}
 	if last.LoopF1 < last.FrozenF1+20 {
 		t.Errorf("loop (%.1f) should clearly beat frozen (%.1f) post-drift", last.LoopF1, last.FrozenF1)
+	}
+}
+
+// TestDriftRecoveryDNN is the original closed-loop acceptance check.
+func TestDriftRecoveryDNN(t *testing.T) {
+	rows, text, err := Drift(1, "dnn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCollapseAndRecover(t, rows, text, 20, 5)
+}
+
+// TestDriftRecoverySVM: the same control loop must retrain and recover the
+// RBF SVM — the controller is model-agnostic.
+func TestDriftRecoverySVM(t *testing.T) {
+	rows, text, err := Drift(1, "svm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCollapseAndRecover(t, rows, text, 20, 10)
+}
+
+// TestDriftRecoveryIoT: and the KMeans IoT classifier, scored by macro-F1.
+// The recovery slack is wider: the drifted world's skewed category mix
+// leaves the rarest class only a few percent of the retrain sample, which
+// caps how sharply a re-clustered model can score it.
+func TestDriftRecoveryIoT(t *testing.T) {
+	rows, text, err := Drift(1, "iot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCollapseAndRecover(t, rows, text, 20, 16)
+}
+
+func TestDriftUnknownModel(t *testing.T) {
+	if _, _, err := Drift(1, "perceptron"); err == nil {
+		t.Error("unknown model accepted")
 	}
 }

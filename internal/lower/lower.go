@@ -115,17 +115,26 @@ func QuantizeKMeansPredict(km *ml.KMeans, inQ fixed.Quantizer, x []float32) int 
 	return best
 }
 
-// SVM lowers an RBF SVM: per support vector a squared-distance Map/Reduce,
-// an exp(-gamma*d) kernel LUT, then a weighted sum (dot product with the
-// dual coefficients) plus bias. Output: the sign-significant decision
-// accumulator (positive = anomalous). maxSV caps the support set via
-// (*ml.SVM).Compress to fit the grid.
-func SVM(s *ml.SVM, inQ fixed.Quantizer, maxSV int, name string) (*mr.Graph, error) {
+// svmPlan holds the quantised parameters of a lowered SVM: the int8 support
+// vectors, the kernel lookup table, the quantised dual coefficients and the
+// bias code. The graph builder (SVM) and the direct reference evaluator
+// (SVMReference) both derive from one plan, so the two paths cannot drift
+// apart.
+type svmPlan struct {
+	inQ     fixed.Quantizer
+	svCodes [][]int8
+	lut     *mr.LUT
+	coef    []int8
+	bias    int32
+}
+
+// planSVM compresses s to maxSV support vectors and quantises every deployed
+// parameter.
+func planSVM(s *ml.SVM, inQ fixed.Quantizer, maxSV int) (*svmPlan, error) {
 	if len(s.SupportVecs) == 0 {
 		return nil, fmt.Errorf("lower: SVM has no support vectors")
 	}
 	s = s.Compress(maxSV)
-	dim := len(s.SupportVecs[0])
 
 	// Kernel LUT: entry(idx) = round(127 * exp(-pre)) with pre = idx *
 	// preStep covering [0, lutPreMax].
@@ -148,45 +157,142 @@ func SVM(s *ml.SVM, inQ fixed.Quantizer, maxSV int, name string) (*mr.Graph, err
 
 	// Dual coefficients quantised symmetrically.
 	alphaQ := fixed.QuantizerFor(s.Coeffs)
-	coefCodes := alphaQ.QuantizeSlice(s.Coeffs)
 	// Bias at the accumulator scale alphaScale * (1/127).
 	accScale := alphaQ.Scale / 127
-	biasCode := int32(math.RoundToEven(float64(s.Bias) / accScale))
+	p := &svmPlan{
+		inQ:  inQ,
+		lut:  lut,
+		coef: alphaQ.QuantizeSlice(s.Coeffs),
+		bias: int32(math.RoundToEven(float64(s.Bias) / accScale)),
+	}
+	for _, sv := range s.SupportVecs {
+		p.svCodes = append(p.svCodes, inQ.QuantizeSlice(sv))
+	}
+	return p, nil
+}
 
+// graph builds the MapReduce program for the plan.
+func (p *svmPlan) graph(name string) (*mr.Graph, error) {
+	dim := len(p.svCodes[0])
 	b := mr.NewBuilder(name)
 	x := b.Input("features", dim)
-	kernels := make([]mr.Value, len(s.SupportVecs))
-	for i, sv := range s.SupportVecs {
-		codes := inQ.QuantizeSlice(sv)
+	kernels := make([]mr.Value, len(p.svCodes))
+	for i, codes := range p.svCodes {
 		cv := b.ConstInt8(fmt.Sprintf("sv%d", i), codes)
 		diff := b.Map(mr.MSub, x, cv)
 		sq := b.Map(mr.MMul, diff, diff)
 		d := b.Reduce(mr.RAdd, sq)
-		kernels[i] = b.ApplyLUT(d, lut)
+		kernels[i] = b.ApplyLUT(d, p.lut)
 	}
 	kvec := b.Concat(kernels...)
-	coeffs := b.ConstInt8("alpha", coefCodes)
+	coeffs := b.ConstInt8("alpha", p.coef)
 	dec := b.DotProduct(coeffs, kvec)
-	dec = b.Map(mr.MAdd, dec, b.Scalar("bias", biasCode))
+	dec = b.Map(mr.MAdd, dec, b.Scalar("bias", p.bias))
 	b.Output(dec)
 	return b.Build()
 }
 
+// reference builds the direct evaluator for the plan.
+func (p *svmPlan) reference() *SVMReference {
+	dim := len(p.svCodes[0])
+	return &SVMReference{
+		plan: p,
+		in:   make([]int32, dim),
+		sq:   make([]int32, dim),
+		ks:   make([]int32, len(p.svCodes)),
+	}
+}
+
+// SVM lowers an RBF SVM: per support vector a squared-distance Map/Reduce,
+// an exp(-gamma*d) kernel LUT, then a weighted sum (dot product with the
+// dual coefficients) plus bias. Output: the sign-significant decision
+// accumulator (positive = anomalous). maxSV caps the support set via
+// (*ml.SVM).Compress to fit the grid.
+func SVM(s *ml.SVM, inQ fixed.Quantizer, maxSV int, name string) (*mr.Graph, error) {
+	p, err := planSVM(s, inQ, maxSV)
+	if err != nil {
+		return nil, err
+	}
+	return p.graph(name)
+}
+
+// SVMWithReference lowers the SVM and returns the matching reference
+// evaluator, both derived from one quantisation plan — the pair a
+// deployment wants, and the only construction in which graph/reference
+// parity is guaranteed by sharing rather than by determinism.
+func SVMWithReference(s *ml.SVM, inQ fixed.Quantizer, maxSV int, name string) (*mr.Graph, *SVMReference, error) {
+	p, err := planSVM(s, inQ, maxSV)
+	if err != nil {
+		return nil, nil, err
+	}
+	g, err := p.graph(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	return g, p.reference(), nil
+}
+
+// SVMReference evaluates the exact quantised arithmetic of the lowered SVM
+// graph — same IR operators, same LUT, same saturation — without building or
+// interpreting a graph. Build it once per deployment and call Decision per
+// sample; this is what the control plane uses for parity checks against the
+// data plane's verdicts.
+type SVMReference struct {
+	plan *svmPlan
+	in   []int32 // scratch: quantised input codes
+	sq   []int32 // scratch: per-lane squared differences
+	ks   []int32 // scratch: per-SV kernel codes
+}
+
+// NewSVMReference quantises s against inQ (capped at maxSV support vectors)
+// and returns a reusable reference evaluator.
+func NewSVMReference(s *ml.SVM, inQ fixed.Quantizer, maxSV int) (*SVMReference, error) {
+	p, err := planSVM(s, inQ, maxSV)
+	if err != nil {
+		return nil, err
+	}
+	return p.reference(), nil
+}
+
+// NumFeatures returns the model's input width.
+func (r *SVMReference) NumFeatures() int { return len(r.in) }
+
+// Decision returns the quantised decision code for x — bit-identical to the
+// single output lane of the lowered graph evaluated on the same features. It
+// performs no heap allocation.
+func (r *SVMReference) Decision(x []float32) (int32, error) {
+	if len(x) != len(r.in) {
+		return 0, fmt.Errorf("lower: SVM reference got %d features, want %d", len(x), len(r.in))
+	}
+	p := r.plan
+	for i, v := range x {
+		r.in[i] = int32(p.inQ.Quantize(v))
+	}
+	// Mirror the graph node-for-node via the IR's own operator semantics:
+	// Map(Sub), Map(Mul), Reduce(Add), LUT per support vector, then the
+	// coefficient dot product and the bias add.
+	for s, codes := range p.svCodes {
+		for i, c := range codes {
+			d := mr.MSub.Apply(r.in[i], int32(c))
+			r.sq[i] = mr.MMul.Apply(d, d)
+		}
+		r.ks[s] = p.lut.Apply(mr.RAdd.Apply(r.sq))
+	}
+	for s := range r.ks {
+		r.ks[s] = mr.MMul.Apply(int32(p.coef[s]), r.ks[s])
+	}
+	return mr.MAdd.Apply(mr.RAdd.Apply(r.ks), p.bias), nil
+}
+
 // SVMReferenceDecision evaluates the same quantised arithmetic the lowered
-// SVM graph computes, for bit-exactness tests and control-plane parity.
+// SVM graph computes, for bit-exactness tests and control-plane parity. It
+// computes the arithmetic directly — no graph construction or evaluator — so
+// it is cheap enough to call per sample; callers scoring many samples should
+// still build one SVMReference and reuse it.
 func SVMReferenceDecision(s *ml.SVM, inQ fixed.Quantizer, maxSV int, x []float32) (int32, error) {
-	g, err := SVM(s, inQ, maxSV, "svm-ref")
+	ref, err := NewSVMReference(s, inQ, maxSV)
 	if err != nil {
 		return 0, err
 	}
-	codes := inQ.QuantizeSlice(x)
-	in := make([]int32, len(codes))
-	for i, c := range codes {
-		in[i] = int32(c)
-	}
-	outs, err := g.Eval(in)
-	if err != nil {
-		return 0, err
-	}
-	return outs[0][0], nil
+	return ref.Decision(x)
 }

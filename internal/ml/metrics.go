@@ -59,6 +59,120 @@ func (c BinaryConfusion) Accuracy() float64 {
 // Total returns the number of observations.
 func (c BinaryConfusion) Total() int { return c.TP + c.FP + c.TN + c.FN }
 
+// MultiConfusion tallies a k-class classifier's outcomes — the metric the
+// IoT traffic classifiers need, where BinaryConfusion's anomalous/benign
+// split cannot score a 5-category prediction. The matrix grows on demand, so
+// callers need not know k up front.
+type MultiConfusion struct {
+	// Counts[truth][pred] is the number of observations of class `truth`
+	// predicted as class `pred`.
+	Counts [][]int
+}
+
+// grow ensures the matrix covers classes [0, k).
+func (c *MultiConfusion) grow(k int) {
+	for len(c.Counts) < k {
+		c.Counts = append(c.Counts, nil)
+	}
+	for i := range c.Counts {
+		for len(c.Counts[i]) < k {
+			c.Counts[i] = append(c.Counts[i], 0)
+		}
+	}
+}
+
+// K returns the number of classes seen so far.
+func (c *MultiConfusion) K() int { return len(c.Counts) }
+
+// Observe records one prediction against the truth. Negative class indices
+// are ignored (they encode "no prediction" in some callers).
+func (c *MultiConfusion) Observe(pred, truth int) {
+	if pred < 0 || truth < 0 {
+		return
+	}
+	max := pred
+	if truth > max {
+		max = truth
+	}
+	c.grow(max + 1)
+	c.Counts[truth][pred]++
+}
+
+// classTallies returns (TP, FP, FN) for one class.
+func (c *MultiConfusion) classTallies(k int) (tp, fp, fn int) {
+	tp = c.Counts[k][k]
+	for j := range c.Counts {
+		if j == k {
+			continue
+		}
+		fp += c.Counts[j][k] // predicted k, truth j
+		fn += c.Counts[k][j] // truth k, predicted j
+	}
+	return tp, fp, fn
+}
+
+// F1 returns the per-class F1 as a percentage (0 when the class was never
+// seen nor predicted).
+func (c *MultiConfusion) F1(class int) float64 {
+	if class < 0 || class >= len(c.Counts) {
+		return 0
+	}
+	tp, fp, fn := c.classTallies(class)
+	if 2*tp+fp+fn == 0 {
+		return 0
+	}
+	return 100 * 2 * float64(tp) / float64(2*tp+fp+fn)
+}
+
+// MacroF1 returns the unweighted mean of per-class F1 scores, as a
+// percentage, over every class with at least one observation or prediction.
+// Macro averaging weighs rare classes equally with common ones — the right
+// headline number for the imbalanced IoT category mix.
+func (c *MultiConfusion) MacroF1() float64 {
+	var sum float64
+	n := 0
+	for k := range c.Counts {
+		tp, fp, fn := c.classTallies(k)
+		if tp+fp+fn == 0 {
+			continue // class never appeared on either axis
+		}
+		sum += 100 * 2 * float64(tp) / float64(2*tp+fp+fn)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// Accuracy returns the fraction of correct predictions as a percentage.
+func (c *MultiConfusion) Accuracy() float64 {
+	correct, total := 0, 0
+	for i := range c.Counts {
+		for j, n := range c.Counts[i] {
+			total += n
+			if i == j {
+				correct += n
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(correct) / float64(total)
+}
+
+// Total returns the number of observations.
+func (c *MultiConfusion) Total() int {
+	total := 0
+	for i := range c.Counts {
+		for _, n := range c.Counts[i] {
+			total += n
+		}
+	}
+	return total
+}
+
 // MulticlassAccuracy returns the percentage of indices where pred == truth.
 // The slices must have equal length; an empty input yields 0.
 func MulticlassAccuracy(pred, truth []int) float64 {

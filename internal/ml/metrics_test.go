@@ -53,6 +53,61 @@ func TestPerfectF1(t *testing.T) {
 	}
 }
 
+func TestMultiConfusion(t *testing.T) {
+	var c MultiConfusion
+	// Class 0: 2 correct, 1 predicted as 1. Class 1: 1 correct, 1 as 2.
+	// Class 2: 2 correct.
+	obs := [][2]int{ // {pred, truth}
+		{0, 0}, {0, 0}, {1, 0},
+		{1, 1}, {2, 1},
+		{2, 2}, {2, 2},
+	}
+	for _, o := range obs {
+		c.Observe(o[0], o[1])
+	}
+	if c.K() != 3 {
+		t.Fatalf("K = %d, want 3", c.K())
+	}
+	if c.Total() != len(obs) {
+		t.Fatalf("Total = %d, want %d", c.Total(), len(obs))
+	}
+	// Class 0: TP 2, FP 0, FN 1 -> F1 = 2*2/(2*2+0+1) = 80%.
+	if got := c.F1(0); math.Abs(got-80) > 1e-9 {
+		t.Errorf("F1(0) = %v, want 80", got)
+	}
+	// Class 1: TP 1, FP 1, FN 1 -> 50%. Class 2: TP 2, FP 1, FN 0 -> 80%.
+	if got := c.F1(1); math.Abs(got-50) > 1e-9 {
+		t.Errorf("F1(1) = %v, want 50", got)
+	}
+	if got := c.F1(2); math.Abs(got-80) > 1e-9 {
+		t.Errorf("F1(2) = %v, want 80", got)
+	}
+	if got := c.MacroF1(); math.Abs(got-70) > 1e-9 {
+		t.Errorf("MacroF1 = %v, want 70", got)
+	}
+	if got := c.Accuracy(); math.Abs(got-100*5.0/7) > 1e-9 {
+		t.Errorf("Accuracy = %v", got)
+	}
+}
+
+func TestMultiConfusionDegenerate(t *testing.T) {
+	var c MultiConfusion
+	if c.MacroF1() != 0 || c.Accuracy() != 0 || c.Total() != 0 || c.F1(3) != 0 {
+		t.Error("empty multi confusion should report zeros")
+	}
+	c.Observe(-1, 0) // ignored
+	c.Observe(0, -1) // ignored
+	if c.Total() != 0 {
+		t.Error("negative classes must be ignored")
+	}
+	// A class absent from both axes must not drag the macro average down.
+	c.Observe(0, 0)
+	c.Observe(4, 4)
+	if got := c.MacroF1(); math.Abs(got-100) > 1e-9 {
+		t.Errorf("MacroF1 with absent middle classes = %v, want 100", got)
+	}
+}
+
 func TestMulticlassAccuracy(t *testing.T) {
 	if got := MulticlassAccuracy([]int{1, 2, 3}, []int{1, 2, 0}); math.Abs(got-200.0/3) > 1e-9 {
 		t.Errorf("accuracy = %v", got)

@@ -162,6 +162,106 @@ func TrainSVM(X []tensor.Vec, y []int, cfg SVMConfig, rng *rand.Rand) (*SVM, err
 	return s, nil
 }
 
+// ReduceSet builds a deployable SVM with exactly maxSV support vectors using
+// the reduced-set method: the support set is clustered into maxSV centroids
+// (k-means), and the dual coefficients and bias are refit by ridge
+// regression of the ±1 labels onto the kernel features over (X, y) — the
+// data the model was trained on. This preserves far more accuracy than
+// truncating the SMO solution by |coefficient|: with overlapping classes
+// most support vectors sit at the box bound, so the largest-|alpha| vectors
+// are precisely the noisiest points (see Compress, kept for callers that
+// want the cheap truncation). The paper's data-plane SVM must fit the
+// MapReduce grid, so deployments cap the support set this way.
+func (s *SVM) ReduceSet(X []tensor.Vec, y []int, maxSV int, rng *rand.Rand) (*SVM, error) {
+	if maxSV <= 0 || len(s.SupportVecs) <= maxSV {
+		return s, nil
+	}
+	if len(X) == 0 || len(X) != len(y) {
+		return nil, fmt.Errorf("ml: ReduceSet needs matching non-empty X, y (got %d, %d)", len(X), len(y))
+	}
+	km, err := TrainKMeans(s.SupportVecs, maxSV, 30, rng)
+	if err != nil {
+		return nil, err
+	}
+	out := &SVM{Gamma: s.Gamma, SupportVecs: km.Centroids}
+
+	// Normal equations for ridge regression on [kernel features | 1].
+	nb := maxSV + 1
+	A := make([][]float64, nb)
+	for i := range A {
+		A[i] = make([]float64, nb)
+	}
+	rhs := make([]float64, nb)
+	phi := make([]float64, nb)
+	for smp := range X {
+		for j, c := range out.SupportVecs {
+			phi[j] = float64(out.Kernel(c, X[smp]))
+		}
+		phi[nb-1] = 1
+		for i := 0; i < nb; i++ {
+			for j := 0; j < nb; j++ {
+				A[i][j] += phi[i] * phi[j]
+			}
+			rhs[i] += phi[i] * float64(y[smp])
+		}
+	}
+	for i := 0; i < nb-1; i++ {
+		A[i][i] += 1e-3 * float64(len(X)) // ridge; the bias stays unpenalised
+	}
+	sol, err := solveLinear(A, rhs)
+	if err != nil {
+		return nil, fmt.Errorf("ml: ReduceSet refit: %w", err)
+	}
+	out.Coeffs = make([]float32, maxSV)
+	for j := 0; j < maxSV; j++ {
+		out.Coeffs[j] = float32(sol[j])
+	}
+	out.Bias = float32(sol[nb-1])
+	return out, nil
+}
+
+// solveLinear solves A x = b in place by Gaussian elimination with partial
+// pivoting (A is small: reduced-set refits are (maxSV+1)^2).
+func solveLinear(A [][]float64, b []float64) ([]float64, error) {
+	n := len(A)
+	for col := 0; col < n; col++ {
+		piv := col
+		for r := col + 1; r < n; r++ {
+			if abs64(A[r][col]) > abs64(A[piv][col]) {
+				piv = r
+			}
+		}
+		if abs64(A[piv][col]) < 1e-12 {
+			return nil, fmt.Errorf("ml: singular system at column %d", col)
+		}
+		A[col], A[piv] = A[piv], A[col]
+		b[col], b[piv] = b[piv], b[col]
+		for r := col + 1; r < n; r++ {
+			f := A[r][col] / A[col][col]
+			for c := col; c < n; c++ {
+				A[r][c] -= f * A[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	x := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		v := b[r]
+		for c := r + 1; c < n; c++ {
+			v -= A[r][c] * x[c]
+		}
+		x[r] = v / A[r][r]
+	}
+	return x, nil
+}
+
+func abs64(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
 // Compress keeps only the maxSV largest-|coefficient| support vectors — the
 // paper's data-plane SVM must fit the MapReduce grid, so deployments cap the
 // support set.

@@ -1,0 +1,154 @@
+package model
+
+import (
+	"fmt"
+	"math/rand"
+
+	"taurus/internal/dataset"
+	"taurus/internal/fixed"
+	"taurus/internal/lower"
+	mr "taurus/internal/mapreduce"
+	"taurus/internal/ml"
+	"taurus/internal/tensor"
+)
+
+// DNNConfig parameterises the DNN lifecycle. The zero value of any field
+// selects the default noted on it.
+type DNNConfig struct {
+	// LearningRate and Momentum configure the SGD steps (defaults 0.05, 0.9).
+	LearningRate float32
+	Momentum     float32
+	// BatchSize is the SGD minibatch size (default 32).
+	BatchSize int
+	// Epochs is how many passes each Fit makes over its records (default 8).
+	Epochs int
+	// CalibSamples caps how many of the last Fit's inputs calibrate the
+	// per-layer activation ranges at Lower time (default 256).
+	CalibSamples int
+	// Seed seeds the trainer's shuffling (default 1).
+	Seed int64
+}
+
+func (c *DNNConfig) applyDefaults() {
+	if c.LearningRate <= 0 {
+		c.LearningRate = 0.05
+	}
+	if c.Momentum <= 0 {
+		c.Momentum = 0.9
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 32
+	}
+	if c.Epochs <= 0 {
+		c.Epochs = 8
+	}
+	if c.CalibSamples <= 0 {
+		c.CalibSamples = 256
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// DNN is the Deployable lifecycle of a float feed-forward network: warm
+// SGD retraining, post-training quantisation against the pinned input
+// domain, and lowering to the per-neuron Map/Reduce graph. It absorbs the
+// Trainer + QuantizeWithInput + lower.DNN plumbing the controller used to
+// hardcode.
+type DNN struct {
+	cfg     DNNConfig
+	net     *ml.DNN
+	trainer *ml.Trainer
+
+	calib   []tensor.Vec     // inputs of the last Fit, for range calibration
+	lastQ   *ml.QuantizedDNN // quantised twin of the last Lower
+	version int
+}
+
+// NewDNN wraps net — the float model; the Deployable takes ownership — in
+// its control-plane lifecycle.
+func NewDNN(net *ml.DNN, cfg DNNConfig) (*DNN, error) {
+	if net == nil {
+		return nil, fmt.Errorf("model: nil DNN")
+	}
+	cfg.applyDefaults()
+	d := &DNN{cfg: cfg, net: net}
+	d.trainer = ml.NewTrainer(net, ml.SGDConfig{
+		LearningRate: cfg.LearningRate,
+		Momentum:     cfg.Momentum,
+		BatchSize:    cfg.BatchSize,
+		Epochs:       1,
+	}, rand.New(rand.NewSource(cfg.Seed)))
+	return d, nil
+}
+
+// Name identifies the model family.
+func (d *DNN) Name() string { return "dnn" }
+
+// NumFeatures returns the network's input width.
+func (d *DNN) NumFeatures() int { return d.net.Layers[0].In() }
+
+// Net exposes the owned float network (read-only use; training belongs to
+// Fit).
+func (d *DNN) Net() *ml.DNN { return d.net }
+
+// Fit warm-trains the network for Epochs passes over recs.
+func (d *DNN) Fit(recs []dataset.Record) error {
+	if len(recs) == 0 {
+		return fmt.Errorf("model: DNN Fit needs records")
+	}
+	X, y := dataset.Split(recs)
+	for e := 0; e < d.cfg.Epochs; e++ {
+		d.trainer.FitEpoch(X, y)
+	}
+	n := len(X)
+	if n > d.cfg.CalibSamples {
+		n = d.cfg.CalibSamples
+	}
+	d.calib = X[:n]
+	return nil
+}
+
+// Lower requantises the network against the pinned input quantiser and
+// builds a fresh graph.
+func (d *DNN) Lower(inQ fixed.Quantizer) (*mr.Graph, error) {
+	if len(d.calib) == 0 {
+		return nil, fmt.Errorf("model: DNN Lower before Fit (no calibration set)")
+	}
+	q, err := ml.QuantizeWithInput(d.net, d.calib, inQ)
+	if err != nil {
+		return nil, err
+	}
+	d.version++
+	g, err := lower.DNN(q, fmt.Sprintf("dnn-%s-v%d", d.net.KernelString(), d.version))
+	if err != nil {
+		return nil, err
+	}
+	d.lastQ = q
+	return g, nil
+}
+
+// Score returns the float network's scalar decision statistic: the single
+// sigmoid output for binary detectors, the argmax index otherwise.
+func (d *DNN) Score(x tensor.Vec) float64 {
+	out := d.net.Forward(x)
+	if len(out) == 1 {
+		return float64(out[0])
+	}
+	return float64(tensor.ArgMax(out))
+}
+
+// ReferenceDecision runs the last-lowered quantised network on x and returns
+// the first output lane's code — what every data-plane shard must report as
+// MLScore after the matching push.
+func (d *DNN) ReferenceDecision(inQ fixed.Quantizer, x tensor.Vec) (int32, error) {
+	if d.lastQ == nil {
+		return 0, fmt.Errorf("model: DNN reference before Lower")
+	}
+	if d.lastQ.InputQ != inQ {
+		return 0, fmt.Errorf("model: DNN reference quantiser (scale %v) differs from deployed (scale %v)",
+			inQ.Scale, d.lastQ.InputQ.Scale)
+	}
+	out := d.lastQ.ForwardCodes(inQ.QuantizeSlice(x))
+	return int32(out[0]), nil
+}

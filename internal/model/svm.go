@@ -1,0 +1,172 @@
+package model
+
+import (
+	"fmt"
+	"math/rand"
+
+	"taurus/internal/dataset"
+	"taurus/internal/fixed"
+	"taurus/internal/lower"
+	mr "taurus/internal/mapreduce"
+	"taurus/internal/ml"
+	"taurus/internal/tensor"
+)
+
+// SVMConfig parameterises the SVM lifecycle.
+type SVMConfig struct {
+	// Train configures SMO (ml.DefaultSVMConfig if zero).
+	Train ml.SVMConfig
+	// MaxSV is the deployed support-set size (default 16). The lowered
+	// graph carries exactly MaxSV support vectors — SMO results are reduced
+	// to a MaxSV clustered basis with ridge-refit coefficients
+	// (ml.SVM.ReduceSet) and padded with zero-coefficient vectors below
+	// that — so retrains stay structurally push-compatible.
+	MaxSV int
+	// Seed seeds SMO's working-pair selection (default 1).
+	Seed int64
+}
+
+func (c *SVMConfig) applyDefaults() {
+	if c.Train == (ml.SVMConfig{}) {
+		c.Train = ml.DefaultSVMConfig()
+	}
+	if c.MaxSV <= 0 {
+		c.MaxSV = 16
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// SVM is the Deployable lifecycle of the RBF support-vector machine: each
+// Fit re-solves SMO warm-started from the previous support set, Lower
+// reduces the support set to the pinned deployment size (clustered basis +
+// ridge-refit coefficients, see ml.SVM.ReduceSet) and pads it, and the
+// quantised reference is served by a cached lower.SVMReference.
+type SVM struct {
+	cfg SVMConfig
+	rng *rand.Rand
+
+	svm     *ml.SVM      // current float model (nil before first Fit)
+	lastX   []tensor.Vec // last Fit's data, for the reduced-set refit
+	lastY   []int
+	ref     *lower.SVMReference // reference for the last Lower
+	refInQ  fixed.Quantizer
+	version int
+}
+
+// NewSVM builds an untrained SVM lifecycle; the model exists after the
+// first Fit.
+func NewSVM(cfg SVMConfig) (*SVM, error) {
+	cfg.applyDefaults()
+	return &SVM{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}, nil
+}
+
+// Name identifies the model family.
+func (s *SVM) Name() string { return "svm" }
+
+// NumFeatures returns the feature width (0 before the first Fit).
+func (s *SVM) NumFeatures() int {
+	if s.svm == nil || len(s.svm.SupportVecs) == 0 {
+		return 0
+	}
+	return len(s.svm.SupportVecs[0])
+}
+
+// Fit re-solves SMO on recs (labels become ±1). When a previous model
+// exists, its deployed support set (the reduced basis, not the raw SMO
+// truncation — see ReduceSet on why top-|alpha| vectors are the noisiest)
+// rides along as extra training points labelled by their coefficient signs
+// — the warm start that keeps the decision boundary from jumping when the
+// fresh sample is small.
+func (s *SVM) Fit(recs []dataset.Record) error {
+	if len(recs) == 0 {
+		return fmt.Errorf("model: SVM Fit needs records")
+	}
+	X, y := dataset.SplitPM(recs)
+	if s.svm != nil {
+		warm, err := s.svm.ReduceSet(s.lastX, s.lastY, s.cfg.MaxSV, s.rng)
+		if err != nil {
+			return err
+		}
+		for i, sv := range warm.SupportVecs {
+			if warm.Coeffs[i] == 0 {
+				continue
+			}
+			X = append(X, sv)
+			if warm.Coeffs[i] > 0 {
+				y = append(y, 1)
+			} else {
+				y = append(y, -1)
+			}
+		}
+	}
+	svm, err := ml.TrainSVM(X, y, s.cfg.Train, s.rng)
+	if err != nil {
+		return err
+	}
+	s.svm, s.lastX, s.lastY = svm, X, y
+	return nil
+}
+
+// deploySnapshot reduces the current model to MaxSV support vectors
+// (clustered basis, coefficients refit on the last Fit's data) and pads it
+// up to exactly MaxSV with zero-coefficient vectors, so every deployment
+// has the same graph structure.
+func (s *SVM) deploySnapshot() (*ml.SVM, error) {
+	d, err := s.svm.ReduceSet(s.lastX, s.lastY, s.cfg.MaxSV, s.rng)
+	if err != nil {
+		return nil, err
+	}
+	out := &ml.SVM{Bias: d.Bias, Gamma: d.Gamma}
+	out.SupportVecs = append(out.SupportVecs, d.SupportVecs...)
+	out.Coeffs = append(out.Coeffs, d.Coeffs...)
+	dim := len(out.SupportVecs[0])
+	for len(out.SupportVecs) < s.cfg.MaxSV {
+		out.SupportVecs = append(out.SupportVecs, make(tensor.Vec, dim))
+		out.Coeffs = append(out.Coeffs, 0)
+	}
+	return out, nil
+}
+
+// Lower quantises the padded support set against the pinned input quantiser
+// and builds a fresh graph; it also refreshes the cached quantised
+// reference.
+func (s *SVM) Lower(inQ fixed.Quantizer) (*mr.Graph, error) {
+	if s.svm == nil {
+		return nil, fmt.Errorf("model: SVM Lower before Fit")
+	}
+	snap, err := s.deploySnapshot()
+	if err != nil {
+		return nil, err
+	}
+	s.version++
+	g, ref, err := lower.SVMWithReference(snap, inQ, s.cfg.MaxSV,
+		fmt.Sprintf("svm-%dsv-v%d", s.cfg.MaxSV, s.version))
+	if err != nil {
+		return nil, err
+	}
+	s.ref, s.refInQ = ref, inQ
+	return g, nil
+}
+
+// Score returns the float decision value (positive = anomalous).
+func (s *SVM) Score(x tensor.Vec) float64 {
+	if s.svm == nil {
+		return 0
+	}
+	return float64(s.svm.Decision(x))
+}
+
+// ReferenceDecision returns the quantised decision code of the most recently
+// lowered graph via the cached reference evaluator.
+func (s *SVM) ReferenceDecision(inQ fixed.Quantizer, x tensor.Vec) (int32, error) {
+	if s.ref == nil {
+		return 0, fmt.Errorf("model: SVM reference before Lower")
+	}
+	if s.refInQ != inQ {
+		return 0, fmt.Errorf("model: SVM reference quantiser (scale %v) differs from deployed (scale %v)",
+			inQ.Scale, s.refInQ.Scale)
+	}
+	return s.ref.Decision(x)
+}

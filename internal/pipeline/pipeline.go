@@ -305,6 +305,17 @@ func (p *Pipeline) ShardStats() []core.Stats {
 	return out
 }
 
+// InputQuantizer returns the feature quantiser the shards were loaded with
+// (the zero Quantizer before LoadModel; shards are identical, so shard 0
+// speaks for all). The control plane pins retrained weights to this input
+// domain.
+func (p *Pipeline) InputQuantizer() fixed.Quantizer {
+	s := p.shards[0]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dev.InputQuantizer()
+}
+
 // ModelLatencyNs returns the per-packet model latency (shards are
 // identical, so shard 0 speaks for all; 0 before LoadModel).
 func (p *Pipeline) ModelLatencyNs() float64 {

@@ -18,16 +18,20 @@
 //
 //   - NewController closes the control loop over a running Pipeline
 //     (Figure 1, §3.3.1): feed it the data plane's decisions with Observe,
-//     and it detects concept drift (flagged-rate or score-distribution
-//     shift against a reference window), retrains its float DNN on freshly
-//     labelled telemetry from a LabelSource, requantises against the
-//     deployed input domain, and pushes the new weights to every shard via
-//     UpdateWeights — out-of-band, while batches keep flowing. Run it
-//     synchronously (Observe + RetrainNow) for deterministic experiments or
-//     in the background (Start/Close) for live serving; tune it with
-//     WithRetrainInterval, WithRetrainEpochs, WithDriftThresholds and
-//     friends. NewDriftingStream generates the matching concept-drifting
-//     workload.
+//     and it detects concept drift (flagged-rate, mean-score or PSI
+//     histogram shift against a reference window), retrains its model on
+//     freshly labelled telemetry from a LabelSource, requantises against
+//     the deployed input domain, and pushes the new weights to every shard
+//     via UpdateWeights — out-of-band, while batches keep flowing. The
+//     controller is model-agnostic: it drives any Deployable — wrap a DNN
+//     with NewDNNDeployable, an RBF SVM with NewSVMDeployable, a KMeans
+//     classifier with NewKMeansDeployable (NewDNNController remains as the
+//     one-call DNN shape). Run it synchronously (Observe + RetrainNow) for
+//     deterministic experiments or in the background (Start/Close) for live
+//     serving; tune it with WithRetrainInterval, WithDriftStatistic,
+//     WithDriftThresholds and friends. NewDriftingStream and
+//     NewDriftingIoTStream generate matching concept-drifting workloads,
+//     with WithLabelDelay and WithLabelNoise for label realism.
 //
 //   - Both constructors take functional options: WithGrid, WithFlowTable,
 //     WithThreshold, WithDropOnAnomaly, and (pipelines only) WithShards.
@@ -62,6 +66,7 @@ import (
 	"taurus/internal/lower"
 	"taurus/internal/mapreduce"
 	"taurus/internal/ml"
+	"taurus/internal/model"
 	"taurus/internal/pipeline"
 	"taurus/internal/pisa"
 	"taurus/internal/tensor"
@@ -204,7 +209,7 @@ func NewPipeline(numFeatures int, opts ...Option) (*Pipeline, error) {
 }
 
 // The control plane (Figure 1, §3.3.1): online retraining and live weight
-// pushes over a running traffic plane.
+// pushes over a running traffic plane, generic over the model family.
 type (
 	// Controller is the closed-loop control plane: drift detection,
 	// background retraining, out-of-band weight pushes.
@@ -216,78 +221,168 @@ type (
 	// current traffic distribution (the control plane's telemetry joined
 	// with ground truth).
 	LabelSource = controlplane.LabelSource
+	// DriftStatistic selects the drift detector (DriftMeanShift, DriftPSI).
+	DriftStatistic = controlplane.DriftStatistic
+
+	// Deployable is one model's control-plane lifecycle: Fit on labelled
+	// records, Lower against the deployed input domain, Score for
+	// diagnostics, and a quantised reference decision for parity checks.
+	// The Controller drives any Deployable through the same loop.
+	Deployable = model.Deployable
+	// DNNDeployableConfig configures NewDNNDeployable (SGD policy,
+	// calibration size).
+	DNNDeployableConfig = model.DNNConfig
+	// SVMDeployableConfig configures NewSVMDeployable (SMO policy, deployed
+	// support-set size).
+	SVMDeployableConfig = model.SVMConfig
+	// KMeansDeployableConfig configures NewKMeansDeployable (cluster count,
+	// Lloyd iterations).
+	KMeansDeployableConfig = model.KMeansConfig
 )
 
-// ControllerOption configures NewController.
-type ControllerOption func(*controlplane.Config)
+// Drift statistics for WithDriftStatistic.
+const (
+	// DriftMeanShift compares flagged-rate and mean score against the
+	// reference profile (the default).
+	DriftMeanShift = controlplane.DriftMeanShift
+	// DriftPSI computes a population stability index over quantile-binned
+	// score histograms — scale-free, and sensitive to shifts that preserve
+	// the mean (variance widening, category-mix changes).
+	DriftPSI = controlplane.DriftPSI
+)
+
+// Deployable constructors: model lifecycles the Controller can retrain.
+var (
+	// NewDNNDeployable wraps a float DNN (the Deployable takes ownership).
+	NewDNNDeployable = model.NewDNN
+	// NewSVMDeployable builds an RBF SVM lifecycle (trained on first Fit).
+	NewSVMDeployable = model.NewSVM
+	// NewKMeansDeployable builds a nearest-centroid classifier lifecycle.
+	NewKMeansDeployable = model.NewKMeans
+)
+
+// controllerOptions collects the facade-level controller configuration: the
+// controlplane config plus the training policy used only when NewDNNController
+// constructs the Deployable for the caller.
+type controllerOptions struct {
+	cp  controlplane.Config
+	dnn model.DNNConfig
+}
+
+// ControllerOption configures NewController and NewDNNController.
+type ControllerOption func(*controllerOptions)
 
 // WithSampleEvery samples one in n non-bypassed decisions into the drift
 // windows (default 4) — the telemetry sampling rate of §5.2.3.
 func WithSampleEvery(n int) ControllerOption {
-	return func(c *controlplane.Config) { c.SampleEvery = n }
+	return func(o *controllerOptions) { o.cp.SampleEvery = n }
 }
 
 // WithDriftWindow sets how many sampled decisions form one observation
 // window (default 512).
 func WithDriftWindow(n int) ControllerOption {
-	return func(c *controlplane.Config) { c.Window = n }
+	return func(o *controllerOptions) { o.cp.Window = n }
+}
+
+// WithDriftStatistic selects the drift detector: DriftMeanShift (default)
+// or DriftPSI.
+func WithDriftStatistic(s DriftStatistic) ControllerOption {
+	return func(o *controllerOptions) { o.cp.Statistic = s }
 }
 
 // WithDriftThresholds sets the absolute flagged-rate shift and the
 // mean-score shift (in output code units) that declare drift (defaults
 // 0.10 and 16).
 func WithDriftThresholds(flagDelta, scoreDelta float64) ControllerOption {
-	return func(c *controlplane.Config) {
-		c.FlagDelta = flagDelta
-		c.ScoreDelta = scoreDelta
+	return func(o *controllerOptions) {
+		o.cp.FlagDelta = flagDelta
+		o.cp.ScoreDelta = scoreDelta
 	}
+}
+
+// WithPSIThreshold sets the population-stability-index value that declares
+// drift under DriftPSI (default 0.25).
+func WithPSIThreshold(t float64) ControllerOption {
+	return func(o *controllerOptions) { o.cp.PSIThreshold = t }
 }
 
 // WithDriftPatience sets how many consecutive out-of-threshold windows
 // declare drift (default 2) — hysteresis against single-window sampling
 // noise.
 func WithDriftPatience(n int) ControllerOption {
-	return func(c *controlplane.Config) { c.DriftPatience = n }
+	return func(o *controllerOptions) { o.cp.DriftPatience = n }
 }
 
 // WithRetrainInterval makes the background worker retrain every d even
 // without a drift signal (default: drift-triggered only).
 func WithRetrainInterval(d time.Duration) ControllerOption {
-	return func(c *controlplane.Config) { c.RetrainInterval = d }
+	return func(o *controllerOptions) { o.cp.RetrainInterval = d }
 }
 
 // WithRetrainRecords sets how many labelled records each retrain collects
 // (default 2048).
 func WithRetrainRecords(n int) ControllerOption {
-	return func(c *controlplane.Config) { c.RetrainRecords = n }
+	return func(o *controllerOptions) { o.cp.RetrainRecords = n }
 }
 
-// WithRetrainEpochs sets how many passes each retrain makes over its
-// records (default 8).
+// WithRetrainEpochs sets how many SGD passes each retrain makes over its
+// records (default 8). It configures the Deployable NewDNNController
+// builds; a caller-supplied Deployable carries its own training policy.
 func WithRetrainEpochs(n int) ControllerOption {
-	return func(c *controlplane.Config) { c.RetrainEpochs = n }
+	return func(o *controllerOptions) { o.dnn.Epochs = n }
 }
 
-// WithControllerSeed seeds the controller's SGD shuffling (default 1).
+// WithControllerSeed seeds the SGD shuffling of NewDNNController's
+// Deployable (default 1); a caller-supplied Deployable carries its own
+// seed.
 func WithControllerSeed(seed int64) ControllerOption {
-	return func(c *controlplane.Config) { c.Seed = seed }
+	return func(o *controllerOptions) { o.dnn.Seed = seed }
+}
+
+func buildControllerOptions(opts []ControllerOption) controllerOptions {
+	o := controllerOptions{cp: controlplane.DefaultConfig()}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return o
 }
 
 // NewController builds the closed-loop controller for a pipeline: it
-// retrains net — the float twin of the deployed model; the controller takes
+// retrains m — the lifecycle of the deployed model; the controller takes
 // ownership — on records from src, and pushes requantised weights to every
-// shard. inQ must be the quantiser the model was deployed with (LoadModel's
-// argument), so pushed weights stay scaled to the data plane's fixed input
-// domain.
-func NewController(p *Pipeline, net *DNN, inQ Quantizer, src LabelSource, opts ...ControllerOption) (*Controller, error) {
+// shard. The input domain is pinned automatically to the quantiser the
+// pipeline was loaded with, so a model must be deployed (LoadModel) before
+// the controller is attached.
+func NewController(p *Pipeline, m Deployable, src LabelSource, opts ...ControllerOption) (*Controller, error) {
 	if p == nil {
 		return nil, fmt.Errorf("%w: nil pipeline", ErrBadConfig)
 	}
-	cfg := controlplane.DefaultConfig()
-	for _, opt := range opts {
-		opt(&cfg)
+	inQ := p.InputQuantizer()
+	if inQ.Scale <= 0 {
+		return nil, fmt.Errorf("%w: pipeline has no deployed model; LoadModel before NewController", ErrNoModel)
 	}
-	return controlplane.New(p, net, inQ, src, cfg)
+	o := buildControllerOptions(opts)
+	if o.dnn != (model.DNNConfig{}) {
+		return nil, fmt.Errorf("%w: WithRetrainEpochs/WithControllerSeed configure the Deployable NewDNNController builds; a caller-supplied Deployable carries its own training policy", ErrBadConfig)
+	}
+	return controlplane.New(p, m, inQ, src, o.cp)
+}
+
+// NewDNNController is the back-compatible DNN shape of NewController: it
+// wraps net — the float twin of the deployed model; the controller takes
+// ownership — in its Deployable lifecycle (tuned by WithRetrainEpochs /
+// WithControllerSeed) and attaches it to the pipeline. inQ must be the
+// quantiser the model was deployed with (LoadModel's argument).
+func NewDNNController(p *Pipeline, net *DNN, inQ Quantizer, src LabelSource, opts ...ControllerOption) (*Controller, error) {
+	if p == nil {
+		return nil, fmt.Errorf("%w: nil pipeline", ErrBadConfig)
+	}
+	o := buildControllerOptions(opts)
+	dep, err := model.NewDNN(net, o.dnn)
+	if err != nil {
+		return nil, err
+	}
+	return controlplane.New(p, dep, inQ, src, o.cp)
 }
 
 // Machine-learning models (§5.1.2) and quantisation (Table 3).
@@ -318,7 +413,14 @@ var (
 	LowerSVM = lower.SVM
 	// LowerLSTMStep lowers one recurrent step of an LSTM.
 	LowerLSTMStep = lower.LSTMStep
+	// NewSVMReference builds a reusable evaluator of the lowered SVM's
+	// exact quantised arithmetic (bit-identical to the graph, no graph
+	// interpretation) — the control plane's parity checker.
+	NewSVMReference = lower.NewSVMReference
 )
+
+// SVMReference evaluates the lowered SVM's quantised decision directly.
+type SVMReference = lower.SVMReference
 
 // Synthetic workloads (§5.2.2 substitutes for NSL-KDD and TMC IoT traces).
 type (
@@ -341,6 +443,16 @@ type (
 	// set whose feature distributions drift with the stream's phase, plus
 	// the label feed a Controller retrains on.
 	DriftingStream = trafficgen.DriftingStream
+	// IoTDriftConfig parameterises the drifting IoT classification
+	// workload (class centres migrate; the category mix skews).
+	IoTDriftConfig = dataset.IoTDriftConfig
+	// DriftingIoTGenerator produces drifting labelled IoT samples.
+	DriftingIoTGenerator = dataset.DriftingIoTGenerator
+	// DriftSource is the workload contract a DriftingStream drives; both
+	// drifting generators satisfy it.
+	DriftSource = trafficgen.DriftSource
+	// StreamOption configures drifting streams (label delay/noise).
+	StreamOption = trafficgen.StreamOption
 )
 
 // Dataset constructors and helpers.
@@ -363,14 +475,37 @@ var (
 	DefaultDriftConfig = dataset.DefaultDriftConfig
 	// NewDriftingStream builds drifting packet traffic over n flows.
 	NewDriftingStream = trafficgen.NewDriftingStream
+	// DefaultIoTDriftConfig is the calibrated drifting IoT workload.
+	DefaultIoTDriftConfig = dataset.DefaultIoTDriftConfig
+	// NewDriftingIoTGenerator builds a drifting IoT record generator.
+	NewDriftingIoTGenerator = dataset.NewDriftingIoTGenerator
+	// NewDriftingIoTStream builds drifting IoT packet traffic over n flows.
+	NewDriftingIoTStream = trafficgen.NewDriftingIoTStream
+	// NewDriftingStreamFrom builds a stream over caller-supplied traffic
+	// and label DriftSources.
+	NewDriftingStreamFrom = trafficgen.NewDriftingStreamFrom
+	// WithLabelDelay makes the stream's label feed lag the traffic by n
+	// SetPhase steps — the controller trains on stale ground truth.
+	WithLabelDelay = trafficgen.WithLabelDelay
+	// WithLabelNoise mislabels each labelled record with probability p.
+	WithLabelNoise = trafficgen.WithLabelNoise
+	// WithLabelClasses declares a k-category workload so label noise draws
+	// random wrong categories instead of the binary flip.
+	WithLabelClasses = trafficgen.WithLabelClasses
 )
 
-// Training helpers.
+// Training helpers and metrics.
 type (
 	// SGDConfig controls DNN training.
 	SGDConfig = ml.SGDConfig
 	// Trainer performs minibatch SGD on a DNN.
 	Trainer = ml.Trainer
+	// BinaryConfusion tallies binary classifier outcomes (F1, precision,
+	// recall — §5.2.2's scores).
+	BinaryConfusion = ml.BinaryConfusion
+	// MultiConfusion tallies k-class outcomes with per-class and macro F1 —
+	// the scorer for the IoT classifiers.
+	MultiConfusion = ml.MultiConfusion
 )
 
 // Model constructors.
@@ -396,6 +531,9 @@ var (
 	NewQuantizer = fixed.NewQuantizer
 	// QuantizerFor calibrates a quantiser from observed values.
 	QuantizerFor = fixed.QuantizerFor
+	// InputQuantizerFor calibrates the data plane's input quantiser from a
+	// deployment-time record sample (the quantiser to pass to LoadModel).
+	InputQuantizerFor = model.InputQuantizerFor
 )
 
 // Activations.

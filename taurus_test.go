@@ -83,7 +83,7 @@ func TestControllerConstruction(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	ctrl, err := NewController(pl, net, q.InputQ, stream.Labelled,
+	ctrl, err := NewDNNController(pl, net, q.InputQ, stream.Labelled,
 		WithSampleEvery(2),
 		WithDriftWindow(128),
 		WithDriftThresholds(0.2, 32),
@@ -114,7 +114,83 @@ func TestControllerConstruction(t *testing.T) {
 		t.Error("controller sampled no decisions")
 	}
 
-	if _, err := NewController(nil, net, q.InputQ, stream.Labelled); err == nil {
+	if _, err := NewDNNController(nil, net, q.InputQ, stream.Labelled); err == nil {
 		t.Error("nil pipeline accepted")
+	}
+}
+
+// TestDeployableControllerFacade drives the model-agnostic surface: an SVM
+// Deployable deployed through its own lifecycle, a controller attached with
+// the quantiser pinned from the pipeline, and a PSI-detector retrain cycle.
+func TestDeployableControllerFacade(t *testing.T) {
+	cfg := DriftConfig{Base: AnomalyConfig{NumFeatures: 8, AnomalyFraction: 0.4, Separation: 1.2}}
+	stream, err := NewDriftingStream(cfg, 7, 64, WithLabelDelay(1), WithLabelNoise(0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := NewSVMDeployable(SVMDeployableConfig{MaxSV: 12, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := stream.Labelled(300)
+	inQ := InputQuantizerFor(recs)
+	if err := dep.Fit(recs); err != nil {
+		t.Fatal(err)
+	}
+	program, err := dep.Lower(inQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := NewPipeline(8, WithShards(2), WithThreshold(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pl.Close()
+
+	// A controller must refuse a pipeline with no deployed model (there is
+	// no quantiser to pin against yet).
+	if _, err := NewController(pl, dep, stream.Labelled); err == nil {
+		t.Error("controller attached before LoadModel")
+	}
+	if err := pl.LoadModel(program, inQ, CompileOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	ctrl, err := NewController(pl, dep, stream.Labelled,
+		WithDriftStatistic(DriftPSI),
+		WithPSIThreshold(0.3),
+		WithRetrainRecords(300),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctrl.Close()
+
+	ins, out, _ := stream.NextBatch(256)
+	if _, err := pl.ProcessBatch(ins, out); err != nil {
+		t.Fatal(err)
+	}
+	ctrl.Observe(out)
+	if err := ctrl.RetrainNow(); err != nil {
+		t.Fatal(err)
+	}
+	if got := ctrl.Stats().Retrains; got != 1 {
+		t.Errorf("Retrains = %d, want 1", got)
+	}
+	// Parity: the data plane and the Deployable's reference must agree.
+	ins2, out2, _ := stream.NextBatch(64)
+	if _, err := pl.ProcessBatch(ins2, out2); err != nil {
+		t.Fatal(err)
+	}
+	for i := range out2 {
+		if out2[i].Bypassed {
+			continue
+		}
+		want, err := dep.ReferenceDecision(inQ, ins2[i].Features)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out2[i].MLScore != want {
+			t.Fatalf("packet %d: score %d != reference %d", i, out2[i].MLScore, want)
+		}
 	}
 }
