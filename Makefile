@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench bench-smoke check fmt
+.PHONY: build test bench bench-smoke bench-json check fmt
 
 build:
 	$(GO) build ./...
@@ -15,11 +15,19 @@ bench:
 
 # One iteration of every benchmark in the module (no unit tests — CI runs
 # those separately): cheap enough for CI, and keeps benchmark code compiling
-# and running so it can't silently rot. The drift invocation smokes the
-# model-agnostic control loop end to end on the non-DNN path.
+# and running so it can't silently rot. The end-to-end control-loop smoke
+# moved to bench-json, which runs the drift and fleet experiments anyway —
+# CI runs both targets, so duplicating them here would double the slow part.
 bench-smoke:
 	$(GO) test -run xxx -bench=. -benchtime=1x ./...
-	$(GO) run ./cmd/taurus-bench -exp drift -model svm
+
+# Machine-readable benchmark rows — the perf-trajectory artifacts CI uploads
+# on every run, so regressions show up as a diffable series over time. Also
+# the end-to-end smoke of the control loop (drift) and the fleet loop.
+bench-json:
+	$(GO) run ./cmd/taurus-bench -exp drift -model svm -json > BENCH_drift.json
+	$(GO) run ./cmd/taurus-bench -exp throughput -json > BENCH_throughput.json
+	$(GO) run ./cmd/taurus-bench -exp fleet -model svm -json > BENCH_fleet.json
 
 check:
 	@fmtout=$$(gofmt -l .); \

@@ -6,13 +6,19 @@
 //	taurus-bench -exp table5         # one experiment
 //	taurus-bench -packets 100000     # smaller Table 8 run
 //	taurus-bench -exp drift -model svm # close the loop over the SVM
+//	taurus-bench -exp fleet          # one control plane driving 3 switches
+//	taurus-bench -exp drift -json    # machine-readable rows (CI artifacts)
 //
 // Experiments: table1 table2 table3 table4 table5 table6 table7 table8
-// fig9 fig10 fig11 fig13 fig14 mats throughput drift. The drift experiment
-// takes -model dnn|svm|iot to pick the retrained model family.
+// fig9 fig10 fig11 fig13 fig14 mats throughput drift fleet. The drift and
+// fleet experiments take -model dnn|svm|iot to pick the retrained model
+// family. -json (drift, throughput and fleet only) replaces the rendered
+// table with the experiment's data rows as JSON, for the benchmark
+// artifacts CI accumulates.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,16 +28,64 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (all, table1..table8, fig9..fig14, mats, throughput, drift)")
+	exp := flag.String("exp", "all", "experiment to run (all, table1..table8, fig9..fig14, mats, throughput, drift, fleet)")
 	packets := flag.Int("packets", 400_000, "packets for the Table 8 simulation")
 	seed := flag.Int64("seed", 1, "training seed")
-	driftModel := flag.String("model", "dnn", "model family for the drift experiment (dnn, svm, iot)")
+	driftModel := flag.String("model", "dnn", "model family for the drift and fleet experiments (dnn, svm, iot)")
+	jsonOut := flag.Bool("json", false, "emit the experiment's data rows as JSON (drift, throughput, fleet only)")
 	flag.Parse()
 
-	if err := run(*exp, *packets, *seed, *driftModel); err != nil {
+	var err error
+	if *jsonOut {
+		err = runJSON(*exp, *seed, *driftModel)
+	} else {
+		err = run(*exp, *packets, *seed, *driftModel)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "taurus-bench:", err)
 		os.Exit(1)
 	}
+}
+
+// runJSON emits one experiment's rows as indented JSON on stdout — the
+// machine-readable benchmark trajectory CI uploads as artifacts.
+func runJSON(exp string, seed int64, driftModel string) error {
+	out := struct {
+		Experiment string `json:"experiment"`
+		Model      string `json:"model,omitempty"`
+		Seed       int64  `json:"seed"`
+		Rows       any    `json:"rows"`
+	}{Experiment: strings.ToLower(exp), Seed: seed}
+
+	switch out.Experiment {
+	case "drift":
+		rows, _, err := experiments.DriftTable(seed, driftModel)
+		if err != nil {
+			return err
+		}
+		out.Model, out.Rows = driftModel, rows
+	case "fleet":
+		rows, _, err := experiments.FleetTable(seed, driftModel)
+		if err != nil {
+			return err
+		}
+		out.Model, out.Rows = driftModel, rows
+	case "throughput":
+		models, err := experiments.TrainModels(seed)
+		if err != nil {
+			return err
+		}
+		rows, _, err := experiments.Throughput(models)
+		if err != nil {
+			return err
+		}
+		out.Rows = rows
+	default:
+		return fmt.Errorf("-json supports drift, throughput and fleet, not %q", exp)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }
 
 func run(exp string, packets int, seed int64, driftModel string) error {
@@ -131,6 +185,14 @@ func run(exp string, packets int, seed int64, driftModel string) error {
 	if want("drift") {
 		fmt.Fprintf(os.Stderr, "running closed-control-loop drift experiment (%s)...\n", driftModel)
 		_, text, err := experiments.Drift(seed, driftModel)
+		if err != nil {
+			return err
+		}
+		emit(text)
+	}
+	if want("fleet") {
+		fmt.Fprintf(os.Stderr, "running fleet control-plane experiment (%s)...\n", driftModel)
+		_, text, err := experiments.FleetTable(seed, driftModel)
 		if err != nil {
 			return err
 		}

@@ -25,6 +25,17 @@
 // Start launches a worker goroutine that retrains whenever drift is observed
 // (and, optionally, on a fixed RetrainInterval) while the caller keeps
 // pushing batches — the live deployment shape, exercised under -race.
+//
+// The two modes meet at the kick channel: every drift detection fills a
+// one-slot buffer the background worker drains, so signals coalesce instead
+// of queueing. Because Observe fills the buffer in both modes, a completed
+// retrain drains any kick still pending — it was answered by that retrain,
+// and leaving it buffered would fire a spurious retrain the moment Start
+// (or a Close → Start restart) brings a worker up.
+//
+// Fleet scales the same loop out to N switches: one trainer, one shared
+// model, a drift detector per registered member, label pooling across the
+// drifted members and an atomic fan-out push — see fleet.go.
 package controlplane
 
 import (
@@ -68,6 +79,11 @@ const (
 	// sensitive to distribution change that leaves the mean untouched —
 	// symmetric variance widening, bimodal splits.
 	DriftPSI
+	// DriftKS computes the two-sample Kolmogorov–Smirnov distance between
+	// the window's raw score sample and a reference sample. Scale-free like
+	// PSI but binning-free: no quantile-edge artefacts on heavily discrete
+	// or long-tailed score distributions.
+	DriftKS
 )
 
 // Config parameterises a Controller. The zero value of any field selects
@@ -97,13 +113,30 @@ type Config struct {
 	// drift (default 0.25 — the conventional "significant shift" point).
 	// DriftPSI only.
 	PSIThreshold float64
+	// KSThreshold is the two-sample Kolmogorov–Smirnov distance that
+	// declares drift (default 0.15 — comfortably above the ~0.09 sampling
+	// noise of two 512-sample windows at the 5% level). Used by DriftKS for
+	// detection, and by AdaptiveRetrain as its calm criterion.
+	KSThreshold float64
 	// DriftPatience is how many consecutive out-of-threshold windows it
 	// takes to declare drift (default 2) — hysteresis against the sampling
 	// noise of a single window.
 	DriftPatience int
 	// RetrainRecords is how many labelled records each retrain collects
-	// (default 2048).
+	// (default 2048). With AdaptiveRetrain it is the collection chunk
+	// granularity instead (half of it per chunk).
 	RetrainRecords int
+	// AdaptiveRetrain replaces the fixed RetrainRecords collection with
+	// adaptive sizing: each retrain pulls labelled records in chunks of
+	// RetrainRecords/2, refitting the model after every chunk, until one
+	// more chunk no longer moves the model's score distribution (two-sample
+	// KS between the pre- and post-refit scores on the fresh chunk at most
+	// KSThreshold) or RetrainMaxRecords is reached. Mild drift stops near
+	// the fixed size; a hard shift keeps collecting until the model calms.
+	AdaptiveRetrain bool
+	// RetrainMaxRecords caps the adaptive collection (default
+	// 4×RetrainRecords; ignored without AdaptiveRetrain).
+	RetrainMaxRecords int
 	// RetrainInterval, when positive, retrains periodically in background
 	// mode even without a drift signal (0 = drift-triggered only).
 	RetrainInterval time.Duration
@@ -118,6 +151,7 @@ func DefaultConfig() Config {
 		FlagDelta:      0.10,
 		ScoreDelta:     16,
 		PSIThreshold:   0.25,
+		KSThreshold:    0.15,
 		DriftPatience:  2,
 		RetrainRecords: 2048,
 	}
@@ -143,11 +177,17 @@ func (c *Config) applyDefaults() {
 	if c.PSIThreshold <= 0 {
 		c.PSIThreshold = d.PSIThreshold
 	}
+	if c.KSThreshold <= 0 {
+		c.KSThreshold = d.KSThreshold
+	}
 	if c.DriftPatience <= 0 {
 		c.DriftPatience = d.DriftPatience
 	}
 	if c.RetrainRecords <= 0 {
 		c.RetrainRecords = d.RetrainRecords
+	}
+	if c.RetrainMaxRecords <= 0 {
+		c.RetrainMaxRecords = 4 * c.RetrainRecords
 	}
 }
 
@@ -162,14 +202,26 @@ type Stats struct {
 	// Retrains is the number of completed retrain-and-push cycles.
 	Retrains int
 	// RefFlagRate and RefMeanScore describe the current reference profile.
+	// They are zeroed when a retrain re-arms the detector and stay zero
+	// until the post-push reference is built — a pre-push profile is never
+	// reported as current.
 	RefFlagRate  float64
 	RefMeanScore float64
 	// LastFlagRate and LastMeanScore describe the last completed window.
 	LastFlagRate  float64
 	LastMeanScore float64
 	// LastPSI is the population stability index of the last completed
-	// window (0 until the reference is armed; DriftPSI only).
+	// window (0 until the reference is armed; DriftPSI only). Zeroed on
+	// re-arm, like the reference profile it is measured against.
 	LastPSI float64
+	// LastKS is the Kolmogorov–Smirnov distance of the last completed
+	// window (0 until the reference is armed; DriftKS only). Zeroed on
+	// re-arm.
+	LastKS float64
+	// LastRetrainRecords is how many labelled records the most recent
+	// retrain trained on — RetrainRecords for fixed sizing, the adaptive
+	// collection size otherwise.
+	LastRetrainRecords int
 }
 
 // Controller is the closed-loop control plane over one data plane.
@@ -179,22 +231,14 @@ type Controller struct {
 	inQ    fixed.Quantizer
 	source LabelSource
 
-	// mu guards the observation window, reference profile and stats —
-	// everything Observe touches, kept separate from training so a
-	// background retrain never stalls the traffic driver's Observe calls.
-	mu         sync.Mutex
-	winN       int
-	winFlagged int
-	winScore   float64
-	sampleTick int
-	refWindows int
-	refFlag    float64
-	refScore   float64
-	psi        psiDetector
-	outOfBand  int // consecutive windows past a threshold
-	drifted    bool
-	stats      Stats
-	lastErr    error
+	// mu guards the drift detector and the retrain counters — everything
+	// Observe touches, kept separate from training so a background retrain
+	// never stalls the traffic driver's Observe calls.
+	mu          sync.Mutex
+	det         detector
+	retrains    int
+	lastRecords int
+	lastErr     error
 
 	// trainMu serialises retrains; the model belongs to the retrain path
 	// exclusively.
@@ -236,6 +280,7 @@ func New(pusher Pusher, m model.Deployable, inQ fixed.Quantizer, source LabelSou
 		model:  m,
 		kick:   make(chan struct{}, 1),
 	}
+	c.det.cfg = &c.cfg
 	return c, nil
 }
 
@@ -247,32 +292,8 @@ func New(pusher Pusher, m model.Deployable, inQ fixed.Quantizer, source LabelSou
 // mode that also schedules a retrain. Safe for concurrent use.
 func (c *Controller) Observe(decs []core.Decision) bool {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	newDrift := false
-	for i := range decs {
-		if decs[i].Bypassed {
-			continue
-		}
-		c.sampleTick++
-		if c.sampleTick%c.cfg.SampleEvery != 0 {
-			continue
-		}
-		c.stats.Sampled++
-		c.winN++
-		if decs[i].Verdict != core.Forward {
-			c.winFlagged++
-		}
-		score := float64(decs[i].MLScore)
-		c.winScore += score
-		if c.cfg.Statistic == DriftPSI {
-			c.psi.observe(score)
-		}
-		if c.winN >= c.cfg.Window {
-			if c.closeWindowLocked() {
-				newDrift = true
-			}
-		}
-	}
+	newDrift := c.det.observe(decs)
+	c.mu.Unlock()
 	if newDrift {
 		select {
 		case c.kick <- struct{}{}:
@@ -282,68 +303,20 @@ func (c *Controller) Observe(decs []core.Decision) bool {
 	return newDrift
 }
 
-// closeWindowLocked folds the completed window into the reference (while it
-// is still being established) or checks it for drift. Reports whether drift
-// was newly detected. Caller holds c.mu.
-func (c *Controller) closeWindowLocked() bool {
-	flagRate := float64(c.winFlagged) / float64(c.winN)
-	meanScore := c.winScore / float64(c.winN)
-	c.winN, c.winFlagged, c.winScore = 0, 0, 0
-	c.stats.Windows++
-	c.stats.LastFlagRate, c.stats.LastMeanScore = flagRate, meanScore
-
-	if c.refWindows < c.cfg.RefWindows {
-		n := float64(c.refWindows)
-		c.refFlag = (c.refFlag*n + flagRate) / (n + 1)
-		c.refScore = (c.refScore*n + meanScore) / (n + 1)
-		c.refWindows++
-		c.stats.RefFlagRate, c.stats.RefMeanScore = c.refFlag, c.refScore
-		if c.cfg.Statistic == DriftPSI && c.refWindows == c.cfg.RefWindows {
-			c.psi.armReference()
-		}
-		return false
-	}
-
-	outOfBand := false
-	switch c.cfg.Statistic {
-	case DriftPSI:
-		p := c.psi.closeWindow()
-		c.stats.LastPSI = p
-		outOfBand = p > c.cfg.PSIThreshold || abs(flagRate-c.refFlag) > c.cfg.FlagDelta
-	default:
-		outOfBand = abs(flagRate-c.refFlag) > c.cfg.FlagDelta || abs(meanScore-c.refScore) > c.cfg.ScoreDelta
-	}
-
-	if c.drifted {
-		return false
-	}
-	if outOfBand {
-		c.outOfBand++
-	} else {
-		c.outOfBand = 0
-	}
-	if c.outOfBand >= c.cfg.DriftPatience {
-		c.drifted = true
-		c.stats.Drifts++
-		return true
-	}
-	return false
-}
-
-// RetrainNow synchronously runs one control-loop cycle: collect
-// RetrainRecords labelled records, Fit the model on them, Lower against the
+// RetrainNow synchronously runs one control-loop cycle: collect fresh
+// labelled records (a fixed RetrainRecords draw, or the adaptive collection
+// when AdaptiveRetrain is set), Fit the model on them, Lower against the
 // pinned input domain, and push to the data plane. On success the drift
 // detector's reference is re-armed so the post-push distribution becomes
-// the new normal. Concurrent calls serialise.
+// the new normal, and any drift kick still pending from before the push is
+// drained — it answered this retrain, and must not fire a spurious one when
+// a background worker (re)starts. Concurrent calls serialise.
 func (c *Controller) RetrainNow() error {
 	c.trainMu.Lock()
 	defer c.trainMu.Unlock()
 
-	recs := c.source(c.cfg.RetrainRecords)
-	if len(recs) == 0 {
-		return c.fail(fmt.Errorf("controlplane: label source returned no records"))
-	}
-	if err := c.model.Fit(recs); err != nil {
+	n, err := fitOnFresh(c.model, c.source, &c.cfg)
+	if err != nil {
 		return c.fail(err)
 	}
 	g, err := c.model.Lower(c.inQ)
@@ -355,26 +328,94 @@ func (c *Controller) RetrainNow() error {
 	}
 
 	c.mu.Lock()
-	c.stats.Retrains++
-	c.winN, c.winFlagged, c.winScore = 0, 0, 0
-	c.refWindows, c.refFlag, c.refScore = 0, 0, 0
-	c.psi.reset()
-	c.outOfBand = 0
-	c.drifted = false
+	c.retrains++
+	c.lastRecords = n
+	c.det.rearm()
 	c.lastErr = nil
 	c.mu.Unlock()
+	// Drain the stale kick: Observe fills the buffered channel even in
+	// synchronous mode, so without the drain a later Start() would
+	// immediately re-answer drift this push already resolved. New drift
+	// cannot be declared before the re-armed reference completes, so a
+	// genuine kick cannot race into this window.
+	select {
+	case <-c.kick:
+	default:
+	}
 	return nil
+}
+
+// fitOnFresh collects labelled records from pull and (re)fits m on them.
+// Without AdaptiveRetrain it is a single RetrainRecords draw. With it, the
+// collection grows chunk by chunk: after each chunk the model is refit on
+// everything collected so far, and the two-sample KS distance between the
+// model's scores on the newest chunk before and after that refit measures
+// how much the fresh data still moves the model. Collection stops when the
+// refit calms (KS at most KSThreshold) or RetrainMaxRecords is reached —
+// the control-plane-side proxy for "collect until the detector's statistic
+// falls back under threshold", which can only be confirmed on the data
+// plane after the push. Returns how many records were trained on.
+func fitOnFresh(m model.Deployable, pull LabelSource, cfg *Config) (int, error) {
+	if !cfg.AdaptiveRetrain {
+		recs := pull(cfg.RetrainRecords)
+		if len(recs) == 0 {
+			return 0, fmt.Errorf("controlplane: label source returned no records")
+		}
+		return len(recs), m.Fit(recs)
+	}
+
+	chunk := cfg.RetrainRecords / 2
+	if chunk < 1 {
+		chunk = 1
+	}
+	if chunk > cfg.RetrainMaxRecords {
+		chunk = cfg.RetrainMaxRecords // the cap binds even for the first chunk
+	}
+	recs := pull(chunk)
+	if len(recs) == 0 {
+		return 0, fmt.Errorf("controlplane: label source returned no records")
+	}
+	if err := m.Fit(recs); err != nil {
+		return len(recs), err
+	}
+	for len(recs) < cfg.RetrainMaxRecords {
+		want := chunk
+		if rest := cfg.RetrainMaxRecords - len(recs); want > rest {
+			want = rest
+		}
+		next := pull(want)
+		if len(next) == 0 {
+			break // source exhausted; train on what arrived
+		}
+		before := scoresOf(m, next)
+		recs = append(recs, next...)
+		if err := m.Fit(recs); err != nil {
+			return len(recs), err
+		}
+		if ksStat(before, scoresOf(m, next)) <= cfg.KSThreshold {
+			break // one more chunk no longer moves the model: calm
+		}
+	}
+	return len(recs), nil
+}
+
+// scoresOf evaluates the model's float-side score on every record.
+func scoresOf(m model.Deployable, recs []dataset.Record) []float64 {
+	out := make([]float64, len(recs))
+	for i := range recs {
+		out[i] = m.Score(recs[i].Features)
+	}
+	return out
 }
 
 func (c *Controller) fail(err error) error {
 	c.mu.Lock()
 	c.lastErr = err
-	// Re-arm the detector: with drifted left set, closeWindowLocked would
-	// never signal again and a single failed retrain would end drift-driven
-	// retraining for good. Clearing it lets the still-shifted distribution
-	// re-trigger on the next out-of-band windows.
-	c.drifted = false
-	c.outOfBand = 0
+	// Re-arm the drift latch: left set, the detector would never signal
+	// again and a single failed retrain would end drift-driven retraining
+	// for good. Clearing it lets the still-shifted distribution re-trigger
+	// on the next out-of-band windows.
+	c.det.clearLatch()
 	c.mu.Unlock()
 	return err
 }
@@ -432,7 +473,10 @@ func (c *Controller) Close() {
 func (c *Controller) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.stats
+	st := c.det.stats()
+	st.Retrains = c.retrains
+	st.LastRetrainRecords = c.lastRecords
+	return st
 }
 
 // Err returns the error of the most recent failed retrain, or nil if the
@@ -448,7 +492,7 @@ func (c *Controller) Err() error {
 func (c *Controller) Drifted() bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.drifted
+	return c.det.drifted
 }
 
 func abs(v float64) float64 {

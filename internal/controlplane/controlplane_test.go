@@ -309,6 +309,222 @@ func TestControllerReferenceRearms(t *testing.T) {
 	}
 }
 
+// TestControllerStaleKickDrained pins the stale-kick bugfix and the restart
+// semantics: Observe fills the buffered kick channel even when the caller
+// answers drift synchronously with RetrainNow, so without the drain a later
+// Start() — including a restart after Close — would immediately fire a
+// spurious retrain for drift the push already resolved.
+func TestControllerStaleKickDrained(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ctrl := detectorController(t, DriftMeanShift)
+
+	// Reference at mean 64, then a hard shift; Observe returns true and, as
+	// a side effect, buffers a kick.
+	for w := 0; w < 2; w++ {
+		ctrl.Observe(scoreDecisions(normalScores(rng, 256, 64, 4)))
+	}
+	fired := false
+	for w := 0; w < 4 && !fired; w++ {
+		fired = ctrl.Observe(scoreDecisions(normalScores(rng, 256, 160, 4)))
+	}
+	if !fired {
+		t.Fatal("drift never detected; test needs retuning")
+	}
+	if err := ctrl.RetrainNow(); err != nil {
+		t.Fatal(err)
+	}
+	if got := ctrl.Stats().Retrains; got != 1 {
+		t.Fatalf("retrains = %d, want 1", got)
+	}
+
+	// Starting the background worker now must not replay the answered kick.
+	waitSettled := func() {
+		deadline := time.Now().Add(200 * time.Millisecond)
+		for time.Now().Before(deadline) {
+			if ctrl.Stats().Retrains > 1 {
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	ctrl.Start()
+	waitSettled()
+	if got := ctrl.Stats().Retrains; got != 1 {
+		t.Fatalf("stale kick fired a spurious retrain on Start (retrains = %d)", got)
+	}
+
+	// Close -> Start restart: still no spurious retrain, and the restarted
+	// worker must answer fresh drift.
+	ctrl.Close()
+	ctrl.Start()
+	waitSettled()
+	if got := ctrl.Stats().Retrains; got != 1 {
+		t.Fatalf("spurious retrain after restart (retrains = %d)", got)
+	}
+	// The retrain re-armed the reference; rebuild it post-push, then shift
+	// again — the restarted worker must answer this genuinely new drift.
+	for w := 0; w < 2; w++ {
+		ctrl.Observe(scoreDecisions(normalScores(rng, 256, 64, 4)))
+	}
+	for w := 0; w < 8 && ctrl.Stats().Retrains < 2; w++ {
+		ctrl.Observe(scoreDecisions(normalScores(rng, 256, 16, 4)))
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for ctrl.Stats().Retrains < 2 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	ctrl.Close()
+	if got := ctrl.Stats().Retrains; got != 2 {
+		t.Fatalf("restarted worker did not answer fresh drift (retrains = %d)", got)
+	}
+}
+
+// TestControllerStatsRearmedAfterRetrain pins the stale-reference bugfix:
+// after a retrain re-arms the detector, the reference profile and the
+// statistics measured against it must read zero until a post-push reference
+// is built — never the pre-drift profile.
+func TestControllerStatsRearmedAfterRetrain(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ctrl := detectorController(t, DriftPSI)
+	for w := 0; w < 2; w++ {
+		ctrl.Observe(scoreDecisions(normalScores(rng, 256, 64, 4)))
+	}
+	fired := false
+	for w := 0; w < 6 && !fired; w++ {
+		fired = ctrl.Observe(scoreDecisions(normalScores(rng, 256, 160, 24)))
+	}
+	if !fired {
+		t.Fatal("drift never detected; test needs retuning")
+	}
+	st := ctrl.Stats()
+	if st.RefMeanScore == 0 || st.LastPSI == 0 {
+		t.Fatalf("pre-retrain stats carry no signal (ref mean %.1f, PSI %.3f); test needs retuning",
+			st.RefMeanScore, st.LastPSI)
+	}
+	if err := ctrl.RetrainNow(); err != nil {
+		t.Fatal(err)
+	}
+	st = ctrl.Stats()
+	if st.RefFlagRate != 0 || st.RefMeanScore != 0 || st.LastPSI != 0 || st.LastKS != 0 {
+		t.Errorf("stale reference reported as current after re-arm: ref flag %.3f, ref mean %.1f, PSI %.3f, KS %.3f",
+			st.RefFlagRate, st.RefMeanScore, st.LastPSI, st.LastKS)
+	}
+	// Cumulative counters must survive the re-arm.
+	if st.Windows == 0 || st.Drifts == 0 || st.Sampled == 0 {
+		t.Errorf("cumulative counters lost on re-arm: %+v", st)
+	}
+}
+
+// --- Adaptive retrain sizing ---
+
+// movingModel's score distribution shifts on every Fit — a model the fresh
+// chunks keep moving, so adaptive collection must run to its cap.
+type movingModel struct {
+	stubModel
+	fits int
+}
+
+func (m *movingModel) Fit([]dataset.Record) error { m.fits++; return nil }
+func (m *movingModel) Score(tensor.Vec) float64   { return float64(m.fits) }
+
+func TestAdaptiveRetrainSizing(t *testing.T) {
+	pulled := 0
+	pull := func(n int) []dataset.Record {
+		pulled += n
+		return make([]dataset.Record, n)
+	}
+	cfg := DefaultConfig()
+	cfg.AdaptiveRetrain = true
+	cfg.RetrainRecords = 100
+	cfg.RetrainMaxRecords = 400
+
+	// A model the data keeps moving: every refit shifts the scores by a full
+	// unit (KS = 1), so collection must stop only at the cap.
+	pulled = 0
+	n, err := fitOnFresh(&movingModel{}, pull, &cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != cfg.RetrainMaxRecords || pulled != cfg.RetrainMaxRecords {
+		t.Errorf("restless model: trained on %d (pulled %d), want the cap %d", n, pulled, cfg.RetrainMaxRecords)
+	}
+
+	// A calm model (scores never move): the first verification chunk already
+	// shows KS 0, so adaptive sizing stops at the fixed budget.
+	pulled = 0
+	n, err = fitOnFresh(stubModel{}, pull, &cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != cfg.RetrainRecords {
+		t.Errorf("calm model: trained on %d, want %d", n, cfg.RetrainRecords)
+	}
+
+	// An exhausted source ends collection without error.
+	budget := 120
+	dry := func(n int) []dataset.Record {
+		if n > budget {
+			n = budget
+		}
+		budget -= n
+		return make([]dataset.Record, n)
+	}
+	n, err = fitOnFresh(&movingModel{}, dry, &cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 120 {
+		t.Errorf("exhausted source: trained on %d, want 120", n)
+	}
+}
+
+// TestControllerAdaptiveRetrainRecovers drives the real loop with adaptive
+// sizing: the retrain must still recover accuracy, and LastRetrainRecords
+// must report an adaptive size within [RetrainRecords, RetrainMaxRecords].
+func TestControllerAdaptiveRetrainRecovers(t *testing.T) {
+	f := newLoopFixture(t, 2, 4)
+	cfg := DefaultConfig()
+	cfg.Window = 256
+	cfg.RefWindows = 2
+	cfg.RetrainRecords = 1000
+	cfg.AdaptiveRetrain = true
+	cfg.RetrainMaxRecords = 4000
+	ctrl, err := New(f.pipe, f.dep, f.inQ, f.stream.Labelled, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const batch = 1024
+	run := func(rounds int) (last float64) {
+		for r := 0; r < rounds; r++ {
+			ins, out, truth := f.stream.NextBatch(batch)
+			if _, err := f.pipe.ProcessBatch(ins, out); err != nil {
+				t.Fatal(err)
+			}
+			if ctrl.Observe(out) {
+				if err := ctrl.RetrainNow(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			last = f.f1(out, truth)
+		}
+		return last
+	}
+	preF1 := run(3)
+	f.stream.SetPhase(1)
+	run(4)
+	st := ctrl.Stats()
+	if st.Retrains == 0 {
+		t.Fatal("no adaptive retrain under drift")
+	}
+	if st.LastRetrainRecords < cfg.RetrainRecords || st.LastRetrainRecords > cfg.RetrainMaxRecords {
+		t.Errorf("LastRetrainRecords = %d, want within [%d, %d]",
+			st.LastRetrainRecords, cfg.RetrainRecords, cfg.RetrainMaxRecords)
+	}
+	if postF1 := run(3); postF1 < preF1-15 {
+		t.Errorf("adaptive loop did not recover: pre-drift F1 %.1f, post %.1f", preF1, postF1)
+	}
+}
+
 // --- PSI drift statistic ---
 
 // nopPusher absorbs weight pushes.

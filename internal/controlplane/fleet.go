@@ -1,0 +1,474 @@
+package controlplane
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"taurus/internal/core"
+	"taurus/internal/dataset"
+	"taurus/internal/fixed"
+	mr "taurus/internal/mapreduce"
+	"taurus/internal/model"
+)
+
+// Fleet is one control plane driving N switches: the §3.3.1 split scaled
+// out to a real deployment, where a single trainer serves many data planes,
+// each seeing its own traffic mix. The fleet owns one model.Deployable;
+// every registered member ("switch") gets its own drift detector over its
+// own decision stream and its own labelled-telemetry source. Drift on any
+// member triggers one shared retrain: labels are pooled from the drifted
+// members — weighted by how much traffic each sampled since the last
+// retrain, so the busiest drifted switch shapes the new model most — the
+// model is Fit once, Lowered once against the pinned input domain, and the
+// one lowered graph is pushed to every member.
+//
+// The push is atomic across the fleet: if any member rejects the graph, the
+// members already updated are rolled back to the previously pushed graph,
+// so the fleet never serves traffic from a mix of models. (Before the first
+// successful fleet push there is no previous graph to restore; a failure
+// there leaves the deployment-time weights only on the members not yet
+// touched, and the error names the members that already diverged.)
+//
+// Like the single-switch Controller, the fleet runs synchronously —
+// per-member Observe calls plus RetrainNow when one returns true — or in
+// the background via Start/Close, where drift on any member kicks the
+// shared retrain worker. The kick channel coalesces: simultaneous drift on
+// several members still triggers one retrain, which answers all of them.
+type Fleet struct {
+	cfg Config
+	inQ fixed.Quantizer
+
+	// mu guards the member list and the fleet-level counters. Each member's
+	// detector state sits behind its own lock (fleetMember.mu), so traffic
+	// drivers observing different switches never convoy on one mutex — the
+	// whole point of per-member detectors. Lock ordering: mu before any
+	// member.mu; most paths snapshot the member list under mu and take the
+	// member locks one at a time afterwards.
+	mu        sync.Mutex
+	members   []*fleetMember
+	retrains  int
+	lastPool  int
+	lastErr   error
+	lastGraph *mr.Graph // most recently pushed graph, for rollback
+
+	// trainMu serialises retrains; the model belongs to the retrain path
+	// exclusively.
+	trainMu sync.Mutex
+	model   model.Deployable
+
+	// Background mode.
+	runMu sync.Mutex
+	kick  chan struct{}
+	done  chan struct{}
+	wg    sync.WaitGroup
+}
+
+// fleetMember is one registered switch: its data plane, its label feed and
+// its drift detector.
+type fleetMember struct {
+	name   string
+	pusher Pusher
+	source LabelSource
+
+	// mu guards the member's detector and retrain bookkeeping, so each
+	// switch's Observe path contends only with itself.
+	mu  sync.Mutex
+	det detector
+	// sampledAtRetrain is det.sampled at the last fleet retrain; the delta
+	// since weights the member's share of the pooled retrain sample.
+	sampledAtRetrain int
+	// pooled is how many records the member contributed to the last retrain.
+	pooled int
+}
+
+// snapshot returns the member list under the fleet lock; callers then take
+// each member's own lock as needed, never nesting member locks.
+func (f *Fleet) snapshot() []*fleetMember {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]*fleetMember(nil), f.members...)
+}
+
+// MemberStats reports one fleet member's control-plane activity.
+type MemberStats struct {
+	// Name is the member's registration name.
+	Name string
+	// Stats is the member's drift-detector view — the same fields a
+	// single-switch controller reports, except Retrains and
+	// LastRetrainRecords, which live fleet-wide in FleetStats.
+	Stats
+	// Drifted reports whether the member has drift detected and not yet
+	// answered by a fleet retrain.
+	Drifted bool
+	// PooledRecords is how many labelled records the member contributed to
+	// the most recent fleet retrain.
+	PooledRecords int
+}
+
+// FleetStats reports the fleet's aggregate and per-member activity.
+type FleetStats struct {
+	// Members holds per-member stats in registration order.
+	Members []MemberStats
+	// Drifts is the total number of drift detections across all members.
+	Drifts int
+	// Retrains is the number of completed fleet retrain+push cycles.
+	Retrains int
+	// LastPoolSize is how many labelled records were pooled into the most
+	// recent retrain.
+	LastPoolSize int
+}
+
+// NewFleet builds a fleet controller around m — the control-plane lifecycle
+// of the deployed model; the fleet takes ownership — with inQ the input
+// quantiser every member's data plane was loaded with (the fleet pushes one
+// graph to all members, so they must share the deployment: same model, same
+// input domain). Register members with Register before driving traffic.
+func NewFleet(m model.Deployable, inQ fixed.Quantizer, cfg Config) (*Fleet, error) {
+	if m == nil {
+		return nil, fmt.Errorf("controlplane: nil model")
+	}
+	if inQ.Scale <= 0 {
+		return nil, fmt.Errorf("controlplane: input quantiser has scale %v; pass the quantiser the fleet's members were loaded with", inQ.Scale)
+	}
+	cfg.applyDefaults()
+	f := &Fleet{
+		cfg:   cfg,
+		inQ:   inQ,
+		model: m,
+		kick:  make(chan struct{}, 1),
+	}
+	return f, nil
+}
+
+// Register adds one switch to the fleet: its data plane (anything accepting
+// weight pushes — a *pipeline.Pipeline or *core.Device) and its labelled
+// telemetry source. name is for reports; empty picks "member-N". Returns
+// the member id for Observe. Each member gets its own drift detector over
+// the fleet's shared configuration. Safe to call at any time, though
+// members registered after a push only receive weights from the next one.
+func (f *Fleet) Register(name string, p Pusher, src LabelSource) (int, error) {
+	if p == nil {
+		return 0, fmt.Errorf("controlplane: nil pusher")
+	}
+	if src == nil {
+		return 0, fmt.Errorf("controlplane: nil label source")
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if name == "" {
+		name = fmt.Sprintf("member-%d", len(f.members))
+	}
+	m := &fleetMember{name: name, pusher: p, source: src}
+	m.det.cfg = &f.cfg
+	f.members = append(f.members, m)
+	return len(f.members) - 1, nil
+}
+
+// NumMembers returns how many switches are registered.
+func (f *Fleet) NumMembers() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.members)
+}
+
+// Observe feeds a batch of member's data-plane decisions into that member's
+// drift detector. It returns true when this call completed a window that
+// newly crossed a drift threshold on that member; in background mode that
+// also kicks the shared retrain worker. Safe for concurrent use across
+// members. Panics on an unregistered member id — ids come from Register,
+// so a bad one is a programming error, not traffic.
+func (f *Fleet) Observe(member int, decs []core.Decision) bool {
+	f.mu.Lock()
+	if member < 0 || member >= len(f.members) {
+		n := len(f.members)
+		f.mu.Unlock()
+		panic(fmt.Sprintf("controlplane: fleet member %d out of range (have %d)", member, n))
+	}
+	m := f.members[member]
+	f.mu.Unlock()
+	m.mu.Lock()
+	newDrift := m.det.observe(decs)
+	m.mu.Unlock()
+	if newDrift {
+		select {
+		case f.kick <- struct{}{}:
+		default: // a retrain is already pending; coalesce
+		}
+	}
+	return newDrift
+}
+
+// RetrainNow synchronously runs one fleet control cycle: pool labelled
+// records from the drifted members — weighted by the traffic each sampled
+// since the last retrain — Fit the shared model, Lower once against the
+// pinned input domain, and push the one lowered graph to every member
+// atomically. When no member is drifted (a periodic or operator-initiated
+// retrain), every member contributes to the pool. On success every member's
+// detector is re-armed — the push changed every member's score distribution,
+// drifted or not — and any pending drift kick is drained. Concurrent calls
+// serialise.
+func (f *Fleet) RetrainNow() error {
+	f.trainMu.Lock()
+	defer f.trainMu.Unlock()
+
+	pool, pull, contrib, err := f.pooledSource()
+	if err != nil {
+		return f.fail(err)
+	}
+	n, err := fitOnFresh(f.model, pull, &f.cfg)
+	if err != nil {
+		return f.fail(err)
+	}
+	g, err := f.model.Lower(f.inQ)
+	if err != nil {
+		return f.fail(err)
+	}
+	if err := f.push(g); err != nil {
+		return f.fail(err)
+	}
+
+	members := f.snapshot()
+	pooled := make(map[*fleetMember]int, len(pool))
+	for i, m := range pool {
+		pooled[m] = contrib[i]
+	}
+	for _, m := range members {
+		m.mu.Lock()
+		m.det.rearm()
+		m.sampledAtRetrain = m.det.sampled
+		m.pooled = pooled[m]
+		m.mu.Unlock()
+	}
+	f.mu.Lock()
+	f.retrains++
+	f.lastPool = n
+	f.lastGraph = g
+	f.lastErr = nil
+	f.mu.Unlock()
+	// Drain the stale kick, exactly as the single-switch controller does:
+	// this retrain answered every pending drift signal.
+	select {
+	case <-f.kick:
+	default:
+	}
+	return nil
+}
+
+// pooledSource snapshots the drifted members (all members when none are
+// drifted) and returns them with a label source that splits each request
+// across them in proportion to the traffic each sampled since the last
+// retrain, and the per-pool-member contribution counts the source fills in
+// as it is drawn from.
+func (f *Fleet) pooledSource() ([]*fleetMember, LabelSource, []int, error) {
+	members := f.snapshot()
+	if len(members) == 0 {
+		return nil, nil, nil, fmt.Errorf("controlplane: fleet has no members")
+	}
+	var pool []*fleetMember
+	var weights []float64
+	var total float64
+	for _, m := range members {
+		m.mu.Lock()
+		drifted := m.det.drifted
+		w := float64(m.det.sampled - m.sampledAtRetrain)
+		m.mu.Unlock()
+		if drifted {
+			if w <= 0 {
+				w = 1 // a drifted member with no sampled traffic still contributes
+			}
+			pool = append(pool, m)
+			weights = append(weights, w)
+			total += w
+		}
+	}
+	if len(pool) == 0 {
+		// No drift (periodic or operator retrain): every member contributes.
+		pool = members
+		weights = make([]float64, len(pool))
+		total = 0
+		for i, m := range pool {
+			m.mu.Lock()
+			w := float64(m.det.sampled - m.sampledAtRetrain)
+			m.mu.Unlock()
+			if w <= 0 {
+				w = 1
+			}
+			weights[i] = w
+			total += w
+		}
+	}
+	for i := range weights {
+		weights[i] /= total
+	}
+
+	contrib := make([]int, len(pool))
+	pull := func(n int) []dataset.Record {
+		recs := make([]dataset.Record, 0, n)
+		remaining := n
+		for i, m := range pool {
+			want := remaining
+			if i < len(pool)-1 {
+				want = int(weights[i]*float64(n) + 0.5)
+				if want > remaining {
+					want = remaining
+				}
+			}
+			if want <= 0 {
+				continue
+			}
+			got := m.source(want)
+			contrib[i] += len(got)
+			recs = append(recs, got...)
+			// Deduct what actually arrived: a member whose label source
+			// under-delivers leaves its shortfall for the members after it,
+			// so one dry source cannot silently shrink the shared pool.
+			remaining -= len(got)
+		}
+		return recs
+	}
+	return pool, pull, contrib, nil
+}
+
+// push applies g to every member; on a member's failure the members already
+// updated are rolled back to the previously pushed graph so the fleet never
+// serves a mix of models. Before the first successful push there is nothing
+// to roll back to — the error then names the members left serving the new
+// graph so the operator knows the fleet diverged.
+func (f *Fleet) push(g *mr.Graph) error {
+	members := f.snapshot()
+	f.mu.Lock()
+	prev := f.lastGraph
+	f.mu.Unlock()
+	for i, m := range members {
+		if err := m.pusher.UpdateWeights(g); err != nil {
+			if prev == nil {
+				if i > 0 {
+					names := make([]string, i)
+					for j, r := range members[:i] {
+						names[j] = r.name
+					}
+					return fmt.Errorf("controlplane: push to fleet member %q failed with no prior fleet push to roll back to; members %v already serve the new model: %w",
+						m.name, names, err)
+				}
+				return fmt.Errorf("controlplane: push to fleet member %q: %w", m.name, err)
+			}
+			for _, r := range members[:i] {
+				// prev installed on r once already; structural rejection
+				// cannot recur, and a deeper device failure would leave
+				// the original error the one worth surfacing.
+				_ = r.pusher.UpdateWeights(prev)
+			}
+			return fmt.Errorf("controlplane: push to fleet member %q: %w", m.name, err)
+		}
+	}
+	return nil
+}
+
+func (f *Fleet) fail(err error) error {
+	members := f.snapshot()
+	// Re-arm every drift latch so the still-shifted members re-trigger —
+	// one failed retrain must not end the fleet's control loop.
+	for _, m := range members {
+		m.mu.Lock()
+		m.det.clearLatch()
+		m.mu.Unlock()
+	}
+	f.mu.Lock()
+	f.lastErr = err
+	f.mu.Unlock()
+	return err
+}
+
+// Start launches the background retrain worker: it retrains whenever any
+// member's Observe detects drift, and on every RetrainInterval when one is
+// configured. Calling Start twice is a no-op.
+func (f *Fleet) Start() {
+	f.runMu.Lock()
+	defer f.runMu.Unlock()
+	if f.done != nil {
+		return
+	}
+	f.done = make(chan struct{})
+	f.wg.Add(1)
+	go f.run(f.done)
+}
+
+func (f *Fleet) run(done <-chan struct{}) {
+	defer f.wg.Done()
+	var tick <-chan time.Time
+	if f.cfg.RetrainInterval > 0 {
+		t := time.NewTicker(f.cfg.RetrainInterval)
+		defer t.Stop()
+		tick = t.C
+	}
+	for {
+		select {
+		case <-done:
+			return
+		case <-f.kick:
+		case <-tick:
+		}
+		// Errors are retained in Err(); the loop keeps serving future drift
+		// signals — one failed push must not end the control plane.
+		_ = f.RetrainNow()
+	}
+}
+
+// Close stops the background worker (if started) and waits for any retrain
+// in flight to finish. The fleet remains usable synchronously, and Start
+// may be called again.
+func (f *Fleet) Close() {
+	f.runMu.Lock()
+	if f.done == nil {
+		f.runMu.Unlock()
+		return
+	}
+	close(f.done)
+	f.done = nil
+	f.runMu.Unlock()
+	f.wg.Wait()
+}
+
+// Stats returns a snapshot of the fleet's aggregate and per-member counters.
+func (f *Fleet) Stats() FleetStats {
+	members := f.snapshot()
+	f.mu.Lock()
+	st := FleetStats{Retrains: f.retrains, LastPoolSize: f.lastPool}
+	f.mu.Unlock()
+	for _, m := range members {
+		m.mu.Lock()
+		ms := MemberStats{
+			Name:          m.name,
+			Stats:         m.det.stats(),
+			Drifted:       m.det.drifted,
+			PooledRecords: m.pooled,
+		}
+		m.mu.Unlock()
+		st.Drifts += ms.Stats.Drifts
+		st.Members = append(st.Members, ms)
+	}
+	return st
+}
+
+// Err returns the error of the most recent failed retrain, or nil if the
+// last retrain succeeded (or none ran).
+func (f *Fleet) Err() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.lastErr
+}
+
+// Drifted reports whether any member has drift detected and not yet
+// answered by a retrain.
+func (f *Fleet) Drifted() bool {
+	for _, m := range f.snapshot() {
+		m.mu.Lock()
+		drifted := m.det.drifted
+		m.mu.Unlock()
+		if drifted {
+			return true
+		}
+	}
+	return false
+}

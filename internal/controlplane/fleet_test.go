@@ -1,0 +1,422 @@
+package controlplane
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"taurus/internal/compiler"
+	"taurus/internal/core"
+	"taurus/internal/dataset"
+	"taurus/internal/fixed"
+	mr "taurus/internal/mapreduce"
+	"taurus/internal/ml"
+	"taurus/internal/model"
+	"taurus/internal/pipeline"
+	"taurus/internal/trafficgen"
+)
+
+// fleetFixture is one shared deployment fanned out to n member pipelines,
+// each serving its own independently seeded drifting stream.
+type fleetFixture struct {
+	fleet   *Fleet
+	pipes   []*pipeline.Pipeline
+	streams []*trafficgen.DriftingStream
+	dep     model.Deployable
+	inQ     fixed.Quantizer
+}
+
+func newFleetFixture(t *testing.T, members, shards, epochs int, cfg Config) *fleetFixture {
+	t.Helper()
+	streams, err := trafficgen.NewDriftingStreams(dataset.DefaultDriftConfig(), 31, 128, members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deployment: train once on labels pooled across the members' pre-drift
+	// worlds, then install the same graph on every member's pipeline.
+	var recs []dataset.Record
+	for _, s := range streams {
+		recs = append(recs, s.Labelled(1500)...)
+	}
+	rng := rand.New(rand.NewSource(31))
+	net := ml.NewDNN([]int{6, 12, 6, 3, 1}, ml.ReLU, ml.Sigmoid, rng)
+	dep, err := model.NewDNN(net, model.DNNConfig{Epochs: epochs, Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inQ := model.InputQuantizerFor(recs)
+	for i := 0; i < 3; i++ {
+		if err := dep.Fit(recs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g, err := dep.Lower(inQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl, err := NewFleet(dep, inQ, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipes := make([]*pipeline.Pipeline, members)
+	for i := range pipes {
+		pl, err := pipeline.New(pipeline.Config{Shards: shards, Device: core.DefaultConfig(6)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(pl.Close)
+		if err := pl.LoadModel(g, inQ, compiler.Options{}); err != nil {
+			t.Fatal(err)
+		}
+		id, err := fl.Register("", pl, streams[i].Labelled)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id != i {
+			t.Fatalf("member id = %d, want %d", id, i)
+		}
+		pipes[i] = pl
+	}
+	return &fleetFixture{fleet: fl, pipes: pipes, streams: streams, dep: dep, inQ: inQ}
+}
+
+// round serves one batch on every member and feeds each member's decisions
+// to its fleet detector; reports whether any member newly drifted.
+func (f *fleetFixture) round(t *testing.T, batch int) bool {
+	t.Helper()
+	drifted := false
+	for i, pl := range f.pipes {
+		ins, out, _ := f.streams[i].NextBatch(batch)
+		if _, err := pl.ProcessBatch(ins, out); err != nil {
+			t.Fatal(err)
+		}
+		if f.fleet.Observe(i, out) {
+			drifted = true
+		}
+	}
+	return drifted
+}
+
+func TestFleetValidation(t *testing.T) {
+	src := func(n int) []dataset.Record { return make([]dataset.Record, n) }
+	if _, err := NewFleet(nil, fixed.NewQuantizer(1), Config{}); err == nil {
+		t.Error("nil model accepted")
+	}
+	if _, err := NewFleet(stubModel{}, fixed.Quantizer{}, Config{}); err == nil {
+		t.Error("zero input quantiser accepted")
+	}
+	fl, err := NewFleet(stubModel{}, fixed.NewQuantizer(1), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fl.Register("a", nil, src); err == nil {
+		t.Error("nil pusher accepted")
+	}
+	if _, err := fl.Register("a", nopPusher{}, nil); err == nil {
+		t.Error("nil source accepted")
+	}
+	if err := fl.RetrainNow(); err == nil {
+		t.Error("retrain with no members accepted")
+	}
+	if _, err := fl.Register("a", nopPusher{}, src); err != nil {
+		t.Errorf("valid registration failed: %v", err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Observe on an unregistered member id did not panic")
+		}
+	}()
+	fl.Observe(7, nil)
+}
+
+// TestFleetDriftOnOneMemberRetrainsAll is the core fleet contract: drift on
+// a single member triggers one shared retrain pooled from the drifted
+// member's labels, the push lands on every member, every detector re-arms,
+// and each member's post-push scores are bit-identical to the model's
+// quantised reference decision.
+func TestFleetDriftOnOneMemberRetrainsAll(t *testing.T) {
+	cfg := DefaultConfig()
+	// Windows span several traffic rounds: the per-round flow redraw makes
+	// single-round flag rates noisy, so short windows would trip the
+	// detector on stationary members.
+	cfg.Window = 256
+	cfg.RefWindows = 2
+	cfg.FlagDelta = 0.15
+	cfg.ScoreDelta = 20
+	cfg.RetrainRecords = 2000
+	f := newFleetFixture(t, 3, 2, 8, cfg)
+	const batch = 512
+
+	// Establish every member's reference on stationary traffic.
+	for r := 0; r < 4; r++ {
+		if f.round(t, batch) {
+			t.Fatal("drift declared on stationary traffic")
+		}
+	}
+
+	// Drift member 0 only; its detector must fire while the others stay
+	// quiet, and the answer is one fleet-wide retrain.
+	f.streams[0].SetPhase(1)
+	fired := false
+	for r := 0; r < 10 && !fired; r++ {
+		fired = f.round(t, batch)
+	}
+	if !fired {
+		t.Fatal("drift on member 0 never detected")
+	}
+	st := f.fleet.Stats()
+	if !st.Members[0].Drifted || st.Members[1].Drifted || st.Members[2].Drifted {
+		t.Fatalf("drift flags = [%v %v %v], want only member 0",
+			st.Members[0].Drifted, st.Members[1].Drifted, st.Members[2].Drifted)
+	}
+	if err := f.fleet.RetrainNow(); err != nil {
+		t.Fatal(err)
+	}
+	st = f.fleet.Stats()
+	if st.Retrains != 1 {
+		t.Fatalf("retrains = %d, want 1", st.Retrains)
+	}
+	if st.LastPoolSize != cfg.RetrainRecords {
+		t.Errorf("pool size = %d, want %d", st.LastPoolSize, cfg.RetrainRecords)
+	}
+	// Only the drifted member pools labels...
+	if got := st.Members[0].PooledRecords; got != cfg.RetrainRecords {
+		t.Errorf("drifted member pooled %d records, want all %d", got, cfg.RetrainRecords)
+	}
+	for i := 1; i < 3; i++ {
+		if got := st.Members[i].PooledRecords; got != 0 {
+			t.Errorf("undrifted member %d pooled %d records, want 0", i, got)
+		}
+	}
+	// ...and every member's detector re-arms with zeroed reference stats.
+	for i, m := range st.Members {
+		if m.Drifted {
+			t.Errorf("member %d still latched drifted after the fleet retrain", i)
+		}
+		if m.RefFlagRate != 0 || m.RefMeanScore != 0 || m.LastPSI != 0 || m.LastKS != 0 {
+			t.Errorf("member %d reports a stale reference after re-arm: %+v", i, m.Stats)
+		}
+	}
+
+	// Parity: the push must have landed on every member — each member's
+	// non-bypassed data-plane score equals the model's quantised reference,
+	// bit for bit, on every shard.
+	for i, pl := range f.pipes {
+		ins, out, _ := f.streams[i].NextBatch(768)
+		if _, err := pl.ProcessBatch(ins, out); err != nil {
+			t.Fatal(err)
+		}
+		checked := 0
+		for j := range out {
+			if out[j].Bypassed {
+				continue
+			}
+			want, err := f.dep.ReferenceDecision(f.inQ, ins[j].Features)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out[j].MLScore != want {
+				t.Fatalf("member %d packet %d: data plane score %d != reference %d",
+					i, j, out[j].MLScore, want)
+			}
+			checked++
+		}
+		if checked < 700 {
+			t.Fatalf("member %d: only %d packets reached the model", i, checked)
+		}
+		for s, ss := range pl.ShardStats() {
+			if ss.MLInferences == 0 {
+				t.Errorf("member %d shard %d served no inferences — parity not proven there", i, s)
+			}
+		}
+	}
+}
+
+// TestFleetPoolWeighting: when several members drift, each contributes to
+// the pooled retrain in proportion to the traffic it sampled since the last
+// retrain.
+func TestFleetPoolWeighting(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Window = 256
+	cfg.RefWindows = 2
+	cfg.FlagDelta = 0.15
+	cfg.ScoreDelta = 20
+	cfg.RetrainRecords = 1200
+	f := newFleetFixture(t, 2, 1, 2, cfg)
+	const batch = 512
+	for r := 0; r < 4; r++ {
+		f.round(t, batch)
+	}
+	// Drift both members, but member 0 serves twice the traffic.
+	f.streams[0].SetPhase(1)
+	f.streams[1].SetPhase(1)
+	bothDrifted := func() bool {
+		st := f.fleet.Stats()
+		return st.Members[0].Drifted && st.Members[1].Drifted
+	}
+	for r := 0; r < 16 && !bothDrifted(); r++ {
+		f.round(t, batch)
+	}
+	for k := 0; k < 8; k++ { // extra traffic on member 0 only
+		ins, out, _ := f.streams[0].NextBatch(batch)
+		if _, err := f.pipes[0].ProcessBatch(ins, out); err != nil {
+			t.Fatal(err)
+		}
+		f.fleet.Observe(0, out)
+	}
+	st := f.fleet.Stats()
+	if !st.Members[0].Drifted || !st.Members[1].Drifted {
+		t.Fatalf("both members should have drifted (flags: %v %v)",
+			st.Members[0].Drifted, st.Members[1].Drifted)
+	}
+	if err := f.fleet.RetrainNow(); err != nil {
+		t.Fatal(err)
+	}
+	st = f.fleet.Stats()
+	p0, p1 := st.Members[0].PooledRecords, st.Members[1].PooledRecords
+	if p0+p1 != st.LastPoolSize || st.LastPoolSize != cfg.RetrainRecords {
+		t.Errorf("pool accounting: %d + %d != %d", p0, p1, st.LastPoolSize)
+	}
+	if p0 <= p1 {
+		t.Errorf("busier member pooled %d records vs quieter member's %d — weighting lost", p0, p1)
+	}
+}
+
+// recordPusher records every pushed graph and can fail on demand.
+type recordPusher struct {
+	mu     sync.Mutex
+	graphs []*mr.Graph
+	failAt int // fail the Nth push (1-based); 0 = never
+}
+
+func (p *recordPusher) UpdateWeights(g *mr.Graph) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.failAt > 0 && len(p.graphs)+1 == p.failAt {
+		p.graphs = append(p.graphs, nil)
+		return errors.New("injected push failure")
+	}
+	p.graphs = append(p.graphs, g)
+	return nil
+}
+
+func (p *recordPusher) pushed() []*mr.Graph {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]*mr.Graph(nil), p.graphs...)
+}
+
+// liveModel is a stub whose Lower returns a distinct (empty) graph each
+// call, so pushes are distinguishable.
+type liveModel struct{ stubModel }
+
+func (liveModel) Lower(fixed.Quantizer) (*mr.Graph, error) { return &mr.Graph{}, nil }
+
+// TestFleetPushFailureRollsBack: a member rejecting a push must not leave
+// the fleet serving a mix of models — members already updated are rolled
+// back to the previous graph, the error surfaces, and a later retrain
+// succeeds everywhere.
+func TestFleetPushFailureRollsBack(t *testing.T) {
+	src := func(n int) []dataset.Record { return make([]dataset.Record, n) }
+	fl, err := NewFleet(liveModel{}, fixed.NewQuantizer(1), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := &recordPusher{}
+	flaky := &recordPusher{failAt: 2} // accepts the first push, rejects the second
+	if _, err := fl.Register("good", good, src); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fl.Register("flaky", flaky, src); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := fl.RetrainNow(); err != nil {
+		t.Fatalf("first retrain failed: %v", err)
+	}
+	g1 := good.pushed()[0]
+
+	if err := fl.RetrainNow(); err == nil {
+		t.Fatal("second retrain should have surfaced the injected push failure")
+	}
+	if fl.Err() == nil {
+		t.Error("Err() empty after failed push")
+	}
+	got := good.pushed()
+	if len(got) != 3 || got[2] != g1 {
+		t.Fatalf("good member saw %d pushes, last == first push: %v — rollback missing", len(got), len(got) == 3 && got[2] == g1)
+	}
+	if st := fl.Stats(); st.Retrains != 1 {
+		t.Errorf("failed cycle counted as a retrain (retrains = %d)", st.Retrains)
+	}
+
+	// The flaky member accepts again: the fleet must converge on retry.
+	if err := fl.RetrainNow(); err != nil {
+		t.Fatalf("retry after rollback failed: %v", err)
+	}
+	got = good.pushed()
+	fGot := flaky.pushed()
+	if got[len(got)-1] != fGot[len(fGot)-1] {
+		t.Error("members diverged after the retry push")
+	}
+	if st := fl.Stats(); st.Retrains != 2 {
+		t.Errorf("retrains = %d, want 2", st.Retrains)
+	}
+}
+
+// TestFleetBackgroundRetrainUnderTraffic exercises the deployment shape
+// under the race detector: every member serves batches on its own goroutine
+// while the shared background worker retrains and pushes to all of them.
+func TestFleetBackgroundRetrainUnderTraffic(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Window = 128
+	cfg.RefWindows = 1
+	cfg.RetrainRecords = 512
+	cfg.RetrainInterval = time.Millisecond // force pushes regardless of drift
+	f := newFleetFixture(t, 3, 2, 2, cfg)
+	f.fleet.Start()
+	f.fleet.Start() // second Start must be a harmless no-op
+
+	for _, s := range f.streams {
+		s.SetPhase(1) // drifted traffic so member Observes also kick
+	}
+	var wg sync.WaitGroup
+	for i := range f.pipes {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ins, _, _ := f.streams[i].NextBatch(512)
+			out := make([]core.Decision, len(ins))
+			for r := 0; r < 25; r++ {
+				if _, err := f.pipes[i].ProcessBatch(ins, out); err != nil {
+					t.Error(err)
+					return
+				}
+				f.fleet.Observe(i, out)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for f.fleet.Stats().Retrains == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	f.fleet.Close()
+	f.fleet.Close() // idempotent
+	if err := f.fleet.Err(); err != nil {
+		t.Fatalf("background fleet retrain failed: %v", err)
+	}
+	if got := f.fleet.Stats().Retrains; got == 0 {
+		t.Fatal("background worker never retrained")
+	}
+	// Every member pipeline must still serve traffic afterwards.
+	for i, pl := range f.pipes {
+		ins, out, _ := f.streams[i].NextBatch(256)
+		if _, err := pl.ProcessBatch(ins, out); err != nil {
+			t.Fatalf("member %d: %v", i, err)
+		}
+	}
+}

@@ -1,0 +1,269 @@
+package experiments
+
+import (
+	"fmt"
+
+	"taurus/internal/controlplane"
+	"taurus/internal/core"
+	"taurus/internal/dataset"
+	"taurus/internal/model"
+	"taurus/internal/pipeline"
+	"taurus/internal/trafficgen"
+)
+
+// FleetRow is one (round, member) cell of the fleet experiment: the same
+// member traffic scored under the three control regimes.
+type FleetRow struct {
+	Round  int
+	Member int
+	// Phase is the member's drift phase this round (members drift on a
+	// staggered schedule).
+	Phase float64
+	// FrozenF1 scores the member whose model is never updated.
+	FrozenF1 float64
+	// PerSwitchF1 scores the member driven by its own dedicated controller
+	// (one trainer per switch — the resource-heavy baseline).
+	PerSwitchF1 float64
+	// FleetF1 scores the member driven by the shared fleet controller (one
+	// trainer for all switches).
+	FleetF1 float64
+	// FleetRetrains is the cumulative number of fleet retrain+push cycles.
+	FleetRetrains int
+}
+
+const (
+	fleetMembers = 3
+	fleetStagger = 3 // rounds between successive members' drift onsets
+	fleetPost    = 6 // rounds after the last member is fully drifted
+)
+
+// FleetTable runs the multi-switch control-plane experiment (§3.3.1 scaled
+// out): three switches serve independently seeded streams of the same
+// drifting workload, with staggered drift onsets. Each member's traffic is
+// scored under three regimes sharing one initial deployment — frozen (no
+// control plane), per-switch (a dedicated controller and model per switch),
+// and fleet (one controlplane.Fleet: a single trainer pooling labels from
+// the drifted members and fanning one lowered graph out to every switch).
+// The frozen members collapse as their drift arrives; the fleet loop must
+// recover every member to within a few F1 points of the per-switch
+// baseline while training one model instead of N. Before returning, the
+// harness audits push parity: every fleet member's non-bypassed data-plane
+// score must be bit-identical to the shared model's quantised reference.
+func FleetTable(seed int64, modelName string) ([]FleetRow, string, error) {
+	spec, err := driftSpecFor(modelName)
+	if err != nil {
+		return nil, "", err
+	}
+
+	// Per-member streams: independently seeded instances of the same
+	// drifting workload, each member seeing its own traffic mix — the same
+	// seed spacing trafficgen.NewDriftingStreams gives fleet members,
+	// applied through the spec so every model family's stream qualifies.
+	streams := make([]*trafficgen.DriftingStream, fleetMembers)
+	for i := range streams {
+		s, err := spec.newStream(seed + int64(i)*trafficgen.MemberSeedStride)
+		if err != nil {
+			return nil, "", err
+		}
+		streams[i] = s
+	}
+
+	// One shared deployment: fit on pre-drift labels pooled across the
+	// members, calibrate the input domain from the same pool, lower once,
+	// install the same graph on every pipeline of every regime.
+	dep, err := spec.newModel(seed)
+	if err != nil {
+		return nil, "", err
+	}
+	var recs []dataset.Record
+	per := spec.initRecords / fleetMembers
+	for _, s := range streams {
+		recs = append(recs, s.Labelled(per)...)
+	}
+	inQ := model.InputQuantizerFor(recs)
+	for i := 0; i < spec.initFits; i++ {
+		if err := dep.Fit(recs); err != nil {
+			return nil, "", err
+		}
+	}
+	g, err := dep.Lower(inQ)
+	if err != nil {
+		return nil, "", err
+	}
+
+	newPipes := func() ([]*pipeline.Pipeline, error) {
+		pipes := make([]*pipeline.Pipeline, fleetMembers)
+		for i := range pipes {
+			pl, err := spec.newPipe(g, inQ, driftShards)
+			if err != nil {
+				return nil, err
+			}
+			pipes[i] = pl
+		}
+		return pipes, nil
+	}
+	frozen, err := newPipes()
+	if err != nil {
+		return nil, "", err
+	}
+	perSwitch, err := newPipes()
+	if err != nil {
+		return nil, "", err
+	}
+	fleetPipes, err := newPipes()
+	if err != nil {
+		return nil, "", err
+	}
+	defer func() {
+		for _, pls := range [][]*pipeline.Pipeline{frozen, perSwitch, fleetPipes} {
+			for _, pl := range pls {
+				pl.Close()
+			}
+		}
+	}()
+
+	cfg := controlplane.DefaultConfig()
+	cfg.RetrainRecords = spec.retrainRecords
+	spec.tune(&cfg)
+
+	// Per-switch baseline: a dedicated controller and model lifecycle per
+	// member — N trainers for N switches.
+	ctrls := make([]*controlplane.Controller, fleetMembers)
+	for i := range ctrls {
+		depI, err := spec.newModel(seed + 37*int64(i+1))
+		if err != nil {
+			return nil, "", err
+		}
+		ctrls[i], err = controlplane.New(perSwitch[i], depI, inQ, streams[i].Labelled, cfg)
+		if err != nil {
+			return nil, "", err
+		}
+	}
+
+	// The shared fleet: one trainer, one model — the deployment lifecycle
+	// itself — fanning out to every switch.
+	fleet, err := controlplane.NewFleet(dep, inQ, cfg)
+	if err != nil {
+		return nil, "", err
+	}
+	for i := range fleetPipes {
+		if _, err := fleet.Register(fmt.Sprintf("switch-%d", i), fleetPipes[i], streams[i].Labelled); err != nil {
+			return nil, "", err
+		}
+	}
+
+	total := driftPre + driftRamp + (fleetMembers-1)*fleetStagger + fleetPost
+	rows := make([]FleetRow, 0, total*fleetMembers)
+	var cells [][]string
+	outF := make([]core.Decision, driftBatch)
+	outP := make([]core.Decision, driftBatch)
+	outL := make([]core.Decision, driftBatch)
+	for r := 0; r < total; r++ {
+		fleetDrift := false
+		roundRows := make([]FleetRow, 0, fleetMembers)
+		for i := 0; i < fleetMembers; i++ {
+			phase := phaseAt(r, driftPre+i*fleetStagger, driftRamp)
+			streams[i].SetPhase(phase)
+			ins, _, classes := streams[i].NextBatchClasses(driftBatch)
+			truth := make([]bool, len(classes))
+			for j, c := range classes {
+				truth[j] = c.Anomalous()
+			}
+			if _, err := frozen[i].ProcessBatch(ins, outF); err != nil {
+				return nil, "", err
+			}
+			if _, err := perSwitch[i].ProcessBatch(ins, outP); err != nil {
+				return nil, "", err
+			}
+			if _, err := fleetPipes[i].ProcessBatch(ins, outL); err != nil {
+				return nil, "", err
+			}
+			if ctrls[i].Observe(outP) {
+				if err := ctrls[i].RetrainNow(); err != nil {
+					return nil, "", err
+				}
+			}
+			if fleet.Observe(i, outL) {
+				fleetDrift = true
+			}
+			roundRows = append(roundRows, FleetRow{
+				Round: r, Member: i, Phase: phase,
+				FrozenF1:    spec.score(outF, truth, classes),
+				PerSwitchF1: spec.score(outP, truth, classes),
+				FleetF1:     spec.score(outL, truth, classes),
+			})
+		}
+		// One shared retrain answers every member that drifted this round.
+		if fleetDrift {
+			if err := fleet.RetrainNow(); err != nil {
+				return nil, "", err
+			}
+		}
+		retrains := fleet.Stats().Retrains
+		row := []string{fmt.Sprintf("%d", r)}
+		for i := range roundRows {
+			roundRows[i].FleetRetrains = retrains
+			row = append(row,
+				fmt.Sprintf("%.2f", roundRows[i].Phase),
+				fmt.Sprintf("%.1f", roundRows[i].FrozenF1),
+				fmt.Sprintf("%.1f", roundRows[i].PerSwitchF1),
+				fmt.Sprintf("%.1f", roundRows[i].FleetF1),
+			)
+		}
+		row = append(row, fmt.Sprintf("%d", retrains))
+		cells = append(cells, row)
+		rows = append(rows, roundRows...)
+	}
+
+	// Push-parity audit: every fleet member must serve decisions
+	// bit-identical to the shared model's quantised reference.
+	for i, pl := range fleetPipes {
+		ins, out, _ := streams[i].NextBatchClasses(512)
+		if _, err := pl.ProcessBatch(ins, out); err != nil {
+			return nil, "", err
+		}
+		for j := range out {
+			if out[j].Bypassed {
+				continue
+			}
+			want, err := dep.ReferenceDecision(inQ, ins[j].Features)
+			if err != nil {
+				return nil, "", err
+			}
+			if out[j].MLScore != want {
+				return nil, "", fmt.Errorf("fleet parity: member %d packet %d scored %d, reference %d",
+					i, j, out[j].MLScore, want)
+			}
+		}
+	}
+
+	header := []string{"Round"}
+	for i := 0; i < fleetMembers; i++ {
+		header = append(header,
+			fmt.Sprintf("m%d phase", i),
+			fmt.Sprintf("m%d frozen", i),
+			fmt.Sprintf("m%d per-sw", i),
+			fmt.Sprintf("m%d fleet", i),
+		)
+	}
+	header = append(header, "Fleet retrains")
+	text := table(fmt.Sprintf(
+		"Fleet control plane: %d switches, staggered drift (%s, %s) — frozen vs per-switch controllers vs one shared fleet",
+		fleetMembers, spec.name, spec.metric), header, cells)
+
+	st := fleet.Stats()
+	last := rows[len(rows)-fleetMembers:]
+	for _, lr := range last {
+		text += fmt.Sprintf(
+			"member %d post-drift: frozen %.1f, per-switch %.1f, fleet %.1f (fleet-per-switch %+.1f)\n",
+			lr.Member, lr.FrozenF1, lr.PerSwitchF1, lr.FleetF1, lr.FleetF1-lr.PerSwitchF1)
+	}
+	perSwitchRetrains := 0
+	for _, c := range ctrls {
+		perSwitchRetrains += c.Stats().Retrains
+	}
+	text += fmt.Sprintf(
+		"one trainer, %d switches: %d fleet retrains (last pooled %d records) vs %d per-switch retrains across %d trainers; push parity verified on every member\n",
+		fleetMembers, st.Retrains, st.LastPoolSize, perSwitchRetrains, fleetMembers)
+	return rows, text, nil
+}

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// checkFleet is the acceptance shape of the multi-switch experiment: every
+// frozen member collapses once its drift arrives, and the shared fleet loop
+// recovers every member to within a few F1 points of the dedicated
+// per-switch-controller baseline.
+func checkFleet(t *testing.T, rows []FleetRow, text string, collapse, fleetSlack float64) {
+	t.Helper()
+	if !strings.Contains(text, "push parity verified") {
+		t.Errorf("fleet harness did not report the push-parity audit:\n%s", text)
+	}
+
+	pre := make([]float64, fleetMembers)
+	preN := make([]int, fleetMembers)
+	last := make([]FleetRow, fleetMembers)
+	retrains := 0
+	for _, r := range rows {
+		if r.Phase == 0 {
+			pre[r.Member] += r.FrozenF1
+			preN[r.Member]++
+		}
+		last[r.Member] = r
+		if r.FleetRetrains > retrains {
+			retrains = r.FleetRetrains
+		}
+	}
+	if retrains == 0 {
+		t.Fatal("the fleet never retrained under drift")
+	}
+	for m := 0; m < fleetMembers; m++ {
+		if preN[m] == 0 {
+			t.Fatalf("member %d has no pre-drift rounds", m)
+		}
+		preM := pre[m] / float64(preN[m])
+		if preM < 55 {
+			t.Fatalf("member %d pre-drift score %.1f — deployment model did not train", m, preM)
+		}
+		if last[m].FrozenF1 > preM-collapse {
+			t.Errorf("member %d frozen baseline barely degraded (pre %.1f, post %.1f) — drift too weak",
+				m, preM, last[m].FrozenF1)
+		}
+		// The shared fleet must track the dedicated-controller baseline.
+		if last[m].FleetF1 < last[m].PerSwitchF1-fleetSlack {
+			t.Errorf("member %d: fleet %.1f more than %.1f F1 below per-switch %.1f",
+				m, last[m].FleetF1, fleetSlack, last[m].PerSwitchF1)
+		}
+		if last[m].FleetF1 < last[m].FrozenF1+15 {
+			t.Errorf("member %d: fleet (%.1f) should clearly beat frozen (%.1f) post-drift",
+				m, last[m].FleetF1, last[m].FrozenF1)
+		}
+	}
+}
+
+// TestFleetRecoveryDNN: the shared fleet controller must recover all three
+// DNN switches to within 5 F1 points of one dedicated controller per switch.
+func TestFleetRecoveryDNN(t *testing.T) {
+	rows, text, err := FleetTable(1, "dnn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFleet(t, rows, text, 20, 5)
+}
+
+// TestFleetRecoverySVM: the same fleet loop drives the SVM family.
+func TestFleetRecoverySVM(t *testing.T) {
+	rows, text, err := FleetTable(1, "svm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFleet(t, rows, text, 15, 5)
+}
+
+func TestFleetUnknownModel(t *testing.T) {
+	if _, _, err := FleetTable(1, "perceptron"); err == nil {
+		t.Error("unknown model accepted")
+	}
+}

@@ -253,19 +253,23 @@ func (p *Pipeline) ProcessBatch(ins []core.PacketIn, out []core.Decision) (Batch
 	}
 	p.wg.Wait()
 
+	// Fold every shard before surfacing an error: each shard fully processed
+	// its partition regardless of a sibling's caller error, so ModelNs must
+	// reflect the whole batch the hardware drained.
 	bs := BatchStats{Packets: len(ins)}
+	var firstErr error
 	for _, s := range p.shards {
 		if len(s.idx) == 0 {
 			continue
 		}
-		if s.err != nil {
-			return bs, s.err
+		if s.err != nil && firstErr == nil {
+			firstErr = s.err
 		}
 		if s.busyNs > bs.ModelNs {
 			bs.ModelNs = s.busyNs
 		}
 	}
-	return bs, nil
+	return bs, firstErr
 }
 
 // Process runs a single packet through its owning shard — the one-packet

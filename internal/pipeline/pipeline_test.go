@@ -166,6 +166,43 @@ func TestPipelineDropsMalformed(t *testing.T) {
 	}
 }
 
+// TestProcessBatchStatsCompleteOnShardError pins the busyNs bugfix: a
+// caller error on one shard (bad feature width) must not stop the stats
+// scan — every shard still fully processed its partition, so ModelNs has to
+// reflect the whole batch, not just the shards scanned before the error.
+func TestProcessBatchStatsCompleteOnShardError(t *testing.T) {
+	p := newLoadedPipeline(t, 2)
+	ins, out := makeBatch(t, 256, 32)
+	clean, err := p.ProcessBatch(ins, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.ModelNs <= 0 {
+		t.Fatalf("clean batch ModelNs = %v, want > 0", clean.ModelNs)
+	}
+
+	// Poison one packet owned by shard 0 — the first shard the stats scan
+	// visits, so before the fix the fold stopped with ModelNs still zero.
+	idx := -1
+	for i := range ins {
+		if p.shardOf(ins[i].Data) == 0 {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		t.Fatal("no packet landed on shard 0; retune the batch")
+	}
+	ins[idx].Features = make([]float32, 2)
+	bs, err := p.ProcessBatch(ins, out)
+	if !errors.Is(err, core.ErrBadFeatureWidth) {
+		t.Fatalf("poisoned batch error = %v, want ErrBadFeatureWidth", err)
+	}
+	if bs.ModelNs < clean.ModelNs*0.8 {
+		t.Errorf("ModelNs under-reported on shard error: %v vs clean %v", bs.ModelNs, clean.ModelNs)
+	}
+}
+
 func TestPipelineUpdateWeightsLive(t *testing.T) {
 	q, g, g2, _ := trainModel(t)
 	p := newLoadedPipeline(t, 3)

@@ -121,6 +121,33 @@ func NewDriftingStream(cfg dataset.DriftConfig, seed int64, nflows int, opts ...
 	return NewDriftingStreamFrom(traffic, labels, seed, nflows, opts...)
 }
 
+// MemberSeedStride spaces per-member stream seeds: every stream derives
+// three seeds internally (traffic, labels, noise: seed, seed+1, seed+2), so
+// any stride past 3 avoids overlap; a four-digit prime also keeps derived
+// seeds from colliding with the small hand-picked seeds tests use.
+const MemberSeedStride = 1009
+
+// NewDriftingStreams builds n independently seeded streams of the same
+// drifting anomaly workload — one per fleet member. Each member sees its own
+// traffic mix (its own flows, record draws and label feed) while the caller
+// drives every stream through its own phase schedule, the shape of a fleet
+// deployment where switches drift at different times. Member i is seeded
+// seed + i*MemberSeedStride.
+func NewDriftingStreams(cfg dataset.DriftConfig, seed int64, nflows, n int, opts ...StreamOption) ([]*DriftingStream, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("trafficgen: need a positive member count, got %d", n)
+	}
+	streams := make([]*DriftingStream, n)
+	for i := range streams {
+		s, err := NewDriftingStream(cfg, seed+int64(i)*MemberSeedStride, nflows, opts...)
+		if err != nil {
+			return nil, err
+		}
+		streams[i] = s
+	}
+	return streams, nil
+}
+
 // NewDriftingIoTStream builds a stream of nflows drifting IoT-classification
 // flows under cfg, at phase 0. Label noise draws random wrong categories
 // (WithLabelClasses is preset).

@@ -19,6 +19,41 @@ func TestDriftingStreamValidation(t *testing.T) {
 	}
 }
 
+// TestDriftingStreamsIndependent: the per-member fleet streams must be
+// independently seeded — same workload, different traffic — and drive their
+// phases independently.
+func TestDriftingStreamsIndependent(t *testing.T) {
+	if _, err := NewDriftingStreams(dataset.DefaultDriftConfig(), 1, 8, 0); err == nil {
+		t.Error("zero members accepted")
+	}
+	streams, err := NewDriftingStreams(dataset.DefaultDriftConfig(), 1, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(streams) != 3 {
+		t.Fatalf("got %d streams, want 3", len(streams))
+	}
+	a, _, _ := streams[0].NextBatch(32)
+	b, _, _ := streams[1].NextBatch(32)
+	sameFeat := 0
+	for i := range a {
+		if &a[i].Features[0] == &b[i].Features[0] || a[i].Features[0] == b[i].Features[0] {
+			sameFeat++
+		}
+	}
+	if sameFeat > len(a)/2 {
+		t.Errorf("members 0 and 1 share %d/%d feature draws — not independently seeded", sameFeat, len(a))
+	}
+	// Phases are per member: drifting one stream must not move another.
+	streams[2].SetPhase(1)
+	if p := streams[0].Phase(); p != 0 {
+		t.Errorf("member 0 phase moved to %v when member 2 drifted", p)
+	}
+	if p := streams[2].Phase(); p != 1 {
+		t.Errorf("member 2 phase = %v, want 1", p)
+	}
+}
+
 // TestLabelDelayLagsPhase: with delay d, the label feed must sit at the
 // phase the traffic had d SetPhase steps earlier.
 func TestLabelDelayLagsPhase(t *testing.T) {

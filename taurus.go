@@ -28,10 +28,18 @@
 //     classifier with NewKMeansDeployable (NewDNNController remains as the
 //     one-call DNN shape). Run it synchronously (Observe + RetrainNow) for
 //     deterministic experiments or in the background (Start/Close) for live
-//     serving; tune it with WithRetrainInterval, WithDriftStatistic,
-//     WithDriftThresholds and friends. NewDriftingStream and
+//     serving; tune it with WithRetrainInterval, WithDriftStatistic
+//     (DriftMeanShift, DriftPSI or DriftKS), WithDriftThresholds,
+//     WithAdaptiveRetrain and friends. NewDriftingStream and
 //     NewDriftingIoTStream generate matching concept-drifting workloads,
 //     with WithLabelDelay and WithLabelNoise for label realism.
+//
+//   - NewFleet scales the control plane out: one trainer driving N
+//     registered switches, each with its own drift detector and traffic
+//     mix. Drift on any member pools labels from the drifted members
+//     (weighted by traffic share), retrains the one shared model and pushes
+//     the lowered graph to every switch atomically. NewDriftingStreams
+//     builds the matching per-member workloads.
 //
 //   - Both constructors take functional options: WithGrid, WithFlowTable,
 //     WithThreshold, WithDropOnAnomaly, and (pipelines only) WithShards.
@@ -217,6 +225,14 @@ type (
 	// ControllerStats reports the controller's activity (windows observed,
 	// drifts detected, retrains pushed).
 	ControllerStats = controlplane.Stats
+	// Fleet is one control plane driving N switches: a single trainer with
+	// a per-member drift detector, pooling labels from the drifted members
+	// and fanning one lowered graph out to every registered pipeline.
+	Fleet = controlplane.Fleet
+	// FleetStats reports the fleet's aggregate and per-member activity.
+	FleetStats = controlplane.FleetStats
+	// FleetMemberStats is one member's slice of FleetStats.
+	FleetMemberStats = controlplane.MemberStats
 	// LabelSource supplies freshly sampled labelled records reflecting the
 	// current traffic distribution (the control plane's telemetry joined
 	// with ground truth).
@@ -249,6 +265,10 @@ const (
 	// score histograms — scale-free, and sensitive to shifts that preserve
 	// the mean (variance widening, category-mix changes).
 	DriftPSI = controlplane.DriftPSI
+	// DriftKS computes the two-sample Kolmogorov–Smirnov distance between
+	// the window's raw scores and a reference sample — scale-free like PSI,
+	// but with no binning artefacts on discrete or long-tailed scores.
+	DriftKS = controlplane.DriftKS
 )
 
 // Deployable constructors: model lifecycles the Controller can retrain.
@@ -304,6 +324,27 @@ func WithDriftThresholds(flagDelta, scoreDelta float64) ControllerOption {
 // drift under DriftPSI (default 0.25).
 func WithPSIThreshold(t float64) ControllerOption {
 	return func(o *controllerOptions) { o.cp.PSIThreshold = t }
+}
+
+// WithKSThreshold sets the two-sample Kolmogorov–Smirnov distance that
+// declares drift under DriftKS (default 0.15). The same threshold is the
+// calm criterion of WithAdaptiveRetrain.
+func WithKSThreshold(t float64) ControllerOption {
+	return func(o *controllerOptions) { o.cp.KSThreshold = t }
+}
+
+// WithAdaptiveRetrain replaces the fixed RetrainRecords collection with
+// adaptive sizing: each retrain keeps collecting labelled records in chunks
+// of half RetrainRecords, refitting after every chunk, until one more chunk
+// no longer moves the model's score distribution (two-sample KS at most the
+// KS threshold) or maxRecords is reached (0 = 4× RetrainRecords). Mild
+// drift stops near the fixed budget; a hard shift keeps collecting until
+// the model calms.
+func WithAdaptiveRetrain(maxRecords int) ControllerOption {
+	return func(o *controllerOptions) {
+		o.cp.AdaptiveRetrain = true
+		o.cp.RetrainMaxRecords = maxRecords
+	}
 }
 
 // WithDriftPatience sets how many consecutive out-of-threshold windows
@@ -383,6 +424,24 @@ func NewDNNController(p *Pipeline, net *DNN, inQ Quantizer, src LabelSource, opt
 		return nil, err
 	}
 	return controlplane.New(p, dep, inQ, src, o.cp)
+}
+
+// NewFleet builds the multi-switch control plane (§3.3.1 scaled out to a
+// deployment): one trainer — the lifecycle of the deployed model m; the
+// fleet takes ownership — serving N switches. Register each switch with
+// fleet.Register(name, pipeline, labelSource); every member gets its own
+// drift detector, and drift on any member triggers one retrain pooled from
+// the drifted members' labels, pushed atomically to every switch. inQ must
+// be the quantiser the members' shared deployment was loaded with (the
+// pipelines' InputQuantizer after LoadModel). Tune with the same
+// ControllerOptions as NewController — WithDriftStatistic(DriftKS),
+// WithAdaptiveRetrain and friends.
+func NewFleet(m Deployable, inQ Quantizer, opts ...ControllerOption) (*Fleet, error) {
+	o := buildControllerOptions(opts)
+	if o.dnn != (model.DNNConfig{}) {
+		return nil, fmt.Errorf("%w: WithRetrainEpochs/WithControllerSeed configure the Deployable NewDNNController builds; a caller-supplied Deployable carries its own training policy", ErrBadConfig)
+	}
+	return controlplane.NewFleet(m, inQ, o.cp)
 }
 
 // Machine-learning models (§5.1.2) and quantisation (Table 3).
@@ -475,6 +534,10 @@ var (
 	DefaultDriftConfig = dataset.DefaultDriftConfig
 	// NewDriftingStream builds drifting packet traffic over n flows.
 	NewDriftingStream = trafficgen.NewDriftingStream
+	// NewDriftingStreams builds n independently seeded member streams of
+	// the same drifting workload — one per fleet switch, each seeing its
+	// own traffic mix on its own phase schedule.
+	NewDriftingStreams = trafficgen.NewDriftingStreams
 	// DefaultIoTDriftConfig is the calibrated drifting IoT workload.
 	DefaultIoTDriftConfig = dataset.DefaultIoTDriftConfig
 	// NewDriftingIoTGenerator builds a drifting IoT record generator.

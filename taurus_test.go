@@ -194,3 +194,94 @@ func TestDeployableControllerFacade(t *testing.T) {
 		}
 	}
 }
+
+// TestFleetFacade drives the multi-switch surface: one SVM Deployable
+// deployed to two pipelines, a Fleet with the KS detector and adaptive
+// retrain sizing, and a pooled retrain pushed to every member with parity.
+func TestFleetFacade(t *testing.T) {
+	cfg := DriftConfig{Base: AnomalyConfig{NumFeatures: 8, AnomalyFraction: 0.4, Separation: 1.2}}
+	streams, err := NewDriftingStreams(cfg, 9, 64, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := NewSVMDeployable(SVMDeployableConfig{MaxSV: 12, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := append(streams[0].Labelled(200), streams[1].Labelled(200)...)
+	inQ := InputQuantizerFor(recs)
+	if err := dep.Fit(recs); err != nil {
+		t.Fatal(err)
+	}
+	program, err := dep.Lower(inQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet, err := NewFleet(dep, inQ,
+		WithDriftStatistic(DriftKS),
+		WithKSThreshold(0.2),
+		WithRetrainRecords(300),
+		WithAdaptiveRetrain(900),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipes := make([]*Pipeline, 2)
+	for i := range pipes {
+		pl, err := NewPipeline(8, WithShards(2), WithThreshold(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer pl.Close()
+		if err := pl.LoadModel(program, inQ, CompileOptions{}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fleet.Register("", pl, streams[i].Labelled); err != nil {
+			t.Fatal(err)
+		}
+		pipes[i] = pl
+	}
+	if _, err := NewFleet(dep, inQ, WithRetrainEpochs(3)); err == nil {
+		t.Error("DNN-lifecycle option accepted by NewFleet with a caller-supplied Deployable")
+	}
+
+	for i, pl := range pipes {
+		ins, out, _ := streams[i].NextBatch(256)
+		if _, err := pl.ProcessBatch(ins, out); err != nil {
+			t.Fatal(err)
+		}
+		fleet.Observe(i, out)
+	}
+	if err := fleet.RetrainNow(); err != nil {
+		t.Fatal(err)
+	}
+	st := fleet.Stats()
+	if st.Retrains != 1 {
+		t.Errorf("Retrains = %d, want 1", st.Retrains)
+	}
+	if len(st.Members) != 2 || st.Members[0].Sampled == 0 || st.Members[1].Sampled == 0 {
+		t.Errorf("member sampling missing: %+v", st.Members)
+	}
+	if st.LastPoolSize < 300 {
+		t.Errorf("pooled %d records, want at least the chunked minimum 300", st.LastPoolSize)
+	}
+	// Parity on every member: data plane vs the shared model's reference.
+	for i, pl := range pipes {
+		ins, out, _ := streams[i].NextBatch(64)
+		if _, err := pl.ProcessBatch(ins, out); err != nil {
+			t.Fatal(err)
+		}
+		for j := range out {
+			if out[j].Bypassed {
+				continue
+			}
+			want, err := dep.ReferenceDecision(inQ, ins[j].Features)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out[j].MLScore != want {
+				t.Fatalf("member %d packet %d: score %d != reference %d", i, j, out[j].MLScore, want)
+			}
+		}
+	}
+}
