@@ -28,6 +28,7 @@ bench-json:
 	$(GO) run ./cmd/taurus-bench -exp drift -model svm -json > BENCH_drift.json
 	$(GO) run ./cmd/taurus-bench -exp throughput -json > BENCH_throughput.json
 	$(GO) run ./cmd/taurus-bench -exp fleet -model svm -json > BENCH_fleet.json
+	$(GO) run ./cmd/taurus-bench -exp latency -json > BENCH_latency.json
 
 check:
 	@fmtout=$$(gofmt -l .); \

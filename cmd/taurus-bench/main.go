@@ -7,14 +7,15 @@
 //	taurus-bench -packets 100000     # smaller Table 8 run
 //	taurus-bench -exp drift -model svm # close the loop over the SVM
 //	taurus-bench -exp fleet          # one control plane driving 3 switches
+//	taurus-bench -exp latency        # continuous-time queueing: tails, drops, push-under-load
 //	taurus-bench -exp drift -json    # machine-readable rows (CI artifacts)
 //
 // Experiments: table1 table2 table3 table4 table5 table6 table7 table8
-// fig9 fig10 fig11 fig13 fig14 mats throughput drift fleet. The drift and
-// fleet experiments take -model dnn|svm|iot to pick the retrained model
-// family. -json (drift, throughput and fleet only) replaces the rendered
-// table with the experiment's data rows as JSON, for the benchmark
-// artifacts CI accumulates.
+// fig9 fig10 fig11 fig13 fig14 mats throughput latency drift fleet. The
+// drift and fleet experiments take -model dnn|svm|iot to pick the
+// retrained model family. -json (drift, throughput, latency and fleet
+// only) replaces the rendered table with the experiment's data rows as
+// JSON, for the benchmark artifacts CI accumulates.
 package main
 
 import (
@@ -28,7 +29,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (all, table1..table8, fig9..fig14, mats, throughput, drift, fleet)")
+	exp := flag.String("exp", "all", "experiment to run (all, table1..table8, fig9..fig14, mats, throughput, latency, drift, fleet)")
 	packets := flag.Int("packets", 400_000, "packets for the Table 8 simulation")
 	seed := flag.Int64("seed", 1, "training seed")
 	driftModel := flag.String("model", "dnn", "model family for the drift and fleet experiments (dnn, svm, iot)")
@@ -80,8 +81,18 @@ func runJSON(exp string, seed int64, driftModel string) error {
 			return err
 		}
 		out.Rows = rows
+	case "latency":
+		models, err := experiments.TrainModels(seed)
+		if err != nil {
+			return err
+		}
+		res, _, err := experiments.Latency(models, seed)
+		if err != nil {
+			return err
+		}
+		out.Rows = res
 	default:
-		return fmt.Errorf("-json supports drift, throughput and fleet, not %q", exp)
+		return fmt.Errorf("-json supports drift, throughput, latency and fleet, not %q", exp)
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
@@ -91,7 +102,7 @@ func runJSON(exp string, seed int64, driftModel string) error {
 func run(exp string, packets int, seed int64, driftModel string) error {
 	want := func(name string) bool { return exp == "all" || strings.EqualFold(exp, name) }
 
-	needModels := exp == "all" || want("table5") || want("table8") || want("fig11") || want("mats") || want("throughput")
+	needModels := exp == "all" || want("table5") || want("table8") || want("fig11") || want("mats") || want("throughput") || want("latency")
 	var models *experiments.Models
 	if needModels {
 		fmt.Fprintln(os.Stderr, "training application models...")
@@ -177,6 +188,14 @@ func run(exp string, packets int, seed int64, driftModel string) error {
 	}
 	if want("throughput") {
 		_, text, err := experiments.Throughput(models)
+		if err != nil {
+			return err
+		}
+		emit(text)
+	}
+	if want("latency") {
+		fmt.Fprintln(os.Stderr, "running continuous-time queueing experiment...")
+		_, text, err := experiments.Latency(models, seed)
 		if err != nil {
 			return err
 		}

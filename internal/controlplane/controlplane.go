@@ -140,6 +140,24 @@ type Config struct {
 	// RetrainInterval, when positive, retrains periodically in background
 	// mode even without a drift signal (0 = drift-triggered only).
 	RetrainInterval time.Duration
+	// SourceDeadline, when positive, bounds how long a Fleet retrain waits
+	// on any one member's LabelSource: a member whose source has not
+	// returned after the deadline is skipped for that retrain (its
+	// MemberStats.SourceTimeouts increments) and its share of the pool is
+	// re-drawn from the members that answered, so one stalled source cannot
+	// stall or starve the shared loop. Records a skipped call returns later
+	// are discarded, and while it is still running the member stays skipped
+	// — a LabelSource is never invoked concurrently with itself. 0 (the
+	// default) waits indefinitely. Fleet pooling only — a single-switch
+	// Controller has one source and nothing to fall back on.
+	SourceDeadline time.Duration
+	// OnPush, when set, is invoked after every successful weight push —
+	// RetrainNow's and the Fleet's fan-out alike. It is the hook that turns
+	// control-plane pushes into events elsewhere (the continuous-time
+	// queueing simulator stalls its shards through it). Called from the
+	// retrain path with no controller locks held; it must not call back
+	// into the controller.
+	OnPush func()
 }
 
 // DefaultConfig returns the default controller configuration.
@@ -325,6 +343,9 @@ func (c *Controller) RetrainNow() error {
 	}
 	if err := c.pusher.UpdateWeights(g); err != nil {
 		return c.fail(err)
+	}
+	if c.cfg.OnPush != nil {
+		c.cfg.OnPush()
 	}
 
 	c.mu.Lock()

@@ -80,6 +80,14 @@ type fleetMember struct {
 	sampledAtRetrain int
 	// pooled is how many records the member contributed to the last retrain.
 	pooled int
+	// sourceTimeouts counts retrains that skipped this member because its
+	// label source blocked past Config.SourceDeadline.
+	sourceTimeouts int
+	// sourceInFlight marks an abandoned (timed-out) source call still
+	// running; while set, the member is skipped rather than invoking its
+	// LabelSource concurrently with itself — sources are not required to
+	// be reentrant.
+	sourceInFlight bool
 }
 
 // snapshot returns the member list under the fleet lock; callers then take
@@ -104,6 +112,10 @@ type MemberStats struct {
 	// PooledRecords is how many labelled records the member contributed to
 	// the most recent fleet retrain.
 	PooledRecords int
+	// SourceTimeouts counts retrains that skipped this member because its
+	// label source blocked past Config.SourceDeadline — the backpressure
+	// guard keeping one laggy source from stalling the shared loop.
+	SourceTimeouts int
 }
 
 // FleetStats reports the fleet's aggregate and per-member activity.
@@ -227,6 +239,9 @@ func (f *Fleet) RetrainNow() error {
 	if err := f.push(g); err != nil {
 		return f.fail(err)
 	}
+	if f.cfg.OnPush != nil {
+		f.cfg.OnPush()
+	}
 
 	members := f.snapshot()
 	pooled := make(map[*fleetMember]int, len(pool))
@@ -303,10 +318,35 @@ func (f *Fleet) pooledSource() ([]*fleetMember, LabelSource, []int, error) {
 	}
 
 	contrib := make([]int, len(pool))
+	// skipped latches per retrain: a member whose source blocked past the
+	// deadline once is not asked again for this retrain's later chunks.
+	skipped := make([]bool, len(pool))
+	draw := func(i int, m *fleetMember, want int, recs []dataset.Record, remaining *int) []dataset.Record {
+		got, ok := f.pullFrom(m, want)
+		if !ok {
+			// The backpressure guard: a source that blocks past the
+			// deadline is skipped for this whole retrain; its share falls
+			// to the members that answered.
+			skipped[i] = true
+			m.mu.Lock()
+			m.sourceTimeouts++
+			m.mu.Unlock()
+			return recs
+		}
+		contrib[i] += len(got)
+		// Deduct what actually arrived: a member whose label source
+		// under-delivers leaves its shortfall for its siblings, so one dry
+		// source cannot silently shrink the shared pool.
+		*remaining -= len(got)
+		return append(recs, got...)
+	}
 	pull := func(n int) []dataset.Record {
 		recs := make([]dataset.Record, 0, n)
 		remaining := n
 		for i, m := range pool {
+			if skipped[i] || remaining <= 0 {
+				continue
+			}
 			want := remaining
 			if i < len(pool)-1 {
 				want = int(weights[i]*float64(n) + 0.5)
@@ -317,17 +357,59 @@ func (f *Fleet) pooledSource() ([]*fleetMember, LabelSource, []int, error) {
 			if want <= 0 {
 				continue
 			}
-			got := m.source(want)
-			contrib[i] += len(got)
-			recs = append(recs, got...)
-			// Deduct what actually arrived: a member whose label source
-			// under-delivers leaves its shortfall for the members after it,
-			// so one dry source cannot silently shrink the shared pool.
-			remaining -= len(got)
+			recs = draw(i, m, want, recs, &remaining)
+		}
+		// Top-up pass: whatever share was lost to timed-out (or dry)
+		// members is re-requested from the members that answered, so the
+		// pool only comes up short when every remaining source does.
+		for i, m := range pool {
+			if remaining <= 0 {
+				break
+			}
+			if skipped[i] {
+				continue
+			}
+			recs = draw(i, m, remaining, recs, &remaining)
 		}
 		return recs
 	}
 	return pool, pull, contrib, nil
+}
+
+// pullFrom draws want records from m's label source, giving up after
+// Config.SourceDeadline (false). With no deadline it blocks, exactly as
+// before. An abandoned call keeps running in its goroutine; whatever it
+// eventually returns is discarded — stale labels from a stalled source are
+// worth less than an on-time retrain for the members that answered — and
+// while it is still running the member reports not-ok immediately, so a
+// LabelSource is never invoked concurrently with itself.
+func (f *Fleet) pullFrom(m *fleetMember, want int) ([]dataset.Record, bool) {
+	if f.cfg.SourceDeadline <= 0 {
+		return m.source(want), true
+	}
+	m.mu.Lock()
+	if m.sourceInFlight {
+		m.mu.Unlock()
+		return nil, false
+	}
+	m.sourceInFlight = true
+	m.mu.Unlock()
+	ch := make(chan []dataset.Record, 1)
+	go func() {
+		recs := m.source(want)
+		m.mu.Lock()
+		m.sourceInFlight = false
+		m.mu.Unlock()
+		ch <- recs
+	}()
+	t := time.NewTimer(f.cfg.SourceDeadline)
+	defer t.Stop()
+	select {
+	case recs := <-ch:
+		return recs, true
+	case <-t.C:
+		return nil, false
+	}
 }
 
 // push applies g to every member; on a member's failure the members already
@@ -439,10 +521,11 @@ func (f *Fleet) Stats() FleetStats {
 	for _, m := range members {
 		m.mu.Lock()
 		ms := MemberStats{
-			Name:          m.name,
-			Stats:         m.det.stats(),
-			Drifted:       m.det.drifted,
-			PooledRecords: m.pooled,
+			Name:           m.name,
+			Stats:          m.det.stats(),
+			Drifted:        m.det.drifted,
+			PooledRecords:  m.pooled,
+			SourceTimeouts: m.sourceTimeouts,
 		}
 		m.mu.Unlock()
 		st.Drifts += ms.Stats.Drifts

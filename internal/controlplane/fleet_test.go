@@ -420,3 +420,212 @@ func TestFleetBackgroundRetrainUnderTraffic(t *testing.T) {
 		}
 	}
 }
+
+// TestFleetSlowSourceSkipped: the backpressure guard. A member whose label
+// source blocks past Config.SourceDeadline is skipped for that retrain —
+// its share of the pool falls to the members after it, its SourceTimeouts
+// counter increments, and the shared loop completes instead of stalling.
+func TestFleetSlowSourceSkipped(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SourceDeadline = 25 * time.Millisecond
+	cfg.RetrainRecords = 64
+	fl, err := NewFleet(stubModel{}, fixed.NewQuantizer(1), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	release := make(chan struct{})
+	slow := func(n int) []dataset.Record {
+		<-release
+		return make([]dataset.Record, n)
+	}
+	fast := func(n int) []dataset.Record { return make([]dataset.Record, n) }
+	if _, err := fl.Register("laggy", nopPusher{}, slow); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fl.Register("prompt", nopPusher{}, fast); err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- fl.RetrainNow() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("retrain with one laggy member failed: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("retrain stalled on the laggy member despite the deadline")
+	}
+
+	st := fl.Stats()
+	if got := st.Members[0].SourceTimeouts; got != 1 {
+		t.Errorf("laggy member SourceTimeouts = %d, want 1", got)
+	}
+	if got := st.Members[1].SourceTimeouts; got != 0 {
+		t.Errorf("prompt member SourceTimeouts = %d, want 0", got)
+	}
+	if got := st.Members[0].PooledRecords; got != 0 {
+		t.Errorf("laggy member contributed %d records, want 0", got)
+	}
+	// The laggy member's share fell to the prompt member.
+	if got := st.Members[1].PooledRecords; got != cfg.RetrainRecords {
+		t.Errorf("prompt member contributed %d records, want the whole pool %d",
+			got, cfg.RetrainRecords)
+	}
+	if st.LastPoolSize != cfg.RetrainRecords {
+		t.Errorf("pool size = %d, want %d", st.LastPoolSize, cfg.RetrainRecords)
+	}
+
+	// Once the source recovers, the member pools again; the timeout counter
+	// records history instead of blacklisting. Until the abandoned call's
+	// goroutine drains, the member stays skipped (never invoked
+	// concurrently with itself), so poll through retrains until it
+	// contributes.
+	close(release)
+	deadline := time.Now().Add(5 * time.Second)
+	for fl.Stats().Members[0].PooledRecords == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("recovered member never pooled again")
+		}
+		if err := fl.RetrainNow(); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	before := fl.Stats().Members[0].SourceTimeouts
+	if err := fl.RetrainNow(); err != nil {
+		t.Fatal(err)
+	}
+	st = fl.Stats()
+	if got := st.Members[0].SourceTimeouts; got != before {
+		t.Errorf("recovered member's SourceTimeouts still rising: %d -> %d", before, got)
+	}
+	if got := st.Members[0].PooledRecords; got == 0 {
+		t.Error("recovered member contributed nothing to the latest retrain")
+	}
+}
+
+// TestFleetAllSourcesStalled: when every member times out the retrain
+// fails cleanly (no records) rather than hanging, and the error is
+// retained.
+func TestFleetAllSourcesStalled(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SourceDeadline = 10 * time.Millisecond
+	fl, err := NewFleet(stubModel{}, fixed.NewQuantizer(1), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	release := make(chan struct{})
+	defer close(release)
+	slow := func(n int) []dataset.Record {
+		<-release
+		return make([]dataset.Record, n)
+	}
+	if _, err := fl.Register("a", nopPusher{}, slow); err != nil {
+		t.Fatal(err)
+	}
+	if err := fl.RetrainNow(); err == nil {
+		t.Fatal("retrain with every source stalled should fail")
+	}
+	if fl.Err() == nil {
+		t.Error("Err() lost the failed retrain")
+	}
+	if got := fl.Stats().Members[0].SourceTimeouts; got != 1 {
+		t.Errorf("SourceTimeouts = %d, want 1", got)
+	}
+}
+
+// TestFleetSlowSourceLastSkipped: registration order must not matter — when
+// the member that times out is the *last* in the pool (the one that would
+// normally absorb the rounding remainder), the top-up pass re-draws its
+// share from the members that answered instead of silently shrinking the
+// pool.
+func TestFleetSlowSourceLastSkipped(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SourceDeadline = 25 * time.Millisecond
+	cfg.RetrainRecords = 64
+	fl, err := NewFleet(stubModel{}, fixed.NewQuantizer(1), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	release := make(chan struct{})
+	defer close(release)
+	slow := func(n int) []dataset.Record {
+		<-release
+		return make([]dataset.Record, n)
+	}
+	fast := func(n int) []dataset.Record { return make([]dataset.Record, n) }
+	if _, err := fl.Register("prompt", nopPusher{}, fast); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fl.Register("laggy", nopPusher{}, slow); err != nil {
+		t.Fatal(err)
+	}
+	if err := fl.RetrainNow(); err != nil {
+		t.Fatalf("retrain with the last member laggy failed: %v", err)
+	}
+	st := fl.Stats()
+	if got := st.Members[1].SourceTimeouts; got != 1 {
+		t.Errorf("laggy member SourceTimeouts = %d, want 1", got)
+	}
+	if got := st.Members[0].PooledRecords; got != cfg.RetrainRecords {
+		t.Errorf("prompt member contributed %d records, want the whole pool %d", got, cfg.RetrainRecords)
+	}
+	if st.LastPoolSize != cfg.RetrainRecords {
+		t.Errorf("pool size = %d, want %d — the laggy member's share was lost", st.LastPoolSize, cfg.RetrainRecords)
+	}
+}
+
+// TestFleetSourceNeverConcurrent: a source that is slow (but not stuck)
+// must not be invoked concurrently with its own abandoned call — the
+// member stays skipped while the old call runs, then pools again.
+func TestFleetSourceNeverConcurrent(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SourceDeadline = 20 * time.Millisecond
+	cfg.RetrainRecords = 64
+	fl, err := NewFleet(stubModel{}, fixed.NewQuantizer(1), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	inside, maxInside := 0, 0
+	release := make(chan struct{})
+	slow := func(n int) []dataset.Record {
+		mu.Lock()
+		inside++
+		if inside > maxInside {
+			maxInside = inside
+		}
+		mu.Unlock()
+		<-release
+		mu.Lock()
+		inside--
+		mu.Unlock()
+		return make([]dataset.Record, n)
+	}
+	fast := func(n int) []dataset.Record { return make([]dataset.Record, n) }
+	if _, err := fl.Register("laggy", nopPusher{}, slow); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fl.Register("prompt", nopPusher{}, fast); err != nil {
+		t.Fatal(err)
+	}
+	// Two retrains while the first slow call is still in flight: the second
+	// must skip the member without a second concurrent invocation.
+	if err := fl.RetrainNow(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fl.RetrainNow(); err != nil {
+		t.Fatal(err)
+	}
+	close(release)
+	st := fl.Stats()
+	if got := st.Members[0].SourceTimeouts; got != 2 {
+		t.Errorf("laggy member SourceTimeouts = %d, want 2 (one per skipped retrain)", got)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if maxInside != 1 {
+		t.Errorf("label source ran %d times concurrently, want at most 1", maxInside)
+	}
+}

@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestLatencyExperiment is the acceptance shape of the queueing
+// experiment: tail latency, drops and sustainable load for three shard
+// counts under both arrival shapes, and a retrain push under >=70% load
+// whose latency impact is visible and transient.
+func TestLatencyExperiment(t *testing.T) {
+	m, err := TrainModels(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, text, err := Latency(m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "p99") || !strings.Contains(text, "Sustainable") {
+		t.Errorf("rendered table missing columns:\n%s", text)
+	}
+
+	// Load section: every (shard count, process) pair, ordered percentiles,
+	// bursty arrivals costlier than Poisson at the same average load.
+	type key struct {
+		shards  int
+		process string
+	}
+	seen := map[key]LatencyRow{}
+	shardCounts := map[int]bool{}
+	for _, r := range res.Load {
+		seen[key{r.Shards, r.Process}] = r
+		shardCounts[r.Shards] = true
+		if r.P50Ns <= 0 || r.P99Ns < r.P50Ns || r.P999Ns < r.P99Ns {
+			t.Errorf("%d/%s: percentiles not ordered: %+v", r.Shards, r.Process, r)
+		}
+		if r.SustainableMpps <= 0 {
+			t.Errorf("%d/%s: no sustainable load", r.Shards, r.Process)
+		}
+		if r.LoadPct < 70 {
+			t.Errorf("%d/%s: load %.0f%% below the 70%% acceptance point", r.Shards, r.Process, r.LoadPct)
+		}
+	}
+	if len(shardCounts) < 3 {
+		t.Errorf("only %d shard counts measured, want >= 3", len(shardCounts))
+	}
+	for shards := range shardCounts {
+		pois, okP := seen[key{shards, "poisson"}]
+		burst, okB := seen[key{shards, "onoff"}]
+		if !okP || !okB {
+			t.Fatalf("shard count %d missing an arrival shape", shards)
+		}
+		if burst.P99Ns < 2*pois.P99Ns {
+			t.Errorf("%d shards: bursty p99 %.0f ns not clearly above Poisson %.0f ns",
+				shards, burst.P99Ns, pois.P99Ns)
+		}
+		if burst.SustainableMpps >= pois.SustainableMpps {
+			t.Errorf("%d shards: bursty sustainable %.0f Mpps should be below Poisson %.0f Mpps",
+				shards, burst.SustainableMpps, pois.SustainableMpps)
+		}
+	}
+
+	// Push section: the drift loop retrained, the push stalled the
+	// simulator, the stalled round spiked, and the next round recovered.
+	var calmP99 float64
+	pushIdx := -1
+	for i, r := range res.Push {
+		if r.Pushes > 0 && pushIdx < 0 {
+			pushIdx = i
+		}
+		if r.Pushes == 0 && r.P99Ns > calmP99 {
+			calmP99 = r.P99Ns
+		}
+	}
+	if pushIdx < 0 {
+		t.Fatal("no round saw a weight push — the drift loop never retrained under load")
+	}
+	push := res.Push[pushIdx]
+	if push.Retrains == 0 {
+		t.Error("push round reports zero retrains")
+	}
+	if push.P99Ns < 5*calmP99 {
+		t.Errorf("push round p99 %.0f ns not clearly above calm p99 %.0f ns", push.P99Ns, calmP99)
+	}
+	if push.DropPct == 0 {
+		t.Error("a 10µs stall at 80% load should drop packets")
+	}
+	if pushIdx+1 < len(res.Push) {
+		next := res.Push[pushIdx+1]
+		if next.Pushes == 0 && next.P99Ns > 2*calmP99 {
+			t.Errorf("round after the push did not recover: p99 %.0f ns vs calm %.0f ns",
+				next.P99Ns, calmP99)
+		}
+	}
+}

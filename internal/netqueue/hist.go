@@ -1,0 +1,94 @@
+package netqueue
+
+import "math/bits"
+
+// latHist is a fixed-size log-linear latency histogram (the HDR shape):
+// values below histSub nanoseconds get unit-width buckets, and every octave
+// above is split into histSub sub-buckets, so relative bucket error is
+// bounded by 1/histSub (~3%) across the whole range while recording stays
+// allocation-free. Quantiles interpolate to the bucket midpoint.
+type latHist struct {
+	count   int64
+	buckets [histBuckets]int64
+}
+
+const (
+	histSubBits = 5
+	histSub     = 1 << histSubBits // sub-buckets per octave
+	// 59 octaves above the linear region cover every float64 latency a
+	// simulation can reach (2^63 ns ≈ 292 years).
+	histBuckets = histSub * (64 - histSubBits + 1)
+)
+
+// bucketOf maps a non-negative latency to its bucket index.
+func bucketOf(v float64) int {
+	if v < 0 {
+		v = 0
+	}
+	u := uint64(v)
+	if u < histSub {
+		return int(u)
+	}
+	shift := bits.Len64(u) - histSubBits - 1
+	idx := (shift+1)*histSub + int(u>>uint(shift)) - histSub
+	if idx >= histBuckets {
+		return histBuckets - 1
+	}
+	return idx
+}
+
+// bucketLow is the inclusive lower bound of bucket i.
+func bucketLow(i int) float64 {
+	if i < histSub {
+		return float64(i)
+	}
+	shift := i/histSub - 1
+	sub := i % histSub
+	return float64((uint64(sub) + histSub) << uint(shift))
+}
+
+// bucketMid is the midpoint of bucket i, the value quantiles report.
+func bucketMid(i int) float64 {
+	low := bucketLow(i)
+	var high float64
+	if i+1 < histBuckets {
+		high = bucketLow(i + 1)
+	} else {
+		high = 2 * low
+	}
+	return low + (high-low)/2
+}
+
+func (h *latHist) record(v float64) {
+	h.buckets[bucketOf(v)]++
+	h.count++
+}
+
+// quantile returns the latency at quantile q in [0, 1] (0 with no samples).
+func (h *latHist) quantile(q float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	target := int64(q*float64(h.count) + 0.5)
+	if target < 1 {
+		target = 1
+	}
+	if target > h.count {
+		target = h.count
+	}
+	var seen int64
+	for i := range h.buckets {
+		seen += h.buckets[i]
+		if seen >= target {
+			return bucketMid(i)
+		}
+	}
+	return bucketMid(histBuckets - 1)
+}
+
+func (h *latHist) reset() {
+	h.count = 0
+	for i := range h.buckets {
+		h.buckets[i] = 0
+	}
+}

@@ -337,6 +337,51 @@ func (p *Pipeline) ModelII() int {
 	return s.dev.ModelII()
 }
 
+// ServiceModel is the per-shard service-time model of the deployed design —
+// the hook the continuous-time queueing simulator (internal/netqueue) runs
+// on. It is the same occupancy model BatchStats.ModelNs folds per batch,
+// exposed per packet: an ML packet occupies its shard's MapReduce block for
+// II cycles (II ns at 1 GHz), a bypass packet for one cycle, and every
+// served packet additionally crosses the block's fill latency on its way
+// out.
+type ServiceModel struct {
+	// Shards is the pipeline's shard count; arrivals are flow-hashed across
+	// them exactly as ProcessBatch partitions batches.
+	Shards int
+	// MLServiceNs is the shard occupancy of one ML packet (II ns).
+	MLServiceNs float64
+	// BypassServiceNs is the shard occupancy of one bypass packet (1 cycle).
+	BypassServiceNs float64
+	// LatencyNs is the model's pipeline fill latency, added to every served
+	// packet's transit time (it overlaps with the next packet's service, so
+	// it never consumes shard capacity).
+	LatencyNs float64
+}
+
+// NominalPPS returns the model's aggregate saturation throughput: every
+// shard accepts one ML packet per II cycles, shards in parallel.
+func (m ServiceModel) NominalPPS() float64 {
+	if m.MLServiceNs <= 0 {
+		return 0
+	}
+	return float64(m.Shards) * 1e9 / m.MLServiceNs
+}
+
+// ServiceModel returns the deployed model's per-shard service times (zero
+// MLServiceNs before LoadModel; shards are identical, so shard 0 speaks for
+// all).
+func (p *Pipeline) ServiceModel() ServiceModel {
+	s := p.shards[0]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return ServiceModel{
+		Shards:          len(p.shards),
+		MLServiceNs:     float64(s.dev.ModelII()),
+		BypassServiceNs: 1,
+		LatencyNs:       s.dev.ModelLatencyNs(),
+	}
+}
+
 // Close stops the worker goroutines. Further traffic (batch or single
 // packet) errors; per-shard state remains readable through Stats.
 func (p *Pipeline) Close() {

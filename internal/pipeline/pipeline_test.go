@@ -477,3 +477,83 @@ func TestPipelineDefaultShards(t *testing.T) {
 		t.Errorf("zero-shard config -> %d shards, want %d", p.NumShards(), DefaultShards)
 	}
 }
+
+// TestServiceModel: the per-shard service-time hook the continuous-time
+// simulator runs on must mirror the deployed design's occupancy model.
+func TestServiceModel(t *testing.T) {
+	q, g, _, _ := trainModel(t)
+	pl, err := New(Config{Shards: 4, Device: core.DefaultConfig(6)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pl.Close()
+
+	svc := pl.ServiceModel()
+	if svc.Shards != 4 {
+		t.Errorf("Shards = %d, want 4", svc.Shards)
+	}
+	if svc.MLServiceNs != 0 || svc.NominalPPS() != 0 {
+		t.Errorf("undeployed pipeline reports service %v ns, nominal %v pps; want 0",
+			svc.MLServiceNs, svc.NominalPPS())
+	}
+
+	if err := pl.LoadModel(g, q.InputQ, compiler.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	svc = pl.ServiceModel()
+	if got, want := svc.MLServiceNs, float64(pl.ModelII()); got != want {
+		t.Errorf("MLServiceNs = %v, want II %v", got, want)
+	}
+	if got, want := svc.LatencyNs, pl.ModelLatencyNs(); got != want {
+		t.Errorf("LatencyNs = %v, want %v", got, want)
+	}
+	if svc.BypassServiceNs != 1 {
+		t.Errorf("BypassServiceNs = %v, want 1 cycle", svc.BypassServiceNs)
+	}
+	want := 4 * 1e9 / float64(pl.ModelII())
+	if got := svc.NominalPPS(); got != want {
+		t.Errorf("NominalPPS = %v, want %v", got, want)
+	}
+}
+
+// TestFlowHashShardBalance is the statistical guard on the murmur-finalised
+// flow hash (the PR 1 fix for FNV's low-bit collapse): per-shard load must
+// stay within a tolerance band of perfect balance for both sequential and
+// random flow populations.
+func TestFlowHashShardBalance(t *testing.T) {
+	const (
+		flows  = 8192
+		shards = 8
+		// Binomial σ ≈ sqrt(flows · p(1−p)) ≈ 30 at these sizes; 15% of the
+		// expected 1024 is about 5σ, far beyond sampling noise but tight
+		// enough to catch any structural skew (FNV put ~100% of sequential
+		// flows on 2 of 8 shards).
+		tolerance = 0.15
+	)
+	rng := rand.New(rand.NewSource(99))
+	populations := map[string]func(f int) []byte{
+		"sequential": func(f int) []byte {
+			return pisa.BuildTCPPacket(0x0a000000+uint32(f), 0x0a800001,
+				uint16(1024+f), 443, 0x10, 64)
+		},
+		"random": func(int) []byte {
+			return pisa.BuildTCPPacket(rng.Uint32(), rng.Uint32(),
+				uint16(rng.Intn(1<<16)), uint16(rng.Intn(1<<16)), 0x10, 64)
+		},
+	}
+	for name, build := range populations {
+		t.Run(name, func(t *testing.T) {
+			var counts [shards]int
+			for f := 0; f < flows; f++ {
+				counts[core.ShardHash(build(f))%shards]++
+			}
+			expected := float64(flows) / shards
+			for s, c := range counts {
+				if dev := (float64(c) - expected) / expected; dev < -tolerance || dev > tolerance {
+					t.Errorf("shard %d holds %d of %d flows (%+.1f%% from balance, tolerance ±%.0f%%): %v",
+						s, c, flows, dev*100, tolerance*100, counts)
+				}
+			}
+		})
+	}
+}

@@ -41,6 +41,20 @@
 //     the lowered graph to every switch atomically. NewDriftingStreams
 //     builds the matching per-member workloads.
 //
+//   - NewSimulator asks the production question the batch plane cannot:
+//     what latency and loss do packets see when arrivals are a process in
+//     time? It is a discrete-event, continuous-time queueing simulator over
+//     a deployed Pipeline's measured service model (II ns per ML packet at
+//     the busiest shard, finite per-shard FIFO queues), fed by a pluggable
+//     ArrivalProcess — NewPoissonArrivals, bursty NewOnOffArrivals, or
+//     NewReplayArrivals replaying a DriftingStream with its labels intact —
+//     and reporting p50/p99/p999 transit latency, queue depths and drops.
+//     Control-plane pushes compose with it: wire WithOnPush to
+//     Simulator.Push and a retrain's weight write becomes a simulated
+//     per-shard service stall, so "does a push under 80% load cost latency
+//     or drops?" is one experiment. MaxSustainableLoad binary-searches the
+//     drop-bounded capacity of a deployment under any arrival shape.
+//
 //   - Both constructors take functional options: WithGrid, WithFlowTable,
 //     WithThreshold, WithDropOnAnomaly, and (pipelines only) WithShards.
 //     Failures surface sentinel errors — ErrNoModel, ErrBadFeatureWidth,
@@ -75,6 +89,7 @@ import (
 	"taurus/internal/mapreduce"
 	"taurus/internal/ml"
 	"taurus/internal/model"
+	"taurus/internal/netqueue"
 	"taurus/internal/pipeline"
 	"taurus/internal/pisa"
 	"taurus/internal/tensor"
@@ -360,6 +375,25 @@ func WithRetrainInterval(d time.Duration) ControllerOption {
 	return func(o *controllerOptions) { o.cp.RetrainInterval = d }
 }
 
+// WithSourceDeadline bounds how long a Fleet retrain waits on any one
+// member's label source: a member whose source has not returned after d is
+// skipped for that retrain (its FleetMemberStats.SourceTimeouts increments)
+// and its pool share is re-drawn from the members that answered, so one
+// stalled source cannot stall or starve the shared loop. Default: wait
+// indefinitely. Fleet pooling only.
+func WithSourceDeadline(d time.Duration) ControllerOption {
+	return func(o *controllerOptions) { o.cp.SourceDeadline = d }
+}
+
+// WithOnPush invokes fn after every successful weight push (a Controller's
+// RetrainNow or a Fleet's fan-out). Wire it to Simulator.Push and every
+// control-plane retrain becomes a simulated per-shard service stall — the
+// push-under-load experiment. fn runs on the retrain path with no
+// controller locks held and must not call back into the controller.
+func WithOnPush(fn func()) ControllerOption {
+	return func(o *controllerOptions) { o.cp.OnPush = fn }
+}
+
 // WithRetrainRecords sets how many labelled records each retrain collects
 // (default 2048).
 func WithRetrainRecords(n int) ControllerOption {
@@ -442,6 +476,101 @@ func NewFleet(m Deployable, inQ Quantizer, opts ...ControllerOption) (*Fleet, er
 		return nil, fmt.Errorf("%w: WithRetrainEpochs/WithControllerSeed configure the Deployable NewDNNController builds; a caller-supplied Deployable carries its own training policy", ErrBadConfig)
 	}
 	return controlplane.NewFleet(m, inQ, o.cp)
+}
+
+// The queueing plane: continuous-time simulation of a deployed traffic
+// plane under an arrival process — the composition of the throughput story
+// (per-shard service at II ns per packet) with the drift story (retrain
+// pushes as simulated stalls).
+type (
+	// Simulator is the discrete-event queueing simulator: flow-hashed
+	// arrivals into per-shard finite FIFO queues served at the deployed
+	// model's measured occupancy. Drive it with RunPackets/Drain, inject
+	// weight pushes with Push, and read p50/p99/p999 transit latency,
+	// queue depths and drops from Stats.
+	Simulator = netqueue.Simulator
+	// SimResult is one measurement interval's metrics.
+	SimResult = netqueue.Result
+	// ArrivalProcess generates the simulator's packet arrivals.
+	ArrivalProcess = netqueue.ArrivalProcess
+	// SimPacket is one simulated arrival (flow hash plus ground-truth
+	// label when replayed from a labelled stream).
+	SimPacket = netqueue.Packet
+	// OnOffArrivalConfig parameterises the bursty on/off arrival process.
+	OnOffArrivalConfig = netqueue.OnOffConfig
+	// ServiceModel is a pipeline's per-shard service-time model
+	// (Pipeline.ServiceModel), the hook the simulator runs on.
+	ServiceModel = pipeline.ServiceModel
+)
+
+// Arrival-process constructors.
+var (
+	// NewPoissonArrivals builds memoryless arrivals at a fixed rate.
+	NewPoissonArrivals = netqueue.NewPoisson
+	// NewOnOffArrivals builds a two-state bursty MMPP source.
+	NewOnOffArrivals = netqueue.NewOnOff
+	// NewReplayArrivals replays a DriftingStream — labels intact — with
+	// Poisson timing at a configured rate.
+	NewReplayArrivals = netqueue.NewReplay
+)
+
+// SimOption configures NewSimulator and MaxSustainableLoad.
+type SimOption func(*netqueue.Config)
+
+// WithQueueCapacity sets each shard's waiting-room capacity in packets
+// (default 512); arrivals that find the queue full are dropped.
+func WithQueueCapacity(n int) SimOption {
+	return func(c *netqueue.Config) { c.QueueCap = n }
+}
+
+// WithPushStall sets how long a weight push pauses each shard's service
+// (default 10µs) — the out-of-band weight-write window. WithPushStall(0)
+// makes pushes free.
+func WithPushStall(d time.Duration) SimOption {
+	return func(c *netqueue.Config) { c.PushStallNs = float64(d.Nanoseconds()) }
+}
+
+// simConfig derives the simulator configuration from a deployed pipeline.
+func simConfig(p *Pipeline, opts []SimOption) (netqueue.Config, error) {
+	if p == nil {
+		return netqueue.Config{}, fmt.Errorf("%w: nil pipeline", ErrBadConfig)
+	}
+	svc := p.ServiceModel()
+	if svc.MLServiceNs <= 0 {
+		return netqueue.Config{}, fmt.Errorf("%w: pipeline has no deployed model; LoadModel before simulating", ErrNoModel)
+	}
+	// Seed the conventional push cost; WithPushStall (including an explicit
+	// 0 for free pushes) overrides it.
+	cfg := netqueue.Config{Service: svc, PushStallNs: netqueue.DefaultPushStallNs}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return cfg, nil
+}
+
+// NewSimulator builds the continuous-time queueing simulator over p's
+// measured service model (a model must be deployed with LoadModel first),
+// fed by arr. The simulated timeline is continuous across RunPackets
+// calls; pair Stats with ResetStats for windowed measurements, and wire a
+// controller's WithOnPush to Push to make retrain pushes simulated events.
+func NewSimulator(p *Pipeline, arr ArrivalProcess, opts ...SimOption) (*Simulator, error) {
+	cfg, err := simConfig(p, opts)
+	if err != nil {
+		return nil, err
+	}
+	return netqueue.New(cfg, arr)
+}
+
+// MaxSustainableLoad binary-searches the highest offered rate (packets/sec)
+// p's deployment sustains with a drop fraction at most maxDropFrac, under
+// the arrival shape mk builds per probed rate — the shard-count-sizing
+// question ("how many shards for this SLO?") answered by simulation.
+func MaxSustainableLoad(p *Pipeline, mk func(pps float64) (ArrivalProcess, error), packets int, maxDropFrac float64, opts ...SimOption) (float64, error) {
+	cfg, err := simConfig(p, opts)
+	if err != nil {
+		return 0, err
+	}
+	return netqueue.MaxSustainablePPS(cfg, mk, packets, maxDropFrac)
 }
 
 // Machine-learning models (§5.1.2) and quantisation (Table 3).

@@ -285,3 +285,109 @@ func TestFleetFacade(t *testing.T) {
 		}
 	}
 }
+
+// TestSimulatorFacade deploys a model, runs the continuous-time queueing
+// simulator over the pipeline's service model through the public surface,
+// and wires a controller's WithOnPush to Simulator.Push so a retrain's
+// weight write becomes a simulated service stall.
+func TestSimulatorFacade(t *testing.T) {
+	stream, err := NewDriftingStream(DefaultDriftConfig(), 9, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	X, y := SplitRecords(stream.Labelled(800))
+	net := NewDNN([]int{6, 12, 6, 3, 1}, ReLU, Sigmoid, rng)
+	NewTrainer(net, SGDConfig{LearningRate: 0.05, Momentum: 0.9, BatchSize: 32, Epochs: 5}, rng).Fit(X, y)
+	q, err := QuantizeDNN(net, X[:200])
+	if err != nil {
+		t.Fatal(err)
+	}
+	program, err := LowerDNN(q, "sim-dnn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := NewPipeline(6, WithShards(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pl.Close()
+
+	// Simulating before deployment is ErrNoModel: there is no service model.
+	idle, err := NewPoissonArrivals(1e6, 64, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewSimulator(pl, idle); !errors.Is(err, ErrNoModel) {
+		t.Errorf("undeployed pipeline: %v, want ErrNoModel", err)
+	}
+	if _, err := NewSimulator(nil, idle); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("nil pipeline: %v, want ErrBadConfig", err)
+	}
+
+	if err := pl.LoadModel(program, q.InputQ, CompileOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	svc := pl.ServiceModel()
+	if svc.NominalPPS() <= 0 {
+		t.Fatalf("deployed pipeline has no capacity: %+v", svc)
+	}
+
+	arr, err := NewPoissonArrivals(0.8*svc.NominalPPS(), 128, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := NewSimulator(pl, arr,
+		WithQueueCapacity(256),
+		WithPushStall(20*time.Microsecond),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctrl, err := NewDNNController(pl, net, q.InputQ, stream.Labelled,
+		WithRetrainRecords(400),
+		WithRetrainEpochs(1),
+		WithControllerSeed(9),
+		WithOnPush(sim.Push),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctrl.Close()
+
+	sim.RunPackets(50_000)
+	before := sim.Stats()
+	if before.Pushes != 0 || before.Drops != 0 {
+		t.Fatalf("steady state not clean before the push: %+v", before)
+	}
+	sim.ResetStats()
+
+	// The retrain's weight push must stall the simulated shards.
+	if err := ctrl.RetrainNow(); err != nil {
+		t.Fatal(err)
+	}
+	sim.RunPackets(50_000)
+	sim.Drain()
+	after := sim.Stats()
+	if after.Pushes != 1 {
+		t.Errorf("simulator saw %d pushes after one retrain, want 1", after.Pushes)
+	}
+	if after.Drops == 0 {
+		t.Error("a 20µs stall at 80% load over a 256-slot queue should drop packets")
+	}
+	if after.MaxNs < before.MaxNs {
+		t.Errorf("push window max latency %.0f ns below steady max %.0f ns", after.MaxNs, before.MaxNs)
+	}
+
+	// The sizing helper answers through the same surface.
+	max, err := MaxSustainableLoad(pl, func(pps float64) (ArrivalProcess, error) {
+		return NewPoissonArrivals(pps, 128, 9)
+	}, 30_000, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if max <= 0 || max > 1.25*svc.NominalPPS() {
+		t.Errorf("sustainable load %.3g pps out of range (nominal %.3g)", max, svc.NominalPPS())
+	}
+}
