@@ -18,8 +18,12 @@ bench:
 # and running so it can't silently rot. The end-to-end control-loop smoke
 # moved to bench-json, which runs the drift and fleet experiments anyway —
 # CI runs both targets, so duplicating them here would double the slow part.
+# The distfit experiment runs here in rendered-table form: it is the one
+# experiment whose wall-clock depends on scheduling (task deadlines,
+# stragglers), so smoking it on every run keeps the timing honest.
 bench-smoke:
 	$(GO) test -run xxx -bench=. -benchtime=1x ./...
+	$(GO) run ./cmd/taurus-bench -exp distfit
 
 # Machine-readable benchmark rows — the perf-trajectory artifacts CI uploads
 # on every run, so regressions show up as a diffable series over time. Also
@@ -29,6 +33,7 @@ bench-json:
 	$(GO) run ./cmd/taurus-bench -exp throughput -json > BENCH_throughput.json
 	$(GO) run ./cmd/taurus-bench -exp fleet -model svm -json > BENCH_fleet.json
 	$(GO) run ./cmd/taurus-bench -exp latency -json > BENCH_latency.json
+	$(GO) run ./cmd/taurus-bench -exp distfit -json > BENCH_distfit.json
 
 check:
 	@fmtout=$$(gofmt -l .); \

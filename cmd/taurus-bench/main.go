@@ -8,14 +8,16 @@
 //	taurus-bench -exp drift -model svm # close the loop over the SVM
 //	taurus-bench -exp fleet          # one control plane driving 3 switches
 //	taurus-bench -exp latency        # continuous-time queueing: tails, drops, push-under-load
+//	taurus-bench -exp distfit        # distributed retrain: scaling + fault-injected drift recovery
 //	taurus-bench -exp drift -json    # machine-readable rows (CI artifacts)
 //
 // Experiments: table1 table2 table3 table4 table5 table6 table7 table8
-// fig9 fig10 fig11 fig13 fig14 mats throughput latency drift fleet. The
-// drift and fleet experiments take -model dnn|svm|iot to pick the
-// retrained model family. -json (drift, throughput, latency and fleet
-// only) replaces the rendered table with the experiment's data rows as
-// JSON, for the benchmark artifacts CI accumulates.
+// fig9 fig10 fig11 fig13 fig14 mats throughput latency drift fleet
+// distfit. The drift and fleet experiments take -model dnn|svm|iot to
+// pick the retrained model family. -json (drift, throughput, latency,
+// fleet and distfit only) replaces the rendered table with the
+// experiment's data rows as JSON, for the benchmark artifacts CI
+// accumulates.
 package main
 
 import (
@@ -29,11 +31,11 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (all, table1..table8, fig9..fig14, mats, throughput, latency, drift, fleet)")
+	exp := flag.String("exp", "all", "experiment to run (all, table1..table8, fig9..fig14, mats, throughput, latency, drift, fleet, distfit)")
 	packets := flag.Int("packets", 400_000, "packets for the Table 8 simulation")
 	seed := flag.Int64("seed", 1, "training seed")
 	driftModel := flag.String("model", "dnn", "model family for the drift and fleet experiments (dnn, svm, iot)")
-	jsonOut := flag.Bool("json", false, "emit the experiment's data rows as JSON (drift, throughput, fleet only)")
+	jsonOut := flag.Bool("json", false, "emit the experiment's data rows as JSON (drift, throughput, latency, fleet, distfit only)")
 	flag.Parse()
 
 	var err error
@@ -71,6 +73,12 @@ func runJSON(exp string, seed int64, driftModel string) error {
 			return err
 		}
 		out.Model, out.Rows = driftModel, rows
+	case "distfit":
+		res, _, err := experiments.DistFitTable(seed)
+		if err != nil {
+			return err
+		}
+		out.Rows = res
 	case "throughput":
 		models, err := experiments.TrainModels(seed)
 		if err != nil {
@@ -92,7 +100,7 @@ func runJSON(exp string, seed int64, driftModel string) error {
 		}
 		out.Rows = res
 	default:
-		return fmt.Errorf("-json supports drift, throughput, latency and fleet, not %q", exp)
+		return fmt.Errorf("-json supports drift, throughput, latency, fleet and distfit, not %q", exp)
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
@@ -212,6 +220,14 @@ func run(exp string, packets int, seed int64, driftModel string) error {
 	if want("fleet") {
 		fmt.Fprintf(os.Stderr, "running fleet control-plane experiment (%s)...\n", driftModel)
 		_, text, err := experiments.FleetTable(seed, driftModel)
+		if err != nil {
+			return err
+		}
+		emit(text)
+	}
+	if want("distfit") {
+		fmt.Fprintln(os.Stderr, "running distributed-retrain experiment...")
+		_, text, err := experiments.DistFitTable(seed)
 		if err != nil {
 			return err
 		}

@@ -45,6 +45,7 @@ import (
 
 	"taurus/internal/core"
 	"taurus/internal/dataset"
+	"taurus/internal/distfit"
 	"taurus/internal/fixed"
 	mr "taurus/internal/mapreduce"
 	"taurus/internal/model"
@@ -151,6 +152,17 @@ type Config struct {
 	// default) waits indefinitely. Fleet pooling only — a single-switch
 	// Controller has one source and nothing to fall back on.
 	SourceDeadline time.Duration
+	// DistFit, when set, routes every retrain's Fit through a
+	// coordinator/worker distributed fit (internal/distfit): the collected
+	// records are chunked, the configured workers compute model partials
+	// concurrently, and the partials merge in deterministic chunk-index
+	// order, so the pushed graph stays bit-identical to a single-process
+	// merge at the same chunk schedule even under worker loss. Requires the
+	// model to implement model.PartialFitter. The coordinator's workers are
+	// released by Close and respawned on the next retrain; the checkpoint
+	// store (defaulted once, at construction) survives that cycle, so an
+	// interrupted round resumes rather than restarts.
+	DistFit *distfit.Config
 	// OnPush, when set, is invoked after every successful weight push —
 	// RetrainNow's and the Fleet's fan-out alike. It is the hook that turns
 	// control-plane pushes into events elsewhere (the continuous-time
@@ -240,6 +252,13 @@ type Stats struct {
 	// retrain trained on — RetrainRecords for fixed sizing, the adaptive
 	// collection size otherwise.
 	LastRetrainRecords int
+	// LastRetrainWorkers is how many live distfit workers served the most
+	// recent retrain (0 when Config.DistFit is unset).
+	LastRetrainWorkers int
+	// ReissuedTasks counts distfit map tasks re-executed after a missed
+	// deadline or worker loss, cumulative across this controller's
+	// coordinator lifetimes (0 when Config.DistFit is unset).
+	ReissuedTasks int
 }
 
 // Controller is the closed-loop control plane over one data plane.
@@ -262,6 +281,16 @@ type Controller struct {
 	// exclusively.
 	trainMu sync.Mutex
 	model   model.Deployable
+
+	// Distributed fit (Config.DistFit). The coordinator's lifecycle runs
+	// under trainMu; the pointer itself is additionally guarded by mu so
+	// DistFit() can read it without blocking on a retrain. reissuedBase
+	// carries the re-issue count across coordinator respawns.
+	pf           model.PartialFitter
+	dfCfg        distfit.Config
+	coord        *distfit.Coordinator
+	lastWorkers  int
+	reissuedBase int
 
 	// Background mode.
 	runMu sync.Mutex
@@ -299,7 +328,59 @@ func New(pusher Pusher, m model.Deployable, inQ fixed.Quantizer, source LabelSou
 		kick:   make(chan struct{}, 1),
 	}
 	c.det.cfg = &c.cfg
+	if cfg.DistFit != nil {
+		pf, ok := m.(model.PartialFitter)
+		if !ok {
+			return nil, fmt.Errorf("controlplane: DistFit is set but model %q does not implement model.PartialFitter", m.Name())
+		}
+		c.pf = pf
+		c.dfCfg = *cfg.DistFit
+		if c.dfCfg.Store == nil {
+			// Pin the checkpoint store now so it survives coordinator
+			// respawns across Close — that persistence is what lets an
+			// interrupted round resume.
+			c.dfCfg.Store = distfit.NewMemStore()
+		}
+		coord, err := distfit.New(pf, c.dfCfg)
+		if err != nil {
+			return nil, err
+		}
+		c.coord = coord
+	}
 	return c, nil
+}
+
+// DistFit returns the live distributed-fit coordinator, or nil when
+// Config.DistFit is unset or the coordinator is between lifetimes (after
+// Close, before the next retrain respawns it). The handle is how a fault
+// injector reaches the worker pool (KillWorker/AddWorker).
+func (c *Controller) DistFit() *distfit.Coordinator {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.coord
+}
+
+// coordinator returns the coordinator to route this retrain through (nil =
+// plain in-process Fit), respawning it if Close tore it down. Runs under
+// trainMu.
+func (c *Controller) coordinator() (*distfit.Coordinator, error) {
+	if c.pf == nil {
+		return nil, nil
+	}
+	c.mu.Lock()
+	coord := c.coord
+	c.mu.Unlock()
+	if coord != nil {
+		return coord, nil
+	}
+	coord, err := distfit.New(c.pf, c.dfCfg)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.coord = coord
+	c.mu.Unlock()
+	return coord, nil
 }
 
 // Observe feeds a batch of data-plane decisions into the drift detector —
@@ -333,7 +414,11 @@ func (c *Controller) RetrainNow() error {
 	c.trainMu.Lock()
 	defer c.trainMu.Unlock()
 
-	n, err := fitOnFresh(c.model, c.source, &c.cfg)
+	coord, err := c.coordinator()
+	if err != nil {
+		return c.fail(err)
+	}
+	n, err := fitOnFresh(c.model, c.source, &c.cfg, coord)
 	if err != nil {
 		return c.fail(err)
 	}
@@ -351,6 +436,9 @@ func (c *Controller) RetrainNow() error {
 	c.mu.Lock()
 	c.retrains++
 	c.lastRecords = n
+	if coord != nil {
+		c.lastWorkers = coord.Stats().LiveWorkers
+	}
 	c.det.rearm()
 	c.lastErr = nil
 	c.mu.Unlock()
@@ -366,23 +454,29 @@ func (c *Controller) RetrainNow() error {
 	return nil
 }
 
-// fitOnFresh collects labelled records from pull and (re)fits m on them.
-// Without AdaptiveRetrain it is a single RetrainRecords draw. With it, the
-// collection grows chunk by chunk: after each chunk the model is refit on
-// everything collected so far, and the two-sample KS distance between the
-// model's scores on the newest chunk before and after that refit measures
-// how much the fresh data still moves the model. Collection stops when the
-// refit calms (KS at most KSThreshold) or RetrainMaxRecords is reached —
-// the control-plane-side proxy for "collect until the detector's statistic
-// falls back under threshold", which can only be confirmed on the data
-// plane after the push. Returns how many records were trained on.
-func fitOnFresh(m model.Deployable, pull LabelSource, cfg *Config) (int, error) {
+// fitOnFresh collects labelled records from pull and (re)fits m on them —
+// through the distfit coordinator when one is given (Config.DistFit),
+// in-process otherwise. Without AdaptiveRetrain it is a single
+// RetrainRecords draw. With it, the collection grows chunk by chunk: after
+// each chunk the model is refit on everything collected so far, and the
+// two-sample KS distance between the model's scores on the newest chunk
+// before and after that refit measures how much the fresh data still moves
+// the model. Collection stops when the refit calms (KS at most KSThreshold)
+// or RetrainMaxRecords is reached — the control-plane-side proxy for
+// "collect until the detector's statistic falls back under threshold",
+// which can only be confirmed on the data plane after the push. Returns how
+// many records were trained on.
+func fitOnFresh(m model.Deployable, pull LabelSource, cfg *Config, coord *distfit.Coordinator) (int, error) {
+	fit := m.Fit
+	if coord != nil {
+		fit = coord.Fit
+	}
 	if !cfg.AdaptiveRetrain {
 		recs := pull(cfg.RetrainRecords)
 		if len(recs) == 0 {
 			return 0, fmt.Errorf("controlplane: label source returned no records")
 		}
-		return len(recs), m.Fit(recs)
+		return len(recs), fit(recs)
 	}
 
 	chunk := cfg.RetrainRecords / 2
@@ -396,7 +490,7 @@ func fitOnFresh(m model.Deployable, pull LabelSource, cfg *Config) (int, error) 
 	if len(recs) == 0 {
 		return 0, fmt.Errorf("controlplane: label source returned no records")
 	}
-	if err := m.Fit(recs); err != nil {
+	if err := fit(recs); err != nil {
 		return len(recs), err
 	}
 	for len(recs) < cfg.RetrainMaxRecords {
@@ -410,7 +504,7 @@ func fitOnFresh(m model.Deployable, pull LabelSource, cfg *Config) (int, error) 
 		}
 		before := scoresOf(m, next)
 		recs = append(recs, next...)
-		if err := m.Fit(recs); err != nil {
+		if err := fit(recs); err != nil {
 			return len(recs), err
 		}
 		if ksStat(before, scoresOf(m, next)) <= cfg.KSThreshold {
@@ -476,18 +570,55 @@ func (c *Controller) run(done <-chan struct{}) {
 	}
 }
 
-// Close stops the background worker (if started) and waits for any retrain
-// in flight to finish. The controller remains usable synchronously.
+// Close stops the background worker (if started), waits for any retrain in
+// flight to finish, and releases the distfit worker pool when Config.DistFit
+// is set. The controller remains usable synchronously: the next retrain
+// respawns the coordinator, and its checkpoint store carries across, so an
+// interrupted distributed round resumes rather than restarts.
 func (c *Controller) Close() {
+	// Signal the background worker first, then abort any in-flight
+	// distributed Fit (its ErrClosed unblocks a retrain stuck waiting on
+	// workers), then join the worker — this order cannot deadlock on a
+	// wedged round.
 	c.runMu.Lock()
-	if c.done == nil {
-		c.runMu.Unlock()
-		return
-	}
-	close(c.done)
+	done := c.done
 	c.done = nil
 	c.runMu.Unlock()
-	c.wg.Wait()
+	if done != nil {
+		close(done)
+	}
+	c.mu.Lock()
+	coord := c.coord
+	c.mu.Unlock()
+	if coord != nil {
+		coord.Close()
+	}
+	if done != nil {
+		c.wg.Wait()
+	}
+	// Quiesce the retrain path and retire the coordinator — including one a
+	// racing synchronous retrain respawned after the abort above.
+	c.trainMu.Lock()
+	defer c.trainMu.Unlock()
+	c.mu.Lock()
+	cur := c.coord
+	c.coord = nil
+	c.mu.Unlock()
+	if cur != nil {
+		cur.Close()
+	}
+	base := 0
+	if cur != nil {
+		base += cur.Stats().ReissuedTasks
+	}
+	if coord != nil && coord != cur {
+		base += coord.Stats().ReissuedTasks
+	}
+	if base > 0 {
+		c.mu.Lock()
+		c.reissuedBase += base
+		c.mu.Unlock()
+	}
 }
 
 // Stats returns a snapshot of the controller's counters.
@@ -497,6 +628,11 @@ func (c *Controller) Stats() Stats {
 	st := c.det.stats()
 	st.Retrains = c.retrains
 	st.LastRetrainRecords = c.lastRecords
+	st.LastRetrainWorkers = c.lastWorkers
+	st.ReissuedTasks = c.reissuedBase
+	if c.coord != nil {
+		st.ReissuedTasks += c.coord.Stats().ReissuedTasks
+	}
 	return st
 }
 

@@ -441,7 +441,7 @@ func TestAdaptiveRetrainSizing(t *testing.T) {
 	// A model the data keeps moving: every refit shifts the scores by a full
 	// unit (KS = 1), so collection must stop only at the cap.
 	pulled = 0
-	n, err := fitOnFresh(&movingModel{}, pull, &cfg)
+	n, err := fitOnFresh(&movingModel{}, pull, &cfg, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -452,7 +452,7 @@ func TestAdaptiveRetrainSizing(t *testing.T) {
 	// A calm model (scores never move): the first verification chunk already
 	// shows KS 0, so adaptive sizing stops at the fixed budget.
 	pulled = 0
-	n, err = fitOnFresh(stubModel{}, pull, &cfg)
+	n, err = fitOnFresh(stubModel{}, pull, &cfg, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -469,7 +469,7 @@ func TestAdaptiveRetrainSizing(t *testing.T) {
 		budget -= n
 		return make([]dataset.Record, n)
 	}
-	n, err = fitOnFresh(&movingModel{}, dry, &cfg)
+	n, err = fitOnFresh(&movingModel{}, dry, &cfg, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

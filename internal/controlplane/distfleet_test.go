@@ -1,0 +1,411 @@
+package controlplane
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"taurus/internal/core"
+	"taurus/internal/dataset"
+	"taurus/internal/distfit"
+	"taurus/internal/fixed"
+	"taurus/internal/ml"
+	"taurus/internal/model"
+)
+
+// countingSource is a LabelSource that counts its invocations — the probe
+// for Deregister's never-pulled-again guarantee.
+type countingSource struct{ calls int32 }
+
+func (s *countingSource) pull(n int) []dataset.Record {
+	atomic.AddInt32(&s.calls, 1)
+	return make([]dataset.Record, n)
+}
+
+func (s *countingSource) count() int32 { return atomic.LoadInt32(&s.calls) }
+
+// TestFleetDeregister: a deregistered member's source is never pulled
+// again, it receives no further pushes, its Observe goes inert, and its
+// slot stays visible in Stats (Deregistered) without shifting other ids.
+func TestFleetDeregister(t *testing.T) {
+	fl, err := NewFleet(liveModel{}, fixed.NewQuantizer(1), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pushers := make([]*recordPusher, 3)
+	sources := make([]*countingSource, 3)
+	for i := range pushers {
+		pushers[i] = &recordPusher{}
+		sources[i] = &countingSource{}
+		if _, err := fl.Register("", pushers[i], sources[i].pull); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fl.RetrainNow(); err != nil {
+		t.Fatal(err)
+	}
+	frozenCalls := sources[1].count()
+	frozenPushes := len(pushers[1].pushed())
+	if frozenCalls == 0 || frozenPushes == 0 {
+		t.Fatal("member 1 idle before deregistration — test setup broken")
+	}
+
+	fl.Deregister(1)
+	fl.Deregister(1)  // idempotent
+	fl.Deregister(99) // out of range: no-op
+	if err := fl.RetrainNow(); err != nil {
+		t.Fatal(err)
+	}
+	if got := sources[1].count(); got != frozenCalls {
+		t.Errorf("deregistered member's source pulled again (%d calls, frozen at %d)", got, frozenCalls)
+	}
+	if got := len(pushers[1].pushed()); got != frozenPushes {
+		t.Errorf("deregistered member pushed again (%d pushes, frozen at %d)", got, frozenPushes)
+	}
+	for _, i := range []int{0, 2} {
+		if got := len(pushers[i].pushed()); got != 2 {
+			t.Errorf("live member %d has %d pushes, want 2", i, got)
+		}
+	}
+	if fl.Observe(1, []core.Decision{{}}) {
+		t.Error("Observe on a deregistered member reported drift")
+	}
+
+	st := fl.Stats()
+	if len(st.Members) != 3 {
+		t.Fatalf("Stats has %d members, want all 3 slots", len(st.Members))
+	}
+	if !st.Members[1].Deregistered || st.Members[0].Deregistered || st.Members[2].Deregistered {
+		t.Errorf("Deregistered flags = [%v %v %v], want only member 1",
+			st.Members[0].Deregistered, st.Members[1].Deregistered, st.Members[2].Deregistered)
+	}
+}
+
+// TestFleetRegisterCatchUp: a member joining after the fleet has pushed a
+// retrained graph receives that graph before Register returns; a joiner
+// whose catch-up push fails is left tombstoned, untouched by later
+// retrains.
+func TestFleetRegisterCatchUp(t *testing.T) {
+	src := func(n int) []dataset.Record { return make([]dataset.Record, n) }
+	fl, err := NewFleet(liveModel{}, fixed.NewQuantizer(1), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	founder := &recordPusher{}
+	if _, err := fl.Register("founder", founder, src); err != nil {
+		t.Fatal(err)
+	}
+
+	// Before any push there is nothing to catch up on.
+	early := &recordPusher{}
+	if _, err := fl.Register("early", early, src); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(early.pushed()); got != 0 {
+		t.Fatalf("pre-push joiner received %d graphs, want 0", got)
+	}
+
+	if err := fl.RetrainNow(); err != nil {
+		t.Fatal(err)
+	}
+	current := founder.pushed()[0]
+
+	// A late joiner is caught up with the exact graph the fleet serves.
+	late := &recordPusher{}
+	if _, err := fl.Register("late", late, src); err != nil {
+		t.Fatal(err)
+	}
+	if got := late.pushed(); len(got) != 1 || got[0] != current {
+		t.Fatalf("late joiner got %d pushes (same graph: %v), want the fleet's current graph immediately",
+			len(got), len(got) == 1 && got[0] == current)
+	}
+
+	// The next retrain treats the joiner as a full member.
+	if err := fl.RetrainNow(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(late.pushed()); got != 2 {
+		t.Fatalf("late joiner has %d pushes after the next retrain, want 2", got)
+	}
+
+	// A joiner that rejects the catch-up push cannot join: tombstoned.
+	broken := &recordPusher{failAt: 1}
+	id, err := fl.Register("broken", broken, src)
+	if err == nil {
+		t.Fatal("catch-up push failure not surfaced")
+	}
+	st := fl.Stats()
+	if !st.Members[id].Deregistered {
+		t.Error("failed joiner not tombstoned")
+	}
+	if err := fl.RetrainNow(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(broken.pushed()); got != 1 { // the failed catch-up attempt only
+		t.Errorf("tombstoned joiner has %d pushes, want 1", got)
+	}
+}
+
+// TestFleetChurnDuringTraffic is the -race regression: members register,
+// deregister, observe traffic and retrain concurrently; the invariants
+// (stable ids, no pushes to the departed) must hold throughout.
+func TestFleetChurnDuringTraffic(t *testing.T) {
+	fl, err := NewFleet(liveModel{}, fixed.NewQuantizer(1), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := func(n int) []dataset.Record { return make([]dataset.Record, n) }
+	const seed = 4
+	for i := 0; i < seed; i++ {
+		if _, err := fl.Register("", &recordPusher{}, src); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var churn sync.WaitGroup
+	var traffic sync.WaitGroup
+	stop := make(chan struct{})
+	traffic.Add(1)
+	go func() { // traffic on the founding members, until the churn is done
+		defer traffic.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for i := 0; i < seed; i++ {
+				fl.Observe(i, []core.Decision{{}, {}})
+			}
+		}
+	}()
+	churn.Add(2)
+	go func() { // churn: register and deregister beyond the founders
+		defer churn.Done()
+		for i := 0; i < 20; i++ {
+			id, err := fl.Register("", &recordPusher{}, src)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			fl.Observe(id, []core.Decision{{}})
+			fl.Deregister(id)
+		}
+	}()
+	go func() { // retrains interleaving with both
+		defer churn.Done()
+		for i := 0; i < 10; i++ {
+			if err := fl.RetrainNow(); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	churn.Wait()
+	close(stop)
+	traffic.Wait()
+
+	st := fl.Stats()
+	if len(st.Members) != seed+20 {
+		t.Fatalf("Stats has %d slots, want %d", len(st.Members), seed+20)
+	}
+	for i := seed; i < len(st.Members); i++ {
+		if !st.Members[i].Deregistered {
+			t.Fatalf("churned member %d not marked deregistered", i)
+		}
+	}
+}
+
+// distFleet builds a DNN-backed fleet with DistFit enabled.
+func distFleet(t *testing.T, members int, df distfit.Config) (*Fleet, []*recordPusher, model.Deployable, fixed.Quantizer) {
+	t.Helper()
+	gen, err := dataset.NewAnomalyGenerator(dataset.AnomalyConfig{
+		NumFeatures: 6, AnomalyFraction: 0.4, Separation: 1.2,
+	}, rand.New(rand.NewSource(61)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := model.NewDNN(ml.NewDNN([]int{6, 12, 6, 3, 1}, ml.ReLU, ml.Sigmoid,
+		rand.New(rand.NewSource(61))), model.DNNConfig{Epochs: 2, Seed: 61})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := gen.Records(1024)
+	if err := dep.Fit(warm); err != nil {
+		t.Fatal(err)
+	}
+	inQ := model.InputQuantizerFor(warm)
+	cfg := DefaultConfig()
+	cfg.RetrainRecords = 1024
+	cfg.DistFit = &df
+	fl, err := NewFleet(dep, inQ, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	source := func(n int) []dataset.Record {
+		mu.Lock()
+		defer mu.Unlock()
+		return gen.Records(n)
+	}
+	pushers := make([]*recordPusher, members)
+	for i := range pushers {
+		pushers[i] = &recordPusher{}
+		if _, err := fl.Register("", pushers[i], source); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return fl, pushers, dep, inQ
+}
+
+// TestFleetDistFitRetrain: a DistFit-routed fleet retrain survives a worker
+// kill, pushes one graph to every member, and the pushed graph agrees with
+// the model's quantised reference decisions — push parity holds through
+// the distributed merge.
+func TestFleetDistFitRetrain(t *testing.T) {
+	fl, pushers, dep, inQ := distFleet(t, 3, distfit.Config{
+		Workers: 4, ChunkSize: 256, TaskDeadline: 500 * time.Millisecond,
+	})
+	defer fl.Close()
+	coord := fl.DistFit()
+	if coord == nil {
+		t.Fatal("DistFit() = nil with Config.DistFit set")
+	}
+	if err := coord.KillWorker(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := fl.RetrainNow(); err != nil {
+		t.Fatal(err)
+	}
+	st := fl.Stats()
+	if st.LastRetrainWorkers != 3 {
+		t.Errorf("LastRetrainWorkers = %d, want 3 after killing 1 of 4", st.LastRetrainWorkers)
+	}
+	var g = pushers[0].pushed()[0]
+	for i, p := range pushers {
+		if got := p.pushed(); len(got) != 1 || got[0] != g {
+			t.Fatalf("member %d did not receive the shared graph", i)
+		}
+	}
+	// Push parity: the deployed graph must reproduce the model's reference
+	// decisions bit-for-bit, exactly as with a single-process Fit.
+	gen, err := dataset.NewAnomalyGenerator(dataset.AnomalyConfig{
+		NumFeatures: 6, AnomalyFraction: 0.4, Separation: 1.2,
+	}, rand.New(rand.NewSource(62)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range gen.Records(100) {
+		codes := inQ.QuantizeSlice(r.Features)
+		in := make([]int32, len(codes))
+		for i, c := range codes {
+			in[i] = int32(c)
+		}
+		outs, err := g.Eval(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := dep.ReferenceDecision(inQ, r.Features)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref != outs[0][0] {
+			t.Fatalf("reference %d != pushed graph %d — parity broken by distributed merge", ref, outs[0][0])
+		}
+	}
+}
+
+// TestFleetDistFitValidation: DistFit on a model without PartialFit must be
+// rejected at construction, mirroring the Controller.
+func TestFleetDistFitValidation(t *testing.T) {
+	cfg := Config{DistFit: &distfit.Config{}}
+	if _, err := NewFleet(stubModel{}, fixed.NewQuantizer(1), cfg); err == nil {
+		t.Fatal("DistFit accepted on a model without PartialFit")
+	}
+}
+
+// TestFleetDistFitCloseRespawns: Close releases the worker pool; the next
+// retrain respawns the coordinator and re-issue counts carry across
+// lifetimes.
+func TestFleetDistFitCloseRespawns(t *testing.T) {
+	fl, _, _, _ := distFleet(t, 1, distfit.Config{Workers: 2, ChunkSize: 256})
+	if err := fl.RetrainNow(); err != nil {
+		t.Fatal(err)
+	}
+	first := fl.DistFit()
+	fl.Close()
+	if fl.DistFit() != nil {
+		t.Fatal("coordinator survives Close")
+	}
+	if err := fl.RetrainNow(); err != nil {
+		t.Fatalf("retrain after Close: %v", err)
+	}
+	second := fl.DistFit()
+	if second == nil || second == first {
+		t.Fatal("coordinator not respawned for the post-Close retrain")
+	}
+	if st := fl.Stats(); st.Retrains != 2 {
+		t.Fatalf("Retrains = %d, want 2", st.Retrains)
+	}
+	fl.Close()
+}
+
+// TestControllerDistFitLifecycle mirrors the fleet checks on the
+// single-switch Controller: validation, routed retrain, worker stats,
+// Close/respawn.
+func TestControllerDistFitLifecycle(t *testing.T) {
+	src := func(n int) []dataset.Record { return make([]dataset.Record, n) }
+	cfg := DefaultConfig()
+	cfg.DistFit = &distfit.Config{Workers: 2, ChunkSize: 256}
+	if _, err := New(nopPusher{}, stubModel{}, fixed.NewQuantizer(1), src, cfg); err == nil {
+		t.Fatal("DistFit accepted on a model without PartialFit")
+	}
+
+	gen, err := dataset.NewAnomalyGenerator(dataset.AnomalyConfig{
+		NumFeatures: 6, AnomalyFraction: 0.4, Separation: 1.2,
+	}, rand.New(rand.NewSource(63)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := model.NewDNN(ml.NewDNN([]int{6, 12, 6, 3, 1}, ml.ReLU, ml.Sigmoid,
+		rand.New(rand.NewSource(63))), model.DNNConfig{Epochs: 2, Seed: 63})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := gen.Records(1024)
+	if err := dep.Fit(warm); err != nil {
+		t.Fatal(err)
+	}
+	cfg.RetrainRecords = 1024
+	var mu sync.Mutex
+	source := func(n int) []dataset.Record {
+		mu.Lock()
+		defer mu.Unlock()
+		return gen.Records(n)
+	}
+	ctrl, err := New(nopPusher{}, dep, model.InputQuantizerFor(warm), source, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctrl.DistFit() == nil {
+		t.Fatal("DistFit() = nil with Config.DistFit set")
+	}
+	if err := ctrl.RetrainNow(); err != nil {
+		t.Fatal(err)
+	}
+	if st := ctrl.Stats(); st.LastRetrainWorkers != 2 {
+		t.Errorf("LastRetrainWorkers = %d, want 2", st.LastRetrainWorkers)
+	}
+	ctrl.Close()
+	if ctrl.DistFit() != nil {
+		t.Fatal("coordinator survives Close")
+	}
+	if err := ctrl.RetrainNow(); err != nil {
+		t.Fatalf("retrain after Close: %v", err)
+	}
+	if ctrl.DistFit() == nil {
+		t.Fatal("coordinator not respawned")
+	}
+	ctrl.Close()
+}

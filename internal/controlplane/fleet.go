@@ -7,6 +7,7 @@ import (
 
 	"taurus/internal/core"
 	"taurus/internal/dataset"
+	"taurus/internal/distfit"
 	"taurus/internal/fixed"
 	mr "taurus/internal/mapreduce"
 	"taurus/internal/model"
@@ -52,10 +53,18 @@ type Fleet struct {
 	lastErr   error
 	lastGraph *mr.Graph // most recently pushed graph, for rollback
 
-	// trainMu serialises retrains; the model belongs to the retrain path
-	// exclusively.
+	// trainMu serialises retrains — and, since PR 6, membership changes:
+	// Register's catch-up push and Deregister's never-pulled-again guarantee
+	// both hold only if they cannot interleave with an in-flight retrain.
 	trainMu sync.Mutex
 	model   model.Deployable
+
+	// Distributed fit (Config.DistFit); see the Controller's twin fields.
+	pf           model.PartialFitter
+	dfCfg        distfit.Config
+	coord        *distfit.Coordinator
+	lastWorkers  int
+	reissuedBase int
 
 	// Background mode.
 	runMu sync.Mutex
@@ -88,14 +97,27 @@ type fleetMember struct {
 	// LabelSource concurrently with itself — sources are not required to
 	// be reentrant.
 	sourceInFlight bool
+
+	// gone marks a deregistered member (guarded by Fleet.mu, like the
+	// member list itself). The slot stays in the slice so member ids never
+	// shift; every retrain/push/pooling path skips it.
+	gone bool
 }
 
-// snapshot returns the member list under the fleet lock; callers then take
-// each member's own lock as needed, never nesting member locks.
+// snapshot returns the live (not deregistered) members under the fleet
+// lock; callers then take each member's own lock as needed, never nesting
+// member locks. Deregistered members are invisible to every retrain, push
+// and pooling path; only Stats walks the full slice.
 func (f *Fleet) snapshot() []*fleetMember {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	return append([]*fleetMember(nil), f.members...)
+	live := make([]*fleetMember, 0, len(f.members))
+	for _, m := range f.members {
+		if !m.gone {
+			live = append(live, m)
+		}
+	}
+	return live
 }
 
 // MemberStats reports one fleet member's control-plane activity.
@@ -116,6 +138,11 @@ type MemberStats struct {
 	// label source blocked past Config.SourceDeadline — the backpressure
 	// guard keeping one laggy source from stalling the shared loop.
 	SourceTimeouts int
+	// Deregistered reports that the member has left the fleet
+	// (Fleet.Deregister): it no longer receives pushes or contributes
+	// labels, but its slot — and its counters up to departure — remain in
+	// Stats so member ids stay stable.
+	Deregistered bool
 }
 
 // FleetStats reports the fleet's aggregate and per-member activity.
@@ -129,6 +156,12 @@ type FleetStats struct {
 	// LastPoolSize is how many labelled records were pooled into the most
 	// recent retrain.
 	LastPoolSize int
+	// LastRetrainWorkers is how many distfit workers were live after the
+	// most recent retrain (0 when Config.DistFit is unset).
+	LastRetrainWorkers int
+	// ReissuedTasks counts distfit task re-executions across all
+	// coordinator lifetimes (0 when Config.DistFit is unset).
+	ReissuedTasks int
 }
 
 // NewFleet builds a fleet controller around m — the control-plane lifecycle
@@ -150,15 +183,75 @@ func NewFleet(m model.Deployable, inQ fixed.Quantizer, cfg Config) (*Fleet, erro
 		model: m,
 		kick:  make(chan struct{}, 1),
 	}
+	if cfg.DistFit != nil {
+		pf, ok := m.(model.PartialFitter)
+		if !ok {
+			return nil, fmt.Errorf("controlplane: DistFit is set but model %q does not implement model.PartialFitter", m.Name())
+		}
+		f.pf = pf
+		f.dfCfg = *cfg.DistFit
+		if f.dfCfg.Store == nil {
+			// Pin the checkpoint store so it survives coordinator respawns
+			// across Close — the persistence that lets an interrupted
+			// round resume.
+			f.dfCfg.Store = distfit.NewMemStore()
+		}
+		coord, err := distfit.New(pf, f.dfCfg)
+		if err != nil {
+			return nil, err
+		}
+		f.coord = coord
+	}
 	return f, nil
+}
+
+// DistFit returns the live distributed-fit coordinator, or nil when
+// Config.DistFit is unset or the coordinator is between lifetimes (after
+// Close, before the next retrain respawns it). The handle is how a fault
+// injector reaches the worker pool (KillWorker/AddWorker).
+func (f *Fleet) DistFit() *distfit.Coordinator {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.coord
+}
+
+// coordinator returns the coordinator to route this retrain through (nil =
+// plain in-process Fit), respawning it if Close tore it down. Runs under
+// trainMu.
+func (f *Fleet) coordinator() (*distfit.Coordinator, error) {
+	if f.pf == nil {
+		return nil, nil
+	}
+	f.mu.Lock()
+	coord := f.coord
+	f.mu.Unlock()
+	if coord != nil {
+		return coord, nil
+	}
+	coord, err := distfit.New(f.pf, f.dfCfg)
+	if err != nil {
+		return nil, err
+	}
+	f.mu.Lock()
+	f.coord = coord
+	f.mu.Unlock()
+	return coord, nil
 }
 
 // Register adds one switch to the fleet: its data plane (anything accepting
 // weight pushes — a *pipeline.Pipeline or *core.Device) and its labelled
 // telemetry source. name is for reports; empty picks "member-N". Returns
 // the member id for Observe. Each member gets its own drift detector over
-// the fleet's shared configuration. Safe to call at any time, though
-// members registered after a push only receive weights from the next one.
+// the fleet's shared configuration.
+//
+// A member joining after the fleet has already pushed a retrained graph is
+// caught up immediately: the most recent pushed graph is pushed to the
+// joiner before Register returns, so a late joiner never serves stale
+// deployment-time weights beside retrained siblings. Register serialises
+// with retrains, so the catch-up push cannot interleave with a fleet-wide
+// push mid-flight. If the catch-up push fails, the member is left
+// deregistered (its id is still returned, tombstoned) and the error says
+// why — a switch that rejects the fleet's current model cannot join it.
 func (f *Fleet) Register(name string, p Pusher, src LabelSource) (int, error) {
 	if p == nil {
 		return 0, fmt.Errorf("controlplane: nil pusher")
@@ -166,15 +259,47 @@ func (f *Fleet) Register(name string, p Pusher, src LabelSource) (int, error) {
 	if src == nil {
 		return 0, fmt.Errorf("controlplane: nil label source")
 	}
+	f.trainMu.Lock()
+	defer f.trainMu.Unlock()
 	f.mu.Lock()
-	defer f.mu.Unlock()
 	if name == "" {
 		name = fmt.Sprintf("member-%d", len(f.members))
 	}
 	m := &fleetMember{name: name, pusher: p, source: src}
 	m.det.cfg = &f.cfg
 	f.members = append(f.members, m)
-	return len(f.members) - 1, nil
+	id := len(f.members) - 1
+	g := f.lastGraph
+	f.mu.Unlock()
+	if g != nil {
+		if err := p.UpdateWeights(g); err != nil {
+			f.mu.Lock()
+			m.gone = true
+			f.mu.Unlock()
+			return id, fmt.Errorf("controlplane: catch-up push to new fleet member %q: %w", name, err)
+		}
+	}
+	return id, nil
+}
+
+// Deregister removes a member from the fleet: its label source is never
+// pulled again, it receives no further pushes, and its traffic no longer
+// feeds drift detection (Observe on it returns false). Member ids are
+// stable — the slot is tombstoned, not removed — so other members' ids do
+// not shift, and the member's counters up to departure stay visible in
+// Stats with Deregistered set. Deregister serialises with retrains: it
+// blocks until any in-flight retrain finishes, and returns with the
+// guarantee that no future retrain touches the member. Deregistering twice,
+// or an out-of-range id, is a no-op.
+func (f *Fleet) Deregister(member int) {
+	f.trainMu.Lock()
+	defer f.trainMu.Unlock()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if member < 0 || member >= len(f.members) {
+		return
+	}
+	f.members[member].gone = true
 }
 
 // NumMembers returns how many switches are registered.
@@ -198,7 +323,13 @@ func (f *Fleet) Observe(member int, decs []core.Decision) bool {
 		panic(fmt.Sprintf("controlplane: fleet member %d out of range (have %d)", member, n))
 	}
 	m := f.members[member]
+	gone := m.gone
 	f.mu.Unlock()
+	if gone {
+		// A deregistered member's traffic no longer feeds drift detection;
+		// the id stays valid (ids are stable) but is inert.
+		return false
+	}
 	m.mu.Lock()
 	newDrift := m.det.observe(decs)
 	m.mu.Unlock()
@@ -228,7 +359,11 @@ func (f *Fleet) RetrainNow() error {
 	if err != nil {
 		return f.fail(err)
 	}
-	n, err := fitOnFresh(f.model, pull, &f.cfg)
+	coord, err := f.coordinator()
+	if err != nil {
+		return f.fail(err)
+	}
+	n, err := fitOnFresh(f.model, pull, &f.cfg, coord)
 	if err != nil {
 		return f.fail(err)
 	}
@@ -260,6 +395,9 @@ func (f *Fleet) RetrainNow() error {
 	f.lastPool = n
 	f.lastGraph = g
 	f.lastErr = nil
+	if coord != nil {
+		f.lastWorkers = coord.Stats().LiveWorkers
+	}
 	f.mu.Unlock()
 	// Drain the stale kick, exactly as the single-switch controller does:
 	// this retrain answered every pending drift signal.
@@ -497,28 +635,82 @@ func (f *Fleet) run(done <-chan struct{}) {
 	}
 }
 
-// Close stops the background worker (if started) and waits for any retrain
-// in flight to finish. The fleet remains usable synchronously, and Start
-// may be called again.
+// Close stops the background worker (if started), waits for any retrain in
+// flight to finish, and releases the distfit worker pool when
+// Config.DistFit is set. The fleet remains usable synchronously, and Start
+// may be called again; the next retrain respawns the coordinator, and its
+// checkpoint store carries across, so an interrupted distributed round
+// resumes rather than restarts.
 func (f *Fleet) Close() {
+	// Same teardown order as the single-switch Controller: signal the
+	// background worker, abort any in-flight distributed Fit (its ErrClosed
+	// unblocks a retrain stuck waiting on workers), then join the worker —
+	// this order cannot deadlock on a wedged round.
 	f.runMu.Lock()
-	if f.done == nil {
-		f.runMu.Unlock()
-		return
-	}
-	close(f.done)
+	done := f.done
 	f.done = nil
 	f.runMu.Unlock()
-	f.wg.Wait()
+	if done != nil {
+		close(done)
+	}
+	f.mu.Lock()
+	coord := f.coord
+	f.mu.Unlock()
+	if coord != nil {
+		coord.Close()
+	}
+	if done != nil {
+		f.wg.Wait()
+	}
+	// Quiesce the retrain path and retire the coordinator — including one a
+	// racing synchronous retrain respawned after the abort above.
+	f.trainMu.Lock()
+	defer f.trainMu.Unlock()
+	f.mu.Lock()
+	cur := f.coord
+	f.coord = nil
+	f.mu.Unlock()
+	if cur != nil {
+		cur.Close()
+	}
+	base := 0
+	if cur != nil {
+		base += cur.Stats().ReissuedTasks
+	}
+	if coord != nil && coord != cur {
+		base += coord.Stats().ReissuedTasks
+	}
+	if base > 0 {
+		f.mu.Lock()
+		f.reissuedBase += base
+		f.mu.Unlock()
+	}
 }
 
-// Stats returns a snapshot of the fleet's aggregate and per-member counters.
+// Stats returns a snapshot of the fleet's aggregate and per-member
+// counters. Unlike the retrain paths, Stats reports every slot ever
+// registered — deregistered members appear with Deregistered set and their
+// counters frozen at departure — so indices in Members line up with member
+// ids.
 func (f *Fleet) Stats() FleetStats {
-	members := f.snapshot()
 	f.mu.Lock()
-	st := FleetStats{Retrains: f.retrains, LastPoolSize: f.lastPool}
+	members := append([]*fleetMember(nil), f.members...)
+	gone := make([]bool, len(members))
+	for i, m := range members {
+		gone[i] = m.gone
+	}
+	st := FleetStats{
+		Retrains:           f.retrains,
+		LastPoolSize:       f.lastPool,
+		LastRetrainWorkers: f.lastWorkers,
+		ReissuedTasks:      f.reissuedBase,
+	}
+	coord := f.coord
 	f.mu.Unlock()
-	for _, m := range members {
+	if coord != nil {
+		st.ReissuedTasks += coord.Stats().ReissuedTasks
+	}
+	for i, m := range members {
 		m.mu.Lock()
 		ms := MemberStats{
 			Name:           m.name,
@@ -526,6 +718,7 @@ func (f *Fleet) Stats() FleetStats {
 			Drifted:        m.det.drifted,
 			PooledRecords:  m.pooled,
 			SourceTimeouts: m.sourceTimeouts,
+			Deregistered:   gone[i],
 		}
 		m.mu.Unlock()
 		st.Drifts += ms.Stats.Drifts

@@ -1,0 +1,139 @@
+package distfit
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"taurus/internal/dataset"
+	mr "taurus/internal/mapreduce"
+	"taurus/internal/ml"
+	"taurus/internal/model"
+)
+
+// jitterFitter delays each PartialFit by a pseudo-random few milliseconds,
+// shuffling worker completion order without touching the partials — the
+// adversarial scheduler for the bit-reproducibility property.
+type jitterFitter struct {
+	model.PartialFitter
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+func (j *jitterFitter) PartialFit(recs []dataset.Record) (model.Partial, error) {
+	j.mu.Lock()
+	d := time.Duration(j.rng.Intn(8)) * time.Millisecond
+	j.mu.Unlock()
+	time.Sleep(d)
+	return j.PartialFitter.PartialFit(recs)
+}
+
+func anomalyPool(t *testing.T, seed int64, features, n int) []dataset.Record {
+	t.Helper()
+	gen, err := dataset.NewAnomalyGenerator(dataset.AnomalyConfig{
+		NumFeatures: features, AnomalyFraction: 0.4, Separation: 1.2,
+	}, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return gen.Records(n)
+}
+
+func iotPool(t *testing.T, seed int64, n int) []dataset.Record {
+	t.Helper()
+	g, err := dataset.NewDriftingIoTGenerator(dataset.DefaultIoTDriftConfig(), rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g.Records(n)
+}
+
+// propCase builds a fresh warm PartialFitter of one family — every call
+// with the same name yields a bit-identical starting model.
+func propCase(t *testing.T, name string) (model.PartialFitter, []dataset.Record) {
+	t.Helper()
+	switch name {
+	case "dnn":
+		d, err := model.NewDNN(ml.NewDNN([]int{6, 12, 6, 3, 1}, ml.ReLU, ml.Sigmoid,
+			rand.New(rand.NewSource(7))), model.DNNConfig{Epochs: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Fit(anomalyPool(t, 101, 6, 800)); err != nil {
+			t.Fatal(err)
+		}
+		return d, anomalyPool(t, 102, 6, 1700)
+	case "svm":
+		s, err := model.NewSVM(model.SVMConfig{MaxSV: 12})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Fit(anomalyPool(t, 103, 8, 400)); err != nil {
+			t.Fatal(err)
+		}
+		return s, anomalyPool(t, 104, 8, 1700)
+	case "kmeans":
+		k, err := model.NewKMeans(model.KMeansConfig{K: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := k.Fit(iotPool(t, 105, 1000)); err != nil {
+			t.Fatal(err)
+		}
+		return k, iotPool(t, 106, 1700)
+	}
+	t.Fatalf("unknown case %q", name)
+	return nil, nil
+}
+
+// TestBitReproducibleAcrossWorkerCounts is the tentpole property: the same
+// pool distributed over 1, 2 and 8 workers — with per-run jitter shuffling
+// which worker finishes which chunk first — must merge to byte-identical
+// lowered graphs, for every model family. KMeans, the linear-merge family,
+// must additionally match the plain single-process warm Fit exactly
+// (ChunkSize 512 is its canonical Fit schedule).
+func TestBitReproducibleAcrossWorkerCounts(t *testing.T) {
+	for _, family := range []string{"dnn", "svm", "kmeans"} {
+		t.Run(family, func(t *testing.T) {
+			var ref []byte
+			for i, workers := range []int{1, 2, 8} {
+				m, pool := propCase(t, family)
+				j := &jitterFitter{PartialFitter: m, rng: rand.New(rand.NewSource(int64(1000*i + workers)))}
+				c, err := New(j, Config{Workers: workers, ChunkSize: 512})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := c.Fit(pool); err != nil {
+					t.Fatal(err)
+				}
+				c.Close()
+				g, err := m.(model.Deployable).Lower(model.InputQuantizerFor(pool))
+				if err != nil {
+					t.Fatal(err)
+				}
+				enc := mr.Encode(g)
+				if ref == nil {
+					ref = enc
+				} else if !bytes.Equal(ref, enc) {
+					t.Fatalf("%d workers merged to a different graph than 1 worker", workers)
+				}
+			}
+
+			if family == "kmeans" {
+				m, pool := propCase(t, family)
+				if err := m.(model.Deployable).Fit(pool); err != nil {
+					t.Fatal(err)
+				}
+				g, err := m.(model.Deployable).Lower(model.InputQuantizerFor(pool))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(ref, mr.Encode(g)) {
+					t.Fatal("distributed KMeans merge differs from single-process warm Fit")
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,65 @@
+package distfit
+
+import (
+	"sync"
+
+	"taurus/internal/model"
+)
+
+// Worker is one map worker: it pulls tasks from its Transport, computes the
+// model partial for each chunk, and reports the result. In-process workers
+// run as goroutines over the Coordinator's own Transport; the same loop
+// would run in a separate process behind an RPC transport.
+type Worker struct {
+	id int
+	tr Transport
+	m  model.PartialFitter
+
+	killCh   chan struct{}
+	killOnce sync.Once
+}
+
+func newWorker(id int, tr Transport, m model.PartialFitter) *Worker {
+	return &Worker{id: id, tr: tr, m: m, killCh: make(chan struct{})}
+}
+
+// ID returns the worker's id within its coordinator.
+func (w *Worker) ID() int { return w.id }
+
+// Kill marks the worker dead: it accepts no further tasks, and the
+// coordinator discards any result it was still computing — for the
+// in-process worker, the observable behaviour of a crashed worker process.
+// The chunk it was holding is recovered by the coordinator's TaskDeadline
+// re-issue. Killing twice is safe.
+func (w *Worker) Kill() {
+	w.killOnce.Do(func() { close(w.killCh) })
+}
+
+// Dead reports whether the worker has been killed.
+func (w *Worker) Dead() bool {
+	select {
+	case <-w.killCh:
+		return true
+	default:
+		return false
+	}
+}
+
+// run is the worker loop: request, compute, report, until the transport
+// shuts down or the worker is killed. A goroutine cannot be pre-empted
+// mid-compute, so a killed worker still reports its final result — the
+// coordinator discards it (and needs the report to know the model is no
+// longer being read).
+func (w *Worker) run() {
+	for {
+		t, ok := w.tr.RequestTask(w.id, w.killCh)
+		if !ok {
+			return
+		}
+		p, err := w.m.PartialFit(t.Recs)
+		w.tr.Report(w.id, t.Round, t.Chunk, p, err)
+		if w.Dead() {
+			return
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package mapreduce
+
+import (
+	"encoding/binary"
+)
+
+// Encode serialises the graph into a canonical byte form: every structural
+// and numeric field — names, node kinds, widths, wiring, operators,
+// multipliers, LUT tables, constants — in definition order, with
+// little-endian fixed-width integers. Two graphs encode equal iff they are
+// the same program with the same weights, which is what the distributed
+// retrain's parity audits compare: "bit-identical push" means byte-equal
+// Encode output. (This is an identity/fingerprint format, not a wire
+// format — there is deliberately no decoder.)
+func Encode(g *Graph) []byte {
+	var buf []byte
+	u32 := func(v uint32) {
+		buf = binary.LittleEndian.AppendUint32(buf, v)
+	}
+	i32 := func(v int32) { u32(uint32(v)) }
+	str := func(s string) {
+		u32(uint32(len(s)))
+		buf = append(buf, s...)
+	}
+	str(g.Name)
+	u32(uint32(len(g.Nodes)))
+	for _, n := range g.Nodes {
+		i32(int32(n.ID))
+		i32(int32(n.Kind))
+		i32(int32(n.Width))
+		u32(uint32(len(n.Args)))
+		for _, a := range n.Args {
+			i32(int32(a))
+		}
+		i32(int32(n.Map))
+		i32(int32(n.Unary))
+		i32(int32(n.Reduce))
+		i32(n.Mult.M0)
+		i32(int32(n.Mult.Shift))
+		if n.LUT != nil {
+			u32(1)
+			i32(n.LUT.Mult.M0)
+			i32(int32(n.LUT.Mult.Shift))
+			for _, v := range n.LUT.Table {
+				buf = append(buf, byte(v))
+			}
+		} else {
+			u32(0)
+		}
+		u32(uint32(len(n.Const)))
+		for _, v := range n.Const {
+			i32(v)
+		}
+		i32(int32(n.Start))
+		str(n.Name)
+	}
+	u32(uint32(len(g.Inputs)))
+	for _, id := range g.Inputs {
+		i32(int32(id))
+	}
+	u32(uint32(len(g.Outputs)))
+	for _, id := range g.Outputs {
+		i32(int32(id))
+	}
+	return buf
+}

@@ -72,6 +72,20 @@ func (n *DNN) KernelString() string {
 	return s
 }
 
+// Clone returns a deep copy of the network — layers, weights, biases —
+// sharing no storage with the original.
+func (n *DNN) Clone() *DNN {
+	out := &DNN{}
+	for _, l := range n.Layers {
+		out.Layers = append(out.Layers, &Dense{
+			W:   l.W.Clone(),
+			B:   l.B.Clone(),
+			Act: l.Act,
+		})
+	}
+	return out
+}
+
 // Forward runs float inference, returning the output activations.
 func (n *DNN) Forward(x tensor.Vec) tensor.Vec {
 	cur := x

@@ -109,6 +109,114 @@ func (d *DNN) Fit(recs []dataset.Record) error {
 	return nil
 }
 
+// dnnPartial is one chunk's federated update: the record-weighted weight
+// deltas of a local SGD run started from the shared network, plus the
+// chunk's share of the calibration sample.
+type dnnPartial struct {
+	records int
+	dW      []tensor.Mat // per layer: (W_local - W_base) * records
+	dB      []tensor.Vec
+	calib   []tensor.Vec
+}
+
+// Records reports the chunk size — the partial's merge weight.
+func (p *dnnPartial) Records() int { return p.records }
+
+// PartialFit runs the configured Epochs of local SGD on a clone of the
+// shared network and returns the record-weighted weight deltas (FedAvg).
+// The clone's trainer is seeded from the chunk contents, so re-executing
+// the task on any worker reproduces the partial bit-for-bit; the shared
+// network is only read, never written.
+func (d *DNN) PartialFit(chunk []dataset.Record) (Partial, error) {
+	if len(chunk) == 0 {
+		return nil, fmt.Errorf("model: DNN PartialFit needs records")
+	}
+	X, y := dataset.Split(chunk)
+	local := d.net.Clone()
+	tr := ml.NewTrainer(local, ml.SGDConfig{
+		LearningRate: d.cfg.LearningRate,
+		Momentum:     d.cfg.Momentum,
+		BatchSize:    d.cfg.BatchSize,
+		Epochs:       1,
+	}, rand.New(rand.NewSource(chunkSeed(chunk)^d.cfg.Seed)))
+	for e := 0; e < d.cfg.Epochs; e++ {
+		tr.FitEpoch(X, y)
+	}
+	w := float32(len(chunk))
+	p := &dnnPartial{records: len(chunk)}
+	for li, l := range local.Layers {
+		base := d.net.Layers[li]
+		dW := tensor.NewMat(l.W.Rows, l.W.Cols)
+		for j := range l.W.Data {
+			dW.Data[j] = (l.W.Data[j] - base.W.Data[j]) * w
+		}
+		dB := make(tensor.Vec, len(l.B))
+		for j := range l.B {
+			dB[j] = (l.B[j] - base.B[j]) * w
+		}
+		p.dW = append(p.dW, dW)
+		p.dB = append(p.dB, dB)
+	}
+	n := len(X)
+	if n > d.cfg.CalibSamples {
+		n = d.cfg.CalibSamples
+	}
+	p.calib = X[:n]
+	return p, nil
+}
+
+// Merge applies the record-weighted average of the partials' deltas to the
+// shared network — the FedAvg aggregation — and rebuilds the calibration
+// sample from the partials in the given (chunk-index) order. Every partial
+// must have been computed against the network's current weights.
+func (d *DNN) Merge(parts []Partial) error {
+	if len(parts) == 0 {
+		return fmt.Errorf("model: DNN Merge needs partials")
+	}
+	var total float32
+	for _, raw := range parts {
+		p, ok := raw.(*dnnPartial)
+		if !ok {
+			return fmt.Errorf("model: DNN Merge got foreign partial %T", raw)
+		}
+		if len(p.dW) != len(d.net.Layers) {
+			return fmt.Errorf("model: DNN Merge partial has %d layers, model has %d", len(p.dW), len(d.net.Layers))
+		}
+		total += float32(p.records)
+	}
+	if total <= 0 {
+		return fmt.Errorf("model: DNN Merge has no records")
+	}
+	var calib []tensor.Vec
+	for li, l := range d.net.Layers {
+		sumW := tensor.NewMat(l.W.Rows, l.W.Cols)
+		sumB := make(tensor.Vec, len(l.B))
+		for _, raw := range parts {
+			p := raw.(*dnnPartial)
+			for j := range sumW.Data {
+				sumW.Data[j] += p.dW[li].Data[j]
+			}
+			for j := range sumB {
+				sumB[j] += p.dB[li][j]
+			}
+		}
+		for j := range l.W.Data {
+			l.W.Data[j] += sumW.Data[j] / total
+		}
+		for j := range l.B {
+			l.B[j] += sumB[j] / total
+		}
+	}
+	for _, raw := range parts {
+		calib = append(calib, raw.(*dnnPartial).calib...)
+	}
+	if len(calib) > d.cfg.CalibSamples {
+		calib = calib[:d.cfg.CalibSamples]
+	}
+	d.calib = calib
+	return nil
+}
+
 // Lower requantises the network against the pinned input quantiser and
 // builds a fresh graph.
 func (d *DNN) Lower(inQ fixed.Quantizer) (*mr.Graph, error) {

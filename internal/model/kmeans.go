@@ -77,15 +77,46 @@ func (k *KMeans) NumFeatures() int {
 	return len(k.km.Centroids[0])
 }
 
-// Fit re-clusters recs and aligns centroids to classes: centroid i ends up
+// KMeansFitChunk is the canonical merge schedule of a warm KMeans Fit: the
+// records are partitioned into chunks of this size and folded through
+// PartialFit+Merge, so a distributed retrain at the same chunk size is
+// bit-identical to the single-process one (KMeans is the linear-merge
+// family — see the PartialFitter contract).
+const KMeansFitChunk = 512
+
+// Fit trains the nearest-centroid classifier. The first (cold) Fit
+// re-clusters recs and aligns centroids to classes: centroid i ends up
 // owning the cluster whose members are majority-labelled class i (greedy
 // one-to-one assignment by vote count; class indices >= K are ignored).
 // Restarts independent clusterings compete; the one whose aligned labels
 // best match the records wins. Unsupervised use — records all carrying the
 // same class — degenerates to an arbitrary but stable ordering.
+//
+// Warm Fits replace the clustering with the supervised centroid update:
+// each centroid moves to the mean of the fresh records labelled with its
+// class (a class with no fresh records keeps its centroid), folded through
+// PartialFit+Merge over the canonical KMeansFitChunk schedule. Labels are
+// ground truth here, so the class means are the exact Lloyd fixed point the
+// aligned clustering approximates — and the linear merge makes the warm
+// retrain bit-reproducible under distribution.
 func (k *KMeans) Fit(recs []dataset.Record) error {
 	if len(recs) == 0 {
 		return fmt.Errorf("model: KMeans Fit needs records")
+	}
+	if k.km != nil {
+		var parts []Partial
+		for start := 0; start < len(recs); start += KMeansFitChunk {
+			end := start + KMeansFitChunk
+			if end > len(recs) {
+				end = len(recs)
+			}
+			p, err := k.PartialFit(recs[start:end])
+			if err != nil {
+				return err
+			}
+			parts = append(parts, p)
+		}
+		return k.Merge(parts)
 	}
 	X := make([]tensor.Vec, len(recs))
 	for i, r := range recs {
@@ -110,6 +141,104 @@ func (k *KMeans) Fit(recs []dataset.Record) error {
 		}
 	}
 	k.km = best
+	return nil
+}
+
+// kmeansPartial is one chunk's per-class weighted centroid sums — the
+// sufficient statistic of the supervised centroid update, and the one
+// family whose merge is exactly linear.
+type kmeansPartial struct {
+	records int
+	dim     int
+	sums    [][]float64 // per class: feature-wise sum over the chunk
+	counts  []int       // per class: contributing records
+}
+
+// Records reports the chunk size.
+func (p *kmeansPartial) Records() int { return p.records }
+
+// PartialFit accumulates per-class feature sums and counts over the chunk
+// (class indices >= K are ignored, as in the cold Fit's alignment). Pure
+// arithmetic on the chunk — no randomness, no model state beyond K — so
+// re-execution is trivially bit-identical.
+func (k *KMeans) PartialFit(chunk []dataset.Record) (Partial, error) {
+	if len(chunk) == 0 {
+		return nil, fmt.Errorf("model: KMeans PartialFit needs records")
+	}
+	p := &kmeansPartial{
+		records: len(chunk),
+		dim:     len(chunk[0].Features),
+		sums:    make([][]float64, k.cfg.K),
+		counts:  make([]int, k.cfg.K),
+	}
+	for c := range p.sums {
+		p.sums[c] = make([]float64, p.dim)
+	}
+	for _, r := range chunk {
+		cl := int(r.Class)
+		if cl < 0 || cl >= k.cfg.K {
+			continue
+		}
+		if len(r.Features) != p.dim {
+			return nil, fmt.Errorf("model: KMeans PartialFit feature width %d != %d", len(r.Features), p.dim)
+		}
+		for j, v := range r.Features {
+			p.sums[cl][j] += float64(v)
+		}
+		p.counts[cl]++
+	}
+	return p, nil
+}
+
+// Merge totals the per-class sums in the given (chunk-index) order and
+// moves each centroid to its class mean. A class with no records across the
+// whole pool keeps its previous centroid; with no previous model every
+// class must be populated.
+func (k *KMeans) Merge(parts []Partial) error {
+	if len(parts) == 0 {
+		return fmt.Errorf("model: KMeans Merge needs partials")
+	}
+	first, ok := parts[0].(*kmeansPartial)
+	if !ok {
+		return fmt.Errorf("model: KMeans Merge got foreign partial %T", parts[0])
+	}
+	dim := first.dim
+	sums := make([][]float64, k.cfg.K)
+	counts := make([]int, k.cfg.K)
+	for c := range sums {
+		sums[c] = make([]float64, dim)
+	}
+	for _, raw := range parts {
+		p, ok := raw.(*kmeansPartial)
+		if !ok {
+			return fmt.Errorf("model: KMeans Merge got foreign partial %T", raw)
+		}
+		if p.dim != dim {
+			return fmt.Errorf("model: KMeans Merge feature width %d != %d", p.dim, dim)
+		}
+		for c := range sums {
+			for j := range sums[c] {
+				sums[c][j] += p.sums[c][j]
+			}
+			counts[c] += p.counts[c]
+		}
+	}
+	merged := &ml.KMeans{Centroids: make([]tensor.Vec, k.cfg.K)}
+	for c := 0; c < k.cfg.K; c++ {
+		if counts[c] == 0 {
+			if k.km == nil {
+				return fmt.Errorf("model: KMeans Merge has no records for class %d and no previous centroid", c)
+			}
+			merged.Centroids[c] = k.km.Centroids[c]
+			continue
+		}
+		v := make(tensor.Vec, dim)
+		for j := range v {
+			v[j] = float32(sums[c][j] / float64(counts[c]))
+		}
+		merged.Centroids[c] = v
+	}
+	k.km = merged
 	return nil
 }
 

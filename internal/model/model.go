@@ -40,6 +40,20 @@
 // Fit and Lower are serialised by the controller (they run under its retrain
 // lock); Score and ReferenceDecision may be called concurrently with
 // neither.
+//
+// # Distributed training
+//
+// A Deployable that also implements PartialFitter can split one Fit across
+// workers: PartialFit maps a chunk of records to an opaque Partial, Merge
+// reduces the partials back into the model. The extension carries its own
+// contract — PartialFit deterministic in the chunk contents and read-only
+// on the model, Merge order-deterministic with callers folding in
+// chunk-index order — so a coordinator (internal/distfit) can re-execute
+// lost tasks and still push a graph bit-identical to the failure-free run.
+// See PartialFitter for the full statement. All three families implement
+// it: the DNN merges federated weight deltas, the SVM cascade-merges
+// candidate support sets, KMeans merges per-class centroid sums (the one
+// exactly linear merge, which its warm Fit is defined in terms of).
 package model
 
 import (

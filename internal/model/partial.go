@@ -1,0 +1,89 @@
+package model
+
+import (
+	"math"
+
+	"taurus/internal/dataset"
+)
+
+// Partial is one chunk's contribution to a distributed Fit: the model
+// statistic a single worker computes from its slice of the pooled labelled
+// records. Partials are opaque to the coordinator — only the PartialFitter
+// that produced them knows how to merge them.
+type Partial interface {
+	// Records reports how many labelled records produced this partial — the
+	// merge weight for families that average.
+	Records() int
+}
+
+// PartialFitter is the optional distributed-training extension of a
+// Deployable: a model that can split one Fit into per-chunk map tasks
+// (PartialFit) and a single reduce (Merge), the shape internal/distfit's
+// coordinator/worker retrain is built on. Implementers owe three properties
+// beyond the signatures:
+//
+// Determinism. PartialFit must be a pure function of the model's current
+// state and the chunk's contents: any randomness must be seeded from the
+// chunk contents (see chunkSeed), never from worker identity, wall clock or
+// a shared rng. Two workers handed the same chunk must produce bit-identical
+// partials — that is what makes task re-execution after a worker loss
+// invisible in the merged model.
+//
+// Read-only concurrency. PartialFit must not mutate the Deployable: the
+// coordinator calls it from N workers concurrently over disjoint chunks.
+// Merge is the only mutator; the coordinator calls it once per round,
+// serialised, after every in-flight PartialFit has returned.
+//
+// Order. Merge must be deterministic in the order partials are given, and
+// callers must present them in chunk-index order. Merge folds float state,
+// so reordering would move rounding; with the order pinned, the merged model
+// — and the graph Lower builds from it — is bit-identical across worker
+// counts, schedules and failures for a fixed chunk partition. Changing the
+// chunk size changes that partition (the "merge schedule") and may move the
+// low bits; determinism is always relative to a schedule.
+//
+// Only KMeans's merge is linear in the chunk statistics (per-class weighted
+// sums and counts), which is why its warm Fit is itself defined as
+// PartialFit+Merge over the canonical KMeansFitChunk schedule — a
+// distributed KMeans retrain at that chunk size is bit-identical to the
+// single-process one. The DNN merges federated weight deltas (local SGD per
+// chunk, record-weighted average) and the SVM merges cascade-style candidate
+// support sets (chunk-local SMO, pooled refit): both deterministic under the
+// contract, neither equal to the sequential Fit.
+type PartialFitter interface {
+	Deployable
+
+	// PartialFit computes this chunk's model partial without mutating the
+	// model. Safe for concurrent use over disjoint chunks.
+	PartialFit(chunk []dataset.Record) (Partial, error)
+
+	// Merge folds partials — in the caller-supplied order, which must be
+	// chunk-index order — into the model, completing the distributed Fit.
+	Merge(parts []Partial) error
+}
+
+// chunkSeed derives a deterministic rng seed from a chunk's contents
+// (FNV-1a over the feature bits and labels), so a re-executed task trains
+// identically no matter which worker runs it.
+func chunkSeed(recs []dataset.Record) int64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime
+			v >>= 8
+		}
+	}
+	mix(uint64(len(recs)))
+	for _, r := range recs {
+		mix(uint64(int64(r.Class)))
+		for _, f := range r.Features {
+			mix(uint64(math.Float32bits(f)))
+		}
+	}
+	return int64(h)
+}

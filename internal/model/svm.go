@@ -109,6 +109,102 @@ func (s *SVM) Fit(recs []dataset.Record) error {
 	return nil
 }
 
+// svmPartial is one chunk's candidate support set: the support vectors a
+// chunk-local SMO solve selected, labelled by their coefficient signs — the
+// cascade-SVM map step.
+type svmPartial struct {
+	records int
+	vecs    []tensor.Vec
+	labels  []int // ±1
+}
+
+// Records reports the chunk size.
+func (p *svmPartial) Records() int { return p.records }
+
+// PartialFit solves SMO on the chunk alone — with an rng seeded from the
+// chunk contents, so re-execution reproduces the partial bit-for-bit and
+// the model's own rng stays untouched — and returns the chunk's support
+// vectors as merge candidates. A degenerate chunk SMO cannot solve (e.g.
+// one class only) falls back to a bounded prefix of the raw chunk, keeping
+// the round alive deterministically.
+func (s *SVM) PartialFit(chunk []dataset.Record) (Partial, error) {
+	if len(chunk) == 0 {
+		return nil, fmt.Errorf("model: SVM PartialFit needs records")
+	}
+	X, y := dataset.SplitPM(chunk)
+	p := &svmPartial{records: len(chunk)}
+	rng := rand.New(rand.NewSource(chunkSeed(chunk) ^ s.cfg.Seed))
+	svm, err := ml.TrainSVM(X, y, s.cfg.Train, rng)
+	if err == nil {
+		for i, sv := range svm.SupportVecs {
+			if svm.Coeffs[i] == 0 {
+				continue
+			}
+			p.vecs = append(p.vecs, sv)
+			if svm.Coeffs[i] > 0 {
+				p.labels = append(p.labels, 1)
+			} else {
+				p.labels = append(p.labels, -1)
+			}
+		}
+	}
+	if len(p.vecs) == 0 {
+		n := 2 * s.cfg.MaxSV
+		if n > len(X) {
+			n = len(X)
+		}
+		p.vecs, p.labels = X[:n], y[:n]
+	}
+	return p, nil
+}
+
+// Merge pools the candidate support sets in the given (chunk-index) order,
+// appends the previous deployment's reduced basis exactly as Fit's warm
+// start does, and re-solves SMO on the pooled candidates — the cascade-SVM
+// reduce step. Like Fit, it advances the model's own rng, so the result is
+// deterministic given the model's state and the partial order.
+func (s *SVM) Merge(parts []Partial) error {
+	if len(parts) == 0 {
+		return fmt.Errorf("model: SVM Merge needs partials")
+	}
+	var X []tensor.Vec
+	var y []int
+	for _, raw := range parts {
+		p, ok := raw.(*svmPartial)
+		if !ok {
+			return fmt.Errorf("model: SVM Merge got foreign partial %T", raw)
+		}
+		X = append(X, p.vecs...)
+		y = append(y, p.labels...)
+	}
+	if len(X) == 0 {
+		return fmt.Errorf("model: SVM Merge has no candidate vectors")
+	}
+	if s.svm != nil {
+		warm, err := s.svm.ReduceSet(s.lastX, s.lastY, s.cfg.MaxSV, s.rng)
+		if err != nil {
+			return err
+		}
+		for i, sv := range warm.SupportVecs {
+			if warm.Coeffs[i] == 0 {
+				continue
+			}
+			X = append(X, sv)
+			if warm.Coeffs[i] > 0 {
+				y = append(y, 1)
+			} else {
+				y = append(y, -1)
+			}
+		}
+	}
+	svm, err := ml.TrainSVM(X, y, s.cfg.Train, s.rng)
+	if err != nil {
+		return err
+	}
+	s.svm, s.lastX, s.lastY = svm, X, y
+	return nil
+}
+
 // deploySnapshot reduces the current model to MaxSV support vectors
 // (clustered basis, coefficients refit on the last Fit's data) and pads it
 // up to exactly MaxSV with zero-coefficient vectors, so every deployment

@@ -38,8 +38,15 @@
 //     registered switches, each with its own drift detector and traffic
 //     mix. Drift on any member pools labels from the drifted members
 //     (weighted by traffic share), retrains the one shared model and pushes
-//     the lowered graph to every switch atomically. NewDriftingStreams
-//     builds the matching per-member workloads.
+//     the lowered graph to every switch atomically. Membership churns
+//     live: Deregister retires a switch, and a late Register catches the
+//     joiner up with the current graph. NewDriftingStreams builds the
+//     matching per-member workloads. When one goroutine's Fit becomes the
+//     scaling wall, WithDistFit shards the retrain coordinator/worker
+//     style (fixed chunk schedule, deadline re-issue, checkpointed rounds)
+//     while keeping the pushed graph bit-identical to the single-process
+//     merge — every Deployable family implements the PartialFitter
+//     contract it needs.
 //
 //   - NewSimulator asks the production question the batch plane cannot:
 //     what latency and loss do packets see when arrivals are a process in
@@ -84,6 +91,7 @@ import (
 	"taurus/internal/controlplane"
 	"taurus/internal/core"
 	"taurus/internal/dataset"
+	"taurus/internal/distfit"
 	"taurus/internal/fixed"
 	"taurus/internal/lower"
 	"taurus/internal/mapreduce"
@@ -269,7 +277,38 @@ type (
 	// KMeansDeployableConfig configures NewKMeansDeployable (cluster count,
 	// Lloyd iterations).
 	KMeansDeployableConfig = model.KMeansConfig
+
+	// PartialFitter is the optional Deployable extension distributed
+	// retraining requires: PartialFit computes a deterministic model
+	// partial from one chunk of records, Merge folds partials in
+	// chunk-index order. All three Deployable families implement it.
+	PartialFitter = model.PartialFitter
+	// Partial is one chunk's contribution to a distributed retrain.
+	Partial = model.Partial
+	// DistFitConfig parameterises distributed retraining (WithDistFit):
+	// worker count, chunk size (the merge schedule), task deadline,
+	// checkpoint store.
+	DistFitConfig = distfit.Config
+	// DistFitCoordinator is the coordinator/worker retrain engine. Reach a
+	// controller's live coordinator with Controller.DistFit or
+	// Fleet.DistFit — the handle for fault injection (KillWorker,
+	// AddWorker) and DistFitStats.
+	DistFitCoordinator = distfit.Coordinator
+	// DistFitStats reports a coordinator's activity: live workers,
+	// completed and re-issued tasks, duplicate and dropped reports,
+	// checkpoint-resumed chunks.
+	DistFitStats = distfit.Stats
+	// DistFitStore checkpoints a round's merged-so-far state; hand one
+	// store to successive coordinators to resume interrupted rounds.
+	DistFitStore = distfit.Store
 )
+
+// NewDistFitMemStore builds the in-memory checkpoint store — the Store to
+// share across coordinator lifetimes when resuming matters.
+var NewDistFitMemStore = distfit.NewMemStore
+
+// ErrDistFitClosed is returned by a coordinator's Fit after Close.
+var ErrDistFitClosed = distfit.ErrClosed
 
 // Drift statistics for WithDriftStatistic.
 const (
@@ -383,6 +422,17 @@ func WithRetrainInterval(d time.Duration) ControllerOption {
 // indefinitely. Fleet pooling only.
 func WithSourceDeadline(d time.Duration) ControllerOption {
 	return func(o *controllerOptions) { o.cp.SourceDeadline = d }
+}
+
+// WithDistFit routes every retrain's Fit through the coordinator/worker
+// distributed fit: collected records are chunked, cfg.Workers compute
+// model partials concurrently, and the partials merge in deterministic
+// chunk-index order, so the pushed graph stays bit-identical to a
+// single-process merge over the same schedule — across worker counts,
+// completion orders, stragglers and worker crashes. Requires the
+// Deployable to implement PartialFitter (all three families do).
+func WithDistFit(cfg DistFitConfig) ControllerOption {
+	return func(o *controllerOptions) { o.cp.DistFit = &cfg }
 }
 
 // WithOnPush invokes fn after every successful weight push (a Controller's
