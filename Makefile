@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench bench-smoke bench-json check fmt
+.PHONY: build test bench bench-smoke bench-json check lint fmt
 
 build:
 	$(GO) build ./...
@@ -41,6 +41,11 @@ check:
 		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; \
 	fi
 	$(GO) vet ./...
+
+# Repo-local vet passes. clonecheck enforces the clone-before-push contract
+# on every UpdateWeights/LoadModel call site (see internal/lint/clonecheck).
+lint: check
+	$(GO) run ./cmd/clonecheck .
 
 fmt:
 	gofmt -w .

@@ -1,0 +1,37 @@
+// Command clonecheck runs the repo's clone-before-push vet pass
+// (internal/lint/clonecheck) over one or more directory trees and prints
+// every violation. Exit status 1 when any violation is found.
+//
+// Usage:
+//
+//	clonecheck [dir ...]   (default ".")
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"taurus/internal/lint/clonecheck"
+)
+
+func main() {
+	roots := os.Args[1:]
+	if len(roots) == 0 {
+		roots = []string{"."}
+	}
+	bad := false
+	for _, root := range roots {
+		diags, err := clonecheck.CheckDir(root)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "clonecheck:", err)
+			os.Exit(2)
+		}
+		for _, d := range diags {
+			bad = true
+			fmt.Println(d)
+		}
+	}
+	if bad {
+		os.Exit(1)
+	}
+}

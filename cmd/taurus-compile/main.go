@@ -2,9 +2,13 @@
 // MapReduce, places it on the CGRA grid, and prints the compilation report:
 // units used, latency, initiation interval, area and power.
 //
+// With -check it instead runs the static verifier (internal/graphcheck) and
+// prints the full analysis report — value ranges, resource census, dead
+// nodes, II estimate — exiting non-zero if the graph is rejected.
+//
 // Usage:
 //
-//	taurus-compile -model dnn|svm|kmeans|lstm [-maxcus N] [-seed N]
+//	taurus-compile -model dnn|svm|kmeans|lstm [-maxcus N] [-seed N] [-check]
 package main
 
 import (
@@ -15,6 +19,7 @@ import (
 	"taurus/internal/cgra"
 	"taurus/internal/compiler"
 	"taurus/internal/experiments"
+	"taurus/internal/graphcheck"
 	mr "taurus/internal/mapreduce"
 )
 
@@ -22,15 +27,16 @@ func main() {
 	model := flag.String("model", "dnn", "model to compile: dnn, svm, kmeans, lstm")
 	maxCUs := flag.Int("maxcus", 0, "cap on compute units (0 = whole grid); forces unit sharing")
 	seed := flag.Int64("seed", 1, "training seed")
+	check := flag.Bool("check", false, "run the static verifier and print its report instead of compiling")
 	flag.Parse()
 
-	if err := run(*model, *maxCUs, *seed); err != nil {
+	if err := run(*model, *maxCUs, *seed, *check); err != nil {
 		fmt.Fprintln(os.Stderr, "taurus-compile:", err)
 		os.Exit(1)
 	}
 }
 
-func run(model string, maxCUs int, seed int64) error {
+func run(model string, maxCUs int, seed int64, check bool) error {
 	fmt.Fprintln(os.Stderr, "training models...")
 	m, err := experiments.TrainModels(seed)
 	if err != nil {
@@ -48,6 +54,15 @@ func run(model string, maxCUs int, seed int64) error {
 		g = m.LSTMGraph
 	default:
 		return fmt.Errorf("unknown model %q", model)
+	}
+
+	if check {
+		rep := graphcheck.Verify(g)
+		fmt.Print(rep)
+		if !rep.OK() {
+			os.Exit(1)
+		}
+		return nil
 	}
 
 	res, err := compiler.Compile(g, compiler.Options{MaxCUs: maxCUs})

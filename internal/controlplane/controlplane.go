@@ -47,6 +47,7 @@ import (
 	"taurus/internal/dataset"
 	"taurus/internal/distfit"
 	"taurus/internal/fixed"
+	"taurus/internal/graphcheck"
 	mr "taurus/internal/mapreduce"
 	"taurus/internal/model"
 )
@@ -278,9 +279,11 @@ type Controller struct {
 	lastErr     error
 
 	// trainMu serialises retrains; the model belongs to the retrain path
-	// exclusively.
-	trainMu sync.Mutex
-	model   model.Deployable
+	// exclusively. lastGraph is the most recently pushed lowering — the
+	// structural baseline every later push must stay compatible with.
+	trainMu   sync.Mutex
+	model     model.Deployable
+	lastGraph *mr.Graph
 
 	// Distributed fit (Config.DistFit). The coordinator's lifecycle runs
 	// under trainMu; the pointer itself is additionally guarded by mu so
@@ -426,9 +429,22 @@ func (c *Controller) RetrainNow() error {
 	if err != nil {
 		return c.fail(err)
 	}
+	// Static gate before the data plane sees the graph: a lowering whose
+	// fixed-point ranges can saturate, or that changed structure since the
+	// last push, is refused here — the push never starts, so no rollback
+	// machinery is ever needed for it.
+	if err := graphcheck.Check(g); err != nil {
+		return c.fail(err)
+	}
+	if c.lastGraph != nil {
+		if err := graphcheck.Compatible(c.lastGraph, g); err != nil {
+			return c.fail(err)
+		}
+	}
 	if err := c.pusher.UpdateWeights(g); err != nil {
 		return c.fail(err)
 	}
+	c.lastGraph = g
 	if c.cfg.OnPush != nil {
 		c.cfg.OnPush()
 	}

@@ -532,13 +532,28 @@ type nopPusher struct{}
 
 func (nopPusher) UpdateWeights(*mr.Graph) error { return nil }
 
-// stubModel is a minimal Deployable for detector-only tests.
+// stubModel is a minimal Deployable for detector-only tests. Lower returns
+// a fresh copy of a tiny valid graph: the push gate (graphcheck) verifies
+// every lowering, so even stubs must produce something verifiable.
 type stubModel struct{}
+
+// stubGraph builds the minimal graph that passes graphcheck: one int8
+// input reduced to one output lane. Each call returns a distinct pointer
+// with identical structure, so repeated pushes stay Compatible.
+func stubGraph() *mr.Graph {
+	b := mr.NewBuilder("stub")
+	b.Output(b.Reduce(mr.RAdd, b.Input("x", 4)))
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
 
 func (stubModel) Name() string                             { return "stub" }
 func (stubModel) NumFeatures() int                         { return 1 }
 func (stubModel) Fit([]dataset.Record) error               { return nil }
-func (stubModel) Lower(fixed.Quantizer) (*mr.Graph, error) { return nil, nil }
+func (stubModel) Lower(fixed.Quantizer) (*mr.Graph, error) { return stubGraph(), nil }
 func (stubModel) Score(tensor.Vec) float64                 { return 0 }
 func (stubModel) ReferenceDecision(fixed.Quantizer, tensor.Vec) (int32, error) {
 	return 0, nil

@@ -9,6 +9,7 @@ import (
 	"taurus/internal/dataset"
 	"taurus/internal/distfit"
 	"taurus/internal/fixed"
+	"taurus/internal/graphcheck"
 	mr "taurus/internal/mapreduce"
 	"taurus/internal/model"
 )
@@ -272,6 +273,7 @@ func (f *Fleet) Register(name string, p Pusher, src LabelSource) (int, error) {
 	g := f.lastGraph
 	f.mu.Unlock()
 	if g != nil {
+		//clonecheck:owned — catch-up push of the fleet's immutable last graph; members copy weights out
 		if err := p.UpdateWeights(g); err != nil {
 			f.mu.Lock()
 			m.gone = true
@@ -370,6 +372,21 @@ func (f *Fleet) RetrainNow() error {
 	g, err := f.model.Lower(f.inQ)
 	if err != nil {
 		return f.fail(err)
+	}
+	// Static gate before any member sees the graph: verify the lowering and
+	// prove it structurally compatible with the previous fleet-wide push, so
+	// the atomic fan-out (and its rollback path) is only ever exercised with
+	// a provably pushable graph.
+	if err := graphcheck.Check(g); err != nil {
+		return f.fail(err)
+	}
+	f.mu.Lock()
+	prev := f.lastGraph
+	f.mu.Unlock()
+	if prev != nil {
+		if err := graphcheck.Compatible(prev, g); err != nil {
+			return f.fail(err)
+		}
 	}
 	if err := f.push(g); err != nil {
 		return f.fail(err)
@@ -561,6 +578,7 @@ func (f *Fleet) push(g *mr.Graph) error {
 	prev := f.lastGraph
 	f.mu.Unlock()
 	for i, m := range members {
+		//clonecheck:owned — fan-out of the retrain's freshly lowered graph; pushers copy weights out
 		if err := m.pusher.UpdateWeights(g); err != nil {
 			if prev == nil {
 				if i > 0 {
@@ -577,7 +595,7 @@ func (f *Fleet) push(g *mr.Graph) error {
 				// prev installed on r once already; structural rejection
 				// cannot recur, and a deeper device failure would leave
 				// the original error the one worth surfacing.
-				_ = r.pusher.UpdateWeights(prev)
+				_ = r.pusher.UpdateWeights(prev) //clonecheck:owned — rollback to the immutable previous push
 			}
 			return fmt.Errorf("controlplane: push to fleet member %q: %w", m.name, err)
 		}

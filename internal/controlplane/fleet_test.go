@@ -308,11 +308,12 @@ func (p *recordPusher) pushed() []*mr.Graph {
 	return append([]*mr.Graph(nil), p.graphs...)
 }
 
-// liveModel is a stub whose Lower returns a distinct (empty) graph each
-// call, so pushes are distinguishable.
+// liveModel is a stub whose Lower returns a distinct graph each call, so
+// pushes are distinguishable by pointer while staying structurally
+// compatible across retrains (the push gate diffs consecutive lowerings).
 type liveModel struct{ stubModel }
 
-func (liveModel) Lower(fixed.Quantizer) (*mr.Graph, error) { return &mr.Graph{}, nil }
+func (liveModel) Lower(fixed.Quantizer) (*mr.Graph, error) { return stubGraph(), nil }
 
 // TestFleetPushFailureRollsBack: a member rejecting a push must not leave
 // the fleet serving a mix of models — members already updated are rolled

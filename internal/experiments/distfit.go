@@ -9,11 +9,26 @@ import (
 
 	"taurus/internal/dataset"
 	"taurus/internal/distfit"
+	"taurus/internal/graphcheck"
 	mr "taurus/internal/mapreduce"
 	"taurus/internal/ml"
 	"taurus/internal/model"
 	"taurus/internal/trafficgen"
 )
+
+// gateMergedGraph is the distfit merge-accept gate: the distributed fit's
+// merged graph is a push candidate, so it must verify statically and be
+// structurally identical to the sequential reference before byte parity is
+// even consulted.
+func gateMergedGraph(round int, gRef, gDist *mr.Graph) error {
+	if err := graphcheck.Check(gDist); err != nil {
+		return fmt.Errorf("distfit round %d: merged graph rejected: %w", round, err)
+	}
+	if err := graphcheck.Compatible(gRef, gDist); err != nil {
+		return fmt.Errorf("distfit round %d: merged graph diverged structurally: %w", round, err)
+	}
+	return nil
+}
 
 // DistFitScaleRow is one configuration of the distributed-retrain scaling
 // sweep: a fixed record pool refit over a worker count, with and without
@@ -298,6 +313,9 @@ func DistFitTable(seed int64) (*DistFitResult, string, error) {
 		}
 		gRef, err := ref.Lower(inQ)
 		if err != nil {
+			return nil, "", err
+		}
+		if err := gateMergedGraph(r, gRef, gDist); err != nil {
 			return nil, "", err
 		}
 		eval := stream.Labelled(600)

@@ -1,6 +1,12 @@
 package experiments
 
-import "testing"
+import (
+	"errors"
+	"testing"
+
+	"taurus/internal/graphcheck"
+	mr "taurus/internal/mapreduce"
+)
 
 // TestDistFitAcceptance runs the fault-injected drift-recovery loop and
 // checks the PR's acceptance bar: with the fault injector killing one of
@@ -56,5 +62,46 @@ func TestDistFitAcceptance(t *testing.T) {
 		if !row.Faults && row.ReissuedTasks != 0 {
 			t.Errorf("workers=%d: fault-free rounds re-issued %d tasks", row.Workers, row.ReissuedTasks)
 		}
+	}
+}
+
+// TestGateMergedGraphRejects exercises the distfit merge-accept gate with a
+// saturating merged graph and a structurally diverged one: both must be
+// refused with a report naming the failure before byte parity is consulted.
+func TestGateMergedGraphRejects(t *testing.T) {
+	build := func(f func(b *mr.Builder)) *mr.Graph {
+		b := mr.NewBuilder("g")
+		f(b)
+		g, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	ref := build(func(b *mr.Builder) {
+		b.Output(b.Reduce(mr.RAdd, b.Input("x", 4)))
+	})
+
+	sat := build(func(b *mr.Builder) {
+		x := b.Input("x", 4)
+		big := b.Const("big", []int32{1 << 20, 1 << 20, 1 << 20, 1 << 20})
+		y := b.Map(mr.MMul, x, big)
+		b.Output(b.Reduce(mr.RAdd, b.Map(mr.MMul, y, y)))
+	})
+	if err := gateMergedGraph(0, ref, sat); !errors.Is(err, graphcheck.ErrBadGraph) {
+		t.Fatalf("gate(saturating merge) = %v, want ErrBadGraph", err)
+	}
+
+	diverged := build(func(b *mr.Builder) {
+		b.Output(b.Reduce(mr.RAdd, b.Unary(mr.UAbs, b.Input("x", 4))))
+	})
+	if err := gateMergedGraph(0, ref, diverged); !errors.Is(err, graphcheck.ErrIncompatible) {
+		t.Fatalf("gate(diverged merge) = %v, want ErrIncompatible", err)
+	}
+
+	if err := gateMergedGraph(0, ref, build(func(b *mr.Builder) {
+		b.Output(b.Reduce(mr.RAdd, b.Input("x", 4)))
+	})); err != nil {
+		t.Fatalf("gate(identical structure) = %v, want nil", err)
 	}
 }

@@ -158,6 +158,7 @@ func (s *driftSpec) newPipe(g *mr.Graph, inQ fixed.Quantizer, shards int) (*pipe
 	if err != nil {
 		return nil, err
 	}
+	//clonecheck:owned — LoadModel clones per shard; g is the experiment's frozen deployment graph
 	if err := pl.LoadModel(g, inQ, compiler.Options{}); err != nil {
 		pl.Close()
 		return nil, err

@@ -107,6 +107,7 @@ func latencyServiceModel(m *Models, shards int) (pipeline.ServiceModel, error) {
 		return pipeline.ServiceModel{}, err
 	}
 	defer pl.Close()
+	//clonecheck:owned — LoadModel clones per shard; the trained-model graph stays read-only
 	if err := pl.LoadModel(m.DNNGraph, m.DNN.InputQ, compiler.Options{}); err != nil {
 		return pipeline.ServiceModel{}, err
 	}

@@ -47,6 +47,7 @@ func Throughput(m *Models) ([]ThroughputRow, string, error) {
 		if err != nil {
 			return nil, "", err
 		}
+		//clonecheck:owned — LoadModel clones per shard; the trained-model graph stays read-only
 		if err := pl.LoadModel(m.DNNGraph, m.DNN.InputQ, compiler.Options{}); err != nil {
 			pl.Close()
 			return nil, "", err

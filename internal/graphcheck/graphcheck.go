@@ -1,0 +1,864 @@
+// Package graphcheck statically verifies lowered MapReduce graphs before
+// they reach hardware — the pre-push gate of the control plane. Where
+// Graph.Validate checks shape (widths, topology, payloads), graphcheck
+// proves semantic and physical properties by abstract interpretation and a
+// resource census, in one topological walk that runs in milliseconds:
+//
+//  1. Value-range analysis: every lane of every node carries an integer
+//     interval, seeded from the pinned quantiser domain of each input
+//     (int8 codes, [-128, 127]) and the exact literal values of each
+//     KConst, and propagated through the Map/Reduce/Requant/Scale/LUT
+//     transfer semantics. Fixed-point saturation that the datapath applies
+//     silently — Fix32 clipping inside map/unary/reduce arithmetic, and
+//     the int32 wrap of a KScale multiplier — is reported as an error
+//     naming the first offending node and the widest feasible interval.
+//     Clipping that is part of the programming model (KRequant's int8
+//     clamp, a LUT's index clamp, ReLU) merely tightens the interval;
+//     only a node whose entire feasible range clips — a provably constant,
+//     degenerate lane — is an error.
+//
+//  2. Resource feasibility: weight and table storage are checked against
+//     the target grid's MU capacity, and the compute-slot census against
+//     its CU capacity, so a graph that cannot place is rejected before
+//     internal/compiler ever sees it. Storage overflow is an error
+//     (placement would fail); CU oversubscription is a warning (placement
+//     shares units and inflates the initiation interval).
+//
+//  3. Dead-node and critical-path analysis: nodes unreachable from any
+//     output are reported (a lowering that builds work the datapath never
+//     uses is almost certainly buggy), and a depth-based critical-path /
+//     initiation-interval estimate is computed — the static half of the
+//     ROADMAP "scheduled evaluation" item.
+//
+//  4. Structural stability: Compatible(old, new) proves a push is
+//     weight-only — same kinds, widths, edges and operators, only
+//     Const/LUT/Multiplier payloads differing — which is what
+//     pipeline.UpdateWeights and the controlplane fan-out require before
+//     a graph is accepted for an in-place weight swap.
+//
+// The analysis is sound for the deployed input convention (all graph
+// inputs are int8 codes: feature codes from the preprocessing MATs,
+// recurrent state codes from MU registers); Options.InputRange widens or
+// narrows the seed when a caller knows better.
+package graphcheck
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+	"strings"
+
+	"taurus/internal/cgra"
+	"taurus/internal/fixed"
+	"taurus/internal/hwmodel"
+	mr "taurus/internal/mapreduce"
+)
+
+// ErrBadGraph is wrapped by every error Report.Err returns, so push paths
+// can classify a graphcheck rejection with errors.Is.
+var ErrBadGraph = errors.New("graphcheck: graph rejected")
+
+// ErrIncompatible is wrapped by Compatible's errors: the new graph is not a
+// weight-only replacement for the old one.
+var ErrIncompatible = errors.New("graphcheck: structural change")
+
+// Interval is an inclusive integer range [Lo, Hi] — the abstract value of
+// one lane. Runtime lane values are int32, so every stored interval is a
+// subset of [Fix32.Min, Fix32.Max]; the wider int64 bounds appear only
+// transiently, inside transfer functions, where they witness overflow.
+type Interval struct {
+	Lo, Hi int64
+}
+
+// point returns the singleton interval {v}.
+func point(v int64) Interval { return Interval{v, v} }
+
+// String formats the interval.
+func (iv Interval) String() string {
+	if iv.Lo == iv.Hi {
+		return fmt.Sprintf("{%d}", iv.Lo)
+	}
+	return fmt.Sprintf("[%d, %d]", iv.Lo, iv.Hi)
+}
+
+// Contains reports whether v lies in the interval.
+func (iv Interval) Contains(v int64) bool { return iv.Lo <= v && v <= iv.Hi }
+
+// union returns the smallest interval covering both.
+func (iv Interval) union(o Interval) Interval {
+	if o.Lo < iv.Lo {
+		iv.Lo = o.Lo
+	}
+	if o.Hi > iv.Hi {
+		iv.Hi = o.Hi
+	}
+	return iv
+}
+
+// Severity ranks a finding.
+type Severity int
+
+const (
+	// SevInfo findings are informational (analysis artefacts, estimates).
+	SevInfo Severity = iota
+	// SevWarning findings deserve a look but do not reject the graph.
+	SevWarning
+	// SevError findings reject the graph: pushing it would deploy a model
+	// that silently corrupts values or cannot place.
+	SevError
+)
+
+// String names the severity.
+func (s Severity) String() string {
+	switch s {
+	case SevInfo:
+		return "info"
+	case SevWarning:
+		return "warning"
+	case SevError:
+		return "error"
+	default:
+		return fmt.Sprintf("severity(%d)", int(s))
+	}
+}
+
+// Analysis names the check a finding came from.
+type Analysis string
+
+const (
+	// CheckValidate findings come from Graph.Validate (shape errors).
+	CheckValidate Analysis = "validate"
+	// CheckRange findings come from the value-range analysis.
+	CheckRange Analysis = "range"
+	// CheckResource findings come from the resource census.
+	CheckResource Analysis = "resource"
+	// CheckDead findings come from the reachability analysis.
+	CheckDead Analysis = "dead"
+)
+
+// Finding is one diagnostic, anchored to a node (or the whole graph when
+// Node is negative).
+type Finding struct {
+	// Node is the offending node, or -1 for a graph-level finding.
+	Node mr.NodeID
+	// Kind is the node's kind (zero Kind for graph-level findings).
+	Kind mr.Kind
+	// Severity ranks the finding; one SevError rejects the graph.
+	Severity Severity
+	// Check names the analysis that produced the finding.
+	Check Analysis
+	// Msg is the human-readable diagnostic.
+	Msg string
+	// Range is the widest feasible interval at the finding, when the
+	// value-range analysis produced it (zero otherwise).
+	Range Interval
+}
+
+// String formats the finding.
+func (f Finding) String() string {
+	if f.Node < 0 {
+		return fmt.Sprintf("%s [%s]: %s", f.Severity, f.Check, f.Msg)
+	}
+	return fmt.Sprintf("%s [%s] node %d (%s): %s", f.Severity, f.Check, f.Node, f.Kind, f.Msg)
+}
+
+// Report is the result of verifying one graph.
+type Report struct {
+	// Graph is the graph's name.
+	Graph string
+	// NumNodes is the graph's node count.
+	NumNodes int
+	// Valid reports that Graph.Validate passed; when false the only
+	// finding is the validation error and no analysis ran.
+	Valid bool
+	// Findings holds every diagnostic in topological-walk order.
+	Findings []Finding
+	// Ranges holds, per node, the union of its lane intervals after the
+	// node's own semantics (clamps included). Nil when Valid is false.
+	Ranges []Interval
+
+	// Resource census against the target grid.
+	WeightBytes int // total KConst storage
+	LUTCount    int // KLUT nodes (each table consumes mapreduce.LUTSize bytes)
+	MUsNeeded   int // memory units the storage requires
+	MUsAvail    int // memory units the grid provides
+	CUSlots     int // compute pipeline slots the graph occupies
+	CUCapacity  int // slots the grid provides (CUs x stages)
+
+	// DeadNodes lists nodes unreachable from every output.
+	DeadNodes []mr.NodeID
+
+	// CriticalPathCycles is the depth of the longest compute path, in CU
+	// pipeline cycles (interconnect excluded). EstII is the initiation-
+	// interval estimate: unit-sharing pressure times the widest node's
+	// lane iterations. Both are static estimates for the scheduled-
+	// evaluation follow-up, not the placed design's measured timing.
+	CriticalPathCycles int
+	EstII              int
+}
+
+// OK reports whether the graph passed (no error-severity findings).
+func (r *Report) OK() bool {
+	for _, f := range r.Findings {
+		if f.Severity == SevError {
+			return false
+		}
+	}
+	return true
+}
+
+// Err returns nil when the graph passed, or an error (wrapping ErrBadGraph)
+// describing the first error-severity finding.
+func (r *Report) Err() error {
+	for _, f := range r.Findings {
+		if f.Severity == SevError {
+			return fmt.Errorf("%w: graph %q: %s", ErrBadGraph, r.Graph, f)
+		}
+	}
+	return nil
+}
+
+// String renders the full report, the output of `taurus-compile -check`.
+func (r *Report) String() string {
+	var b strings.Builder
+	status := "OK"
+	if !r.OK() {
+		status = "REJECTED"
+	}
+	fmt.Fprintf(&b, "graphcheck: %q — %s (%d nodes)\n", r.Graph, status, r.NumNodes)
+	if !r.Valid {
+		for _, f := range r.Findings {
+			fmt.Fprintf(&b, "  %s\n", f)
+		}
+		return b.String()
+	}
+	fmt.Fprintf(&b, "  resources: %d weight bytes + %d LUTs -> %d/%d MUs; %d/%d CU slots\n",
+		r.WeightBytes, r.LUTCount, r.MUsNeeded, r.MUsAvail, r.CUSlots, r.CUCapacity)
+	fmt.Fprintf(&b, "  schedule:  critical path %d cycles, estimated II %d\n",
+		r.CriticalPathCycles, r.EstII)
+	if len(r.DeadNodes) > 0 {
+		fmt.Fprintf(&b, "  dead:      %d unreachable node(s) %v\n", len(r.DeadNodes), r.DeadNodes)
+	}
+	if len(r.Findings) == 0 {
+		fmt.Fprintf(&b, "  findings:  none\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "  findings:\n")
+	for _, f := range r.Findings {
+		fmt.Fprintf(&b, "    %s\n", f)
+	}
+	return b.String()
+}
+
+// Options parameterises verification.
+type Options struct {
+	// Grid is the target fabric for the resource census (DefaultGrid when
+	// zero).
+	Grid cgra.GridSpec
+	// InputRange, when set, overrides the seed interval of declared input
+	// i (by position in Graph.Inputs). Return ok=false to keep the
+	// default int8 code range [-128, 127].
+	InputRange func(i int, name string) (Interval, bool)
+}
+
+// Verify runs every analysis on g with default options.
+func Verify(g *mr.Graph) *Report { return VerifyWith(g, Options{}) }
+
+// Check is the gate form of Verify: nil when g verifies clean, the first
+// error finding (wrapping ErrBadGraph) otherwise.
+func Check(g *mr.Graph) error { return Verify(g).Err() }
+
+// fix32 is the legal runtime range of a lane value.
+var fix32 = Interval{int64(fixed.Fix32.Min()), int64(fixed.Fix32.Max())}
+
+const int8Lo, int8Hi = -128, 127
+
+// VerifyWith runs every analysis on g against the given options.
+func VerifyWith(g *mr.Graph, opts Options) *Report {
+	if g == nil {
+		return &Report{Graph: "<nil>", Findings: []Finding{{
+			Node: -1, Severity: SevError, Check: CheckValidate, Msg: "graph is nil",
+		}}}
+	}
+	r := &Report{Graph: g.Name, NumNodes: len(g.Nodes)}
+	if err := g.Validate(); err != nil {
+		r.Findings = append(r.Findings, Finding{
+			Node: -1, Severity: SevError, Check: CheckValidate, Msg: err.Error(),
+		})
+		return r
+	}
+	r.Valid = true
+	spec := opts.Grid
+	if spec == (cgra.GridSpec{}) {
+		spec = cgra.DefaultGrid()
+	}
+
+	v := &verifier{g: g, r: r, spec: spec, lanes: make([][]Interval, len(g.Nodes))}
+	v.seedInputs(opts)
+	v.walk()
+	v.census()
+	v.reachability()
+	v.schedule()
+	return r
+}
+
+// verifier carries the walk state.
+type verifier struct {
+	g     *mr.Graph
+	r     *Report
+	spec  cgra.GridSpec
+	lanes [][]Interval // per node, per lane
+	// lutFull memoises whole-table min/max per distinct table.
+	lutFull map[*mr.LUT]Interval
+}
+
+func (v *verifier) finding(n *mr.Node, sev Severity, check Analysis, rng Interval, format string, args ...any) {
+	v.r.Findings = append(v.r.Findings, Finding{
+		Node: n.ID, Kind: n.Kind, Severity: sev, Check: check,
+		Msg: fmt.Sprintf(format, args...), Range: rng,
+	})
+}
+
+func (v *verifier) seedInputs(opts Options) {
+	for i, id := range v.g.Inputs {
+		n := v.g.Node(id)
+		seed := Interval{int8Lo, int8Hi}
+		if opts.InputRange != nil {
+			if iv, ok := opts.InputRange(i, n.Name); ok {
+				seed = iv
+				// The seed must describe runtime values, which are int32.
+				if seed.Lo < fix32.Lo {
+					seed.Lo = fix32.Lo
+				}
+				if seed.Hi > fix32.Hi {
+					seed.Hi = fix32.Hi
+				}
+			}
+		}
+		lanes := make([]Interval, n.Width)
+		for l := range lanes {
+			lanes[l] = seed
+		}
+		v.lanes[id] = lanes
+	}
+}
+
+// sat32 checks a transfer result against the Fix32 range. The datapath
+// saturates these silently (MapOp/UnaryOp/ReduceOp all clip through
+// Fix32.Saturate), so any feasible value outside the range is a
+// value-corrupting overflow: report it once per node, at the first lane
+// that can overflow, with the widest feasible interval as the witness.
+func (v *verifier) sat32(n *mr.Node, lane int, iv Interval, reported *bool) Interval {
+	if (iv.Lo < fix32.Lo || iv.Hi > fix32.Hi) && !*reported {
+		*reported = true
+		v.finding(n, SevError, CheckRange, iv,
+			"lane %d may silently saturate fix32: feasible interval %s exceeds [%d, %d]",
+			lane, iv, fix32.Lo, fix32.Hi)
+	}
+	if iv.Lo < fix32.Lo {
+		iv.Lo = fix32.Lo
+	}
+	if iv.Hi > fix32.Hi {
+		iv.Hi = fix32.Hi
+	}
+	return iv
+}
+
+// walk propagates lane intervals through every node in topological order
+// (Validate guarantees args precede uses) and records the per-node union.
+func (v *verifier) walk() {
+	v.r.Ranges = make([]Interval, len(v.g.Nodes))
+	for _, n := range v.g.Nodes {
+		switch n.Kind {
+		case mr.KInput:
+			// seeded
+		case mr.KConst:
+			lanes := make([]Interval, n.Width)
+			for i, c := range n.Const {
+				lanes[i] = point(int64(c))
+			}
+			v.lanes[n.ID] = lanes
+		case mr.KMap:
+			v.transferMap(n)
+		case mr.KUnary:
+			v.transferUnary(n)
+		case mr.KReduce:
+			v.transferReduce(n)
+		case mr.KConcat:
+			lanes := make([]Interval, 0, n.Width)
+			for _, a := range n.Args {
+				lanes = append(lanes, v.lanes[a]...)
+			}
+			v.lanes[n.ID] = lanes
+		case mr.KSlice:
+			v.lanes[n.ID] = v.lanes[n.Args[0]][n.Start : n.Start+n.Width]
+		case mr.KRequant:
+			v.transferRequant(n)
+		case mr.KScale:
+			v.transferScale(n)
+		case mr.KLUT:
+			v.transferLUT(n)
+		}
+		union := v.lanes[n.ID][0]
+		for _, iv := range v.lanes[n.ID][1:] {
+			union = union.union(iv)
+		}
+		v.r.Ranges[n.ID] = union
+	}
+}
+
+func (v *verifier) transferMap(n *mr.Node) {
+	a, b := v.lanes[n.Args[0]], v.lanes[n.Args[1]]
+	lanes := make([]Interval, n.Width)
+	reported := false
+	for i := range lanes {
+		bv := b[0]
+		if len(b) > 1 {
+			bv = b[i]
+		}
+		av := a[i]
+		var iv Interval
+		switch n.Map {
+		case mr.MAdd:
+			iv = Interval{av.Lo + bv.Lo, av.Hi + bv.Hi}
+		case mr.MSub:
+			iv = Interval{av.Lo - bv.Hi, av.Hi - bv.Lo}
+		case mr.MMul:
+			// Endpoint products bound a monotone-by-parts bilinear map.
+			p := [4]int64{av.Lo * bv.Lo, av.Lo * bv.Hi, av.Hi * bv.Lo, av.Hi * bv.Hi}
+			iv = point(p[0])
+			for _, x := range p[1:] {
+				iv = iv.union(point(x))
+			}
+		case mr.MMin:
+			iv = Interval{min64(av.Lo, bv.Lo), min64(av.Hi, bv.Hi)}
+		case mr.MMax:
+			iv = Interval{max64(av.Lo, bv.Lo), max64(av.Hi, bv.Hi)}
+		}
+		lanes[i] = v.sat32(n, i, iv, &reported)
+	}
+	v.lanes[n.ID] = lanes
+}
+
+// leaky mirrors ULeakyReLU's negative-side integer arithmetic; it is
+// monotone nondecreasing, so endpoint evaluation is exact.
+func leaky(x int64) int64 {
+	if x < 0 {
+		return (x*82 + 4096) >> 13
+	}
+	return x
+}
+
+func (v *verifier) transferUnary(n *mr.Node) {
+	a := v.lanes[n.Args[0]]
+	lanes := make([]Interval, n.Width)
+	reported := false
+	for i, av := range a {
+		var iv Interval
+		switch n.Unary {
+		case mr.UReLU:
+			iv = Interval{max64(0, av.Lo), max64(0, av.Hi)}
+		case mr.ULeakyReLU:
+			iv = Interval{leaky(av.Lo), leaky(av.Hi)}
+		case mr.UNeg:
+			iv = Interval{-av.Hi, -av.Lo}
+		case mr.UAbs:
+			switch {
+			case av.Lo >= 0:
+				iv = av
+			case av.Hi <= 0:
+				iv = Interval{-av.Hi, -av.Lo}
+			default:
+				iv = Interval{0, max64(av.Hi, -av.Lo)}
+			}
+		}
+		lanes[i] = v.sat32(n, i, iv, &reported)
+	}
+	v.lanes[n.ID] = lanes
+}
+
+func (v *verifier) transferReduce(n *mr.Node) {
+	a := v.lanes[n.Args[0]]
+	var iv Interval
+	reported := false
+	switch n.Reduce {
+	case mr.RAdd:
+		for _, av := range a {
+			iv.Lo += av.Lo
+			iv.Hi += av.Hi
+		}
+		iv = v.sat32(n, 0, iv, &reported)
+	case mr.RMin:
+		iv = a[0]
+		for _, av := range a[1:] {
+			iv = Interval{min64(iv.Lo, av.Lo), min64(iv.Hi, av.Hi)}
+		}
+	case mr.RMax:
+		iv = a[0]
+		for _, av := range a[1:] {
+			iv = Interval{max64(iv.Lo, av.Lo), max64(iv.Hi, av.Hi)}
+		}
+	case mr.RArgMin, mr.RArgMax:
+		iv = Interval{0, int64(len(a) - 1)}
+	}
+	v.lanes[n.ID] = []Interval{iv}
+}
+
+// applyMult mirrors fixed.Multiplier.Apply in 64-bit arithmetic: monotone
+// nondecreasing in acc (M0 is non-negative), so endpoint evaluation is
+// exact. The caller's acc is a runtime int32, so the product fits 63 bits.
+func applyMult(m fixed.Multiplier, acc int64) int64 {
+	prod := acc * int64(m.M0)
+	sh := uint(m.Shift)
+	if sh >= 63 {
+		return 0
+	}
+	if sh > 0 {
+		prod += int64(1) << (sh - 1)
+	}
+	return prod >> sh
+}
+
+func (v *verifier) transferRequant(n *mr.Node) {
+	a := v.lanes[n.Args[0]]
+	lanes := make([]Interval, n.Width)
+	reported := false
+	for i, av := range a {
+		iv := Interval{applyMult(n.Mult, av.Lo), applyMult(n.Mult, av.Hi)}
+		// ApplySat8's clamp is the programming model, not corruption — but a
+		// lane whose every feasible value clips is a constant, which no
+		// calibrated requant produces: the multiplier is wrong.
+		if (iv.Lo > int8Hi || iv.Hi < int8Lo) && !reported {
+			reported = true
+			v.finding(n, SevError, CheckRange, iv,
+				"lane %d always clips to int8: feasible interval %s lies outside [%d, %d] (multiplier %.3g miscalibrated)",
+				i, iv, int8Lo, int8Hi, n.Mult.Float())
+		}
+		if iv.Lo < int8Lo {
+			iv.Lo = int8Lo
+		}
+		if iv.Hi > int8Hi {
+			iv.Hi = int8Hi
+		}
+		// A fully clipped lane still propagates its pinned value.
+		if iv.Lo > iv.Hi {
+			if iv.Hi < int8Lo {
+				iv = point(int8Lo)
+			} else {
+				iv = point(int8Hi)
+			}
+		}
+		lanes[i] = iv
+	}
+	v.lanes[n.ID] = lanes
+}
+
+func (v *verifier) transferScale(n *mr.Node) {
+	a := v.lanes[n.Args[0]]
+	lanes := make([]Interval, n.Width)
+	reported := false
+	for i, av := range a {
+		iv := Interval{applyMult(n.Mult, av.Lo), applyMult(n.Mult, av.Hi)}
+		// Unlike the saturating map/reduce datapath, Multiplier.Apply
+		// truncates its result to int32 — a feasible value outside the
+		// range does not clip, it wraps. Always an error; the wrapped
+		// value can land anywhere, so the lane widens to the full range.
+		if iv.Lo < fix32.Lo || iv.Hi > fix32.Hi {
+			if !reported {
+				reported = true
+				v.finding(n, SevError, CheckRange, iv,
+					"lane %d wraps int32: scale result interval %s exceeds [%d, %d] (multiplier %.3g)",
+					i, iv, fix32.Lo, fix32.Hi, n.Mult.Float())
+			}
+			iv = fix32
+		}
+		lanes[i] = iv
+	}
+	v.lanes[n.ID] = lanes
+}
+
+func (v *verifier) transferLUT(n *mr.Node) {
+	a := v.lanes[n.Args[0]]
+	lanes := make([]Interval, n.Width)
+	reported := false
+	const idxLo, idxHi = -mr.LUTSize / 2, mr.LUTSize/2 - 1
+	for i, av := range a {
+		idx := Interval{applyMult(n.LUT.Mult, av.Lo), applyMult(n.LUT.Mult, av.Hi)}
+		if (idx.Lo > idxHi || idx.Hi < idxLo) && !reported {
+			// Every feasible index clamps to the same table end: the LUT
+			// input never lands in the table's domain. Degenerate, but the
+			// activation's asymptote is usually the right value out there,
+			// so warn rather than reject.
+			reported = true
+			v.finding(n, SevWarning, CheckRange, idx,
+				"lane %d index interval %s lies entirely outside the table domain [%d, %d]",
+				i, idx, idxLo, idxHi)
+		}
+		if idx.Lo < idxLo {
+			idx.Lo = idxLo
+		}
+		if idx.Hi > idxHi {
+			idx.Hi = idxHi
+		}
+		if idx.Lo > idx.Hi { // fully clamped to one end
+			if idx.Hi < idxLo {
+				idx = point(idxLo)
+			} else {
+				idx = point(idxHi)
+			}
+		}
+		lanes[i] = v.lutRange(n.LUT, idx)
+	}
+	v.lanes[n.ID] = lanes
+}
+
+// lutRange returns the min/max table value over the feasible index window.
+func (v *verifier) lutRange(l *mr.LUT, idx Interval) Interval {
+	full := idx.Lo == -mr.LUTSize/2 && idx.Hi == mr.LUTSize/2-1
+	if full {
+		if v.lutFull == nil {
+			v.lutFull = make(map[*mr.LUT]Interval, 4)
+		}
+		if iv, ok := v.lutFull[l]; ok {
+			return iv
+		}
+	}
+	iv := point(int64(l.Table[idx.Lo+mr.LUTSize/2]))
+	for i := idx.Lo + 1; i <= idx.Hi; i++ {
+		iv = iv.union(point(int64(l.Table[i+mr.LUTSize/2])))
+	}
+	if full {
+		v.lutFull[l] = iv
+	}
+	return iv
+}
+
+// census checks storage and compute demand against the grid, mirroring the
+// compiler's accounting (weight bytes plus LUTSize bytes per table node
+// against MUBanks x MUEntries per MU; pipeline slots against CUs x stages).
+func (v *verifier) census() {
+	g, r := v.g, v.r
+	for _, n := range g.Nodes {
+		switch n.Kind {
+		case mr.KConst:
+			r.WeightBytes += n.Width
+		case mr.KLUT:
+			r.LUTCount++
+		}
+		r.CUSlots += nodeSlots(g, n, v.spec.Lanes)
+	}
+	capPerMU := hwmodel.MUBanks * hwmodel.MUEntries
+	bytesNeeded := r.WeightBytes + r.LUTCount*mr.LUTSize
+	r.MUsNeeded = (bytesNeeded + capPerMU - 1) / capPerMU
+	r.MUsAvail = v.spec.MUCount()
+	r.CUCapacity = v.spec.CUCount() * v.spec.Stages
+
+	if r.MUsNeeded > r.MUsAvail {
+		r.Findings = append(r.Findings, Finding{
+			Node: -1, Severity: SevError, Check: CheckResource,
+			Msg: fmt.Sprintf("storage does not fit: %d weight bytes + %d LUT tables need %d MUs, grid has %d",
+				r.WeightBytes, r.LUTCount, r.MUsNeeded, r.MUsAvail),
+		})
+	}
+	if r.CUSlots > r.CUCapacity {
+		r.Findings = append(r.Findings, Finding{
+			Node: -1, Severity: SevWarning, Check: CheckResource,
+			Msg: fmt.Sprintf("compute oversubscribed: %d slots on %d (CUs will be shared, II inflated ~%dx)",
+				r.CUSlots, r.CUCapacity, (r.CUSlots+r.CUCapacity-1)/r.CUCapacity),
+		})
+	}
+}
+
+// nodeSlots mirrors the compiler's per-node pipeline-slot cost.
+func nodeSlots(g *mr.Graph, n *mr.Node, lanes int) int {
+	switch n.Kind {
+	case mr.KMap, mr.KUnary, mr.KRequant, mr.KLUT:
+		return 1
+	case mr.KReduce:
+		w := g.Node(n.Args[0]).Width
+		if w > lanes {
+			w = lanes
+		}
+		return log2Ceil(w)
+	default: // KScale fuses free; wires/storage occupy no CU slot
+		return 0
+	}
+}
+
+// reachability flags nodes no output depends on.
+func (v *verifier) reachability() {
+	g, r := v.g, v.r
+	live := make([]bool, len(g.Nodes))
+	stack := make([]mr.NodeID, 0, len(g.Nodes))
+	for _, o := range g.Outputs {
+		if !live[o] {
+			live[o] = true
+			stack = append(stack, o)
+		}
+	}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, a := range g.Node(id).Args {
+			if !live[a] {
+				live[a] = true
+				stack = append(stack, a)
+			}
+		}
+	}
+	for _, n := range g.Nodes {
+		if live[n.ID] {
+			continue
+		}
+		r.DeadNodes = append(r.DeadNodes, n.ID)
+		msg := "unreachable from every output"
+		if n.Kind == mr.KInput {
+			msg = "declared input is never consumed"
+		}
+		v.finding(n, SevWarning, CheckDead, Interval{}, "%s", msg)
+	}
+}
+
+// schedule computes the depth-based critical path and II estimate.
+func (v *verifier) schedule() {
+	g, r := v.g, v.r
+	depth := make([]int, len(g.Nodes))
+	maxIter := 1
+	for _, n := range g.Nodes {
+		d := 0
+		for _, a := range n.Args {
+			if depth[a] > d {
+				d = depth[a]
+			}
+		}
+		cost := nodeSlots(g, n, v.spec.Lanes)
+		if n.Kind == mr.KLUT {
+			cost = cgra.MUAccessCycles
+		}
+		depth[n.ID] = d + cost
+		if w := chainWidth(g, n); w > 0 {
+			if it := (w + v.spec.Lanes - 1) / v.spec.Lanes; it > maxIter {
+				maxIter = it
+			}
+		}
+	}
+	for _, o := range g.Outputs {
+		if depth[o] > r.CriticalPathCycles {
+			r.CriticalPathCycles = depth[o]
+		}
+	}
+	share := 1
+	if r.CUCapacity > 0 && r.CUSlots > r.CUCapacity {
+		share = (r.CUSlots + r.CUCapacity - 1) / r.CUCapacity
+	}
+	r.EstII = share * maxIter
+}
+
+// chainWidth is a node's lane demand (its argument's width for reductions).
+func chainWidth(g *mr.Graph, n *mr.Node) int {
+	switch n.Kind {
+	case mr.KInput, mr.KConst, mr.KConcat, mr.KSlice:
+		return 0
+	}
+	w := n.Width
+	if n.Kind == mr.KReduce {
+		if aw := g.Node(n.Args[0]).Width; aw > w {
+			w = aw
+		}
+	}
+	return w
+}
+
+// Compatible reports whether new is a weight-only replacement for old: the
+// same node kinds, widths, operators and edges, with only Const, LUT and
+// Multiplier payloads free to differ. This is the structural-stability
+// contract every in-place push path (pipeline.UpdateWeights, the
+// controlplane fan-out, a distfit merge accept) demands, checked before any
+// device is touched — so an incompatible graph is rejected with nothing to
+// roll back. A nil error means the push is weight-only.
+func Compatible(old, new *mr.Graph) error {
+	if old == nil || new == nil {
+		return fmt.Errorf("%w: nil graph", ErrIncompatible)
+	}
+	if len(old.Nodes) != len(new.Nodes) {
+		return fmt.Errorf("%w: node count %d != %d", ErrIncompatible, len(new.Nodes), len(old.Nodes))
+	}
+	for i, o := range old.Nodes {
+		n := new.Nodes[i]
+		if n.Kind != o.Kind {
+			return fmt.Errorf("%w: node %d kind %v != %v", ErrIncompatible, i, n.Kind, o.Kind)
+		}
+		if n.Width != o.Width {
+			return fmt.Errorf("%w: node %d width %d != %d", ErrIncompatible, i, n.Width, o.Width)
+		}
+		if len(n.Args) != len(o.Args) {
+			return fmt.Errorf("%w: node %d has %d args, want %d", ErrIncompatible, i, len(n.Args), len(o.Args))
+		}
+		for j, a := range n.Args {
+			if a != o.Args[j] {
+				return fmt.Errorf("%w: node %d arg %d rewired %d != %d", ErrIncompatible, i, j, a, o.Args[j])
+			}
+		}
+		if n.Start != o.Start {
+			return fmt.Errorf("%w: node %d slice start %d != %d", ErrIncompatible, i, n.Start, o.Start)
+		}
+		switch o.Kind {
+		case mr.KMap:
+			if n.Map != o.Map {
+				return fmt.Errorf("%w: node %d map op %v != %v", ErrIncompatible, i, n.Map, o.Map)
+			}
+		case mr.KUnary:
+			if n.Unary != o.Unary {
+				return fmt.Errorf("%w: node %d unary op %v != %v", ErrIncompatible, i, n.Unary, o.Unary)
+			}
+		case mr.KReduce:
+			if n.Reduce != o.Reduce {
+				return fmt.Errorf("%w: node %d reduce op %v != %v", ErrIncompatible, i, n.Reduce, o.Reduce)
+			}
+		case mr.KLUT:
+			if (n.LUT == nil) != (o.LUT == nil) {
+				return fmt.Errorf("%w: node %d LUT presence changed", ErrIncompatible, i)
+			}
+		}
+	}
+	if err := idsEqual("inputs", old.Inputs, new.Inputs); err != nil {
+		return err
+	}
+	if err := idsEqual("outputs", old.Outputs, new.Outputs); err != nil {
+		return err
+	}
+	return nil
+}
+
+func idsEqual(what string, a, b []mr.NodeID) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("%w: %s count %d != %d", ErrIncompatible, what, len(b), len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return fmt.Errorf("%w: %s[%d] is node %d, want %d", ErrIncompatible, what, i, b[i], a[i])
+		}
+	}
+	return nil
+}
+
+func log2Ceil(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return bits.Len(uint(n - 1))
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

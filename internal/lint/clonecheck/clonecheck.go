@@ -1,0 +1,242 @@
+// Package clonecheck is a repo-local vet pass enforcing the clone-before-push
+// contract: a *mapreduce.Graph handed to UpdateWeights or LoadModel must be
+// owned by the calling function — freshly produced by a call (a lowering, a
+// Clone(), a builder) inside that function — or the call site must carry an
+// explicit //clonecheck:owned annotation explaining why sharing is safe.
+//
+// The contract exists because pushed graphs cross goroutine boundaries: the
+// data plane reads them while the control plane may keep training on the
+// model that produced them. A graph the caller does not own (a parameter, a
+// struct field, a global) may be mutated after the push unless the push path
+// itself clones — which is exactly what the annotation asserts.
+//
+// The checker is syntactic (go/parser + go/ast only, no type information or
+// external dependencies): it resolves the first argument of every
+// UpdateWeights/LoadModel call against the enclosing function. It skips
+// _test.go files and testdata directories; the contract binds production
+// code.
+package clonecheck
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"strings"
+)
+
+// pushFuncs are the callee names whose first argument is a pushed graph.
+var pushFuncs = map[string]bool{
+	"UpdateWeights": true,
+	"LoadModel":     true,
+}
+
+// Diagnostic is one clone-before-push violation.
+type Diagnostic struct {
+	Pos token.Position
+	Msg string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s", d.Pos, d.Msg)
+}
+
+// CheckFile reports every violation in one parsed file. The file must have
+// been parsed with parser.ParseComments so annotations are visible.
+func CheckFile(fset *token.FileSet, file *ast.File) []Diagnostic {
+	owned := ownedLines(fset, file)
+	var diags []Diagnostic
+	for _, decl := range file.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if ok && fn.Body != nil {
+			diags = append(diags, checkFunc(fset, fn, owned)...)
+		}
+	}
+	return diags
+}
+
+// CheckDir parses every non-test Go file under root (skipping testdata and
+// hidden directories) and reports all violations.
+func CheckDir(root string) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if name == "testdata" || (strings.HasPrefix(name, ".") && path != root) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			return nil
+		}
+		fset := token.NewFileSet()
+		file, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return err
+		}
+		diags = append(diags, CheckFile(fset, file)...)
+		return nil
+	})
+	return diags, err
+}
+
+// ownedLines collects the lines carrying a //clonecheck:owned annotation.
+// An annotation covers a call starting on its own line or on the next line.
+func ownedLines(fset *token.FileSet, file *ast.File) map[int]bool {
+	lines := map[int]bool{}
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if strings.Contains(c.Text, "clonecheck:owned") {
+				lines[fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
+	return lines
+}
+
+func checkFunc(fset *token.FileSet, fn *ast.FuncDecl, owned map[int]bool) []Diagnostic {
+	params := map[string]bool{}
+	if fn.Type.Params != nil {
+		for _, f := range fn.Type.Params.List {
+			for _, n := range f.Names {
+				params[n.Name] = true
+			}
+		}
+	}
+	var diags []Diagnostic
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 || !isPushCall(call.Fun) {
+			return true
+		}
+		line := fset.Position(call.Pos()).Line
+		if owned[line] || owned[line-1] {
+			return true
+		}
+		arg := call.Args[0]
+		if argOwned(arg, fn, params) {
+			return true
+		}
+		diags = append(diags, Diagnostic{
+			Pos: fset.Position(call.Pos()),
+			Msg: fmt.Sprintf("graph %s passed to %s is not owned by %s: pass .Clone(), a freshly produced graph, or annotate the call with //clonecheck:owned",
+				exprString(arg), calleeName(call.Fun), fn.Name.Name),
+		})
+		return true
+	})
+	return diags
+}
+
+func isPushCall(fun ast.Expr) bool {
+	return pushFuncs[calleeName(fun)]
+}
+
+func calleeName(fun ast.Expr) string {
+	switch f := fun.(type) {
+	case *ast.SelectorExpr:
+		return f.Sel.Name
+	case *ast.Ident:
+		return f.Name
+	}
+	return ""
+}
+
+// argOwned reports whether the pushed expression is owned by fn: a fresh
+// call result (including .Clone()), nil, or an identifier whose defining
+// assignment inside fn produces it from a call.
+func argOwned(arg ast.Expr, fn *ast.FuncDecl, params map[string]bool) bool {
+	switch a := arg.(type) {
+	case *ast.CallExpr:
+		// x.Clone(), lower.DNN(...), b.Build() results — fresh by construction.
+		return true
+	case *ast.Ident:
+		if a.Name == "nil" {
+			return true // not a graph; the callee rejects it itself
+		}
+		if params[a.Name] {
+			return false // forwarded caller graph: ownership unknown
+		}
+		return assignedFromCall(fn.Body, a.Name)
+	case *ast.UnaryExpr:
+		if a.Op == token.AND {
+			// &mr.Graph{...} composite literal: fresh.
+			_, isLit := a.X.(*ast.CompositeLit)
+			return isLit
+		}
+	}
+	// Selectors (struct fields), index expressions, globals: not owned here.
+	return false
+}
+
+// assignedFromCall reports whether name is (re)defined inside body by an
+// assignment or var declaration whose right-hand side contains a call —
+// i.e. the function materialised the graph itself.
+func assignedFromCall(body *ast.BlockStmt, name string) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range st.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok && id.Name == name {
+					for _, rhs := range st.Rhs {
+						if containsCall(rhs) {
+							found = true
+						}
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for _, id := range st.Names {
+				if id.Name == name {
+					for _, v := range st.Values {
+						if containsCall(v) {
+							found = true
+						}
+					}
+				}
+			}
+		case *ast.RangeStmt:
+			if id, ok := st.Value.(*ast.Ident); ok && id.Name == name {
+				// Ranging over a slice of graphs: elements are shared.
+				return true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func containsCall(e ast.Expr) bool {
+	has := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.CallExpr); ok {
+			has = true
+			return false
+		}
+		return true
+	})
+	return has
+}
+
+func exprString(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprString(x.X) + "." + x.Sel.Name
+	case *ast.CallExpr:
+		return exprString(x.Fun) + "(...)"
+	case *ast.IndexExpr:
+		return exprString(x.X) + "[...]"
+	}
+	return "argument"
+}

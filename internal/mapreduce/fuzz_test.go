@@ -1,0 +1,127 @@
+package mapreduce_test
+
+import (
+	"testing"
+
+	"taurus/internal/fixed"
+	"taurus/internal/graphcheck"
+	mr "taurus/internal/mapreduce"
+)
+
+// fuzzReader consumes the fuzz input byte stream, yielding zero once
+// exhausted so every input decodes to some graph deterministically.
+type fuzzReader struct {
+	data []byte
+	pos  int
+}
+
+func (r *fuzzReader) byte() byte {
+	if r.pos >= len(r.data) {
+		return 0
+	}
+	b := r.data[r.pos]
+	r.pos++
+	return b
+}
+
+func (r *fuzzReader) int32() int32 {
+	return int32(r.byte()) | int32(r.byte())<<8 | int32(r.byte())<<16 | int32(r.byte())<<24
+}
+
+// graphFromBytes decodes the input into a hand-assembled graph — widths,
+// wiring, operators, multipliers and tables all attacker-chosen, bypassing
+// the Builder's checks entirely. Most decodes fail Validate; the property
+// under test is that every decode that passes Validate is safe downstream.
+func graphFromBytes(data []byte) *mr.Graph {
+	r := &fuzzReader{data: data}
+	n := 1 + int(r.byte())%24
+	g := &mr.Graph{Name: "fuzz"}
+	for i := 0; i < n; i++ {
+		node := &mr.Node{
+			ID:    mr.NodeID(i),
+			Kind:  mr.Kind(int(r.byte()) % 10),
+			Width: int(r.byte()) % 9, // 0 is invalid on purpose
+		}
+		nargs := int(r.byte()) % 3
+		for a := 0; a < nargs; a++ {
+			// Mostly-topological references, occasionally out of range.
+			node.Args = append(node.Args, mr.NodeID(int(r.byte())%(i+2)-1))
+		}
+		switch node.Kind {
+		case mr.KConst:
+			for v := 0; v < int(r.byte())%9; v++ {
+				node.Const = append(node.Const, r.int32())
+			}
+		case mr.KMap:
+			node.Map = mr.MapOp(int(r.byte()) % 5)
+		case mr.KUnary:
+			node.Unary = mr.UnaryOp(int(r.byte()) % 4)
+		case mr.KReduce:
+			node.Reduce = mr.ReduceOp(int(r.byte()) % 5)
+		case mr.KRequant, mr.KScale:
+			node.Mult = fixed.Multiplier{M0: r.int32(), Shift: int(r.byte()) % 70}
+		case mr.KLUT:
+			lut := &mr.LUT{Mult: fixed.Multiplier{M0: r.int32(), Shift: int(r.byte()) % 70}}
+			for t := range lut.Table {
+				lut.Table[t] = int8(r.byte())
+			}
+			node.LUT = lut
+		case mr.KSlice:
+			node.Start = int(r.byte()) % 9
+		case mr.KInput:
+			node.Name = "in"
+		}
+		g.Nodes = append(g.Nodes, node)
+		if node.Kind == mr.KInput {
+			g.Inputs = append(g.Inputs, node.ID)
+		}
+	}
+	for o := 0; o < 1+int(r.byte())%2; o++ {
+		g.Outputs = append(g.Outputs, mr.NodeID(int(r.byte())%(n+1)))
+	}
+	return g
+}
+
+// FuzzGraph checks the static-gate contract end to end: any graph
+// Graph.Validate accepts must survive Encode, Clone, evaluator
+// construction, Eval on zero inputs, and the graphcheck verifier without
+// panicking — Validate is the only shield between untrusted graph bytes
+// and the push paths.
+func FuzzGraph(f *testing.F) {
+	// Seed with a valid two-node program (input -> reduce -> output) and a
+	// few structured mutations of it, so coverage starts past Validate.
+	f.Add([]byte{2, 0, 3, 0, 4, 1, 1, 0, 0, 1})
+	f.Add([]byte{1, 0, 1, 0, 0, 0})
+	f.Add([]byte{3, 0, 2, 0, 1, 2, 2, 0, 2, 4, 1, 1, 1, 0, 2})
+	f.Add([]byte{0xff, 0x00, 0x10, 0x80, 0x7f})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g := graphFromBytes(data)
+		if g.Validate() != nil {
+			return
+		}
+		enc := mr.Encode(g)
+		if len(enc) == 0 {
+			t.Fatal("Encode returned nothing for a valid graph")
+		}
+		clone := g.Clone()
+		if err := clone.Validate(); err != nil {
+			t.Fatalf("clone of a valid graph fails Validate: %v", err)
+		}
+		if string(mr.Encode(clone)) != string(enc) {
+			t.Fatal("clone encodes differently from the original")
+		}
+		if _, err := mr.NewEvaluator(g); err != nil {
+			t.Fatalf("NewEvaluator rejects a Validate-accepted graph: %v", err)
+		}
+		ins := make([][]int32, len(g.Inputs))
+		for i, id := range g.Inputs {
+			ins[i] = make([]int32, g.Node(id).Width)
+		}
+		// Eval may legitimately error (an undeclared KInput is unbound) but
+		// must not panic.
+		_, _ = g.Eval(ins...)
+		// The verifier runs on every push path; it must never panic either.
+		_ = graphcheck.Verify(g)
+	})
+}

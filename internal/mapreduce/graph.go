@@ -334,6 +334,20 @@ func (g *Graph) Validate() error {
 			if n.Kind == KLUT && n.LUT == nil {
 				return fmt.Errorf("mapreduce: LUT node %d missing table", i)
 			}
+			// Requantisation multipliers must be genuine NewMultiplier
+			// encodings (M0 and Shift positive): a zero or negative M0 is
+			// not a positive real factor, and downstream range analysis
+			// relies on Apply being monotone in the accumulator.
+			switch n.Kind {
+			case KRequant, KScale:
+				if n.Mult.M0 <= 0 || n.Mult.Shift <= 0 {
+					return fmt.Errorf("mapreduce: node %d multiplier (M0=%d, shift=%d) is not a positive factor encoding", i, n.Mult.M0, n.Mult.Shift)
+				}
+			case KLUT:
+				if n.LUT.Mult.M0 <= 0 || n.LUT.Mult.Shift <= 0 {
+					return fmt.Errorf("mapreduce: LUT node %d index multiplier (M0=%d, shift=%d) is not a positive factor encoding", i, n.LUT.Mult.M0, n.LUT.Mult.Shift)
+				}
+			}
 		case KReduce:
 			if len(n.Args) != 1 {
 				return fmt.Errorf("mapreduce: reduce node %d needs 1 arg", i)

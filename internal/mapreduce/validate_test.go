@@ -1,0 +1,162 @@
+package mapreduce
+
+import (
+	"strings"
+	"testing"
+
+	"taurus/internal/fixed"
+)
+
+// validGraph returns a minimal graph that passes Validate, for the mutation
+// table below to corrupt one invariant at a time.
+func validGraph() *Graph {
+	return &Graph{
+		Name: "valid",
+		Nodes: []*Node{
+			{ID: 0, Kind: KInput, Width: 4, Name: "x"},
+			{ID: 1, Kind: KReduce, Width: 1, Args: []NodeID{0}, Reduce: RAdd},
+		},
+		Inputs:  []NodeID{0},
+		Outputs: []NodeID{1},
+	}
+}
+
+func goodMult(t *testing.T) fixed.Multiplier {
+	t.Helper()
+	m, err := fixed.NewMultiplier(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestValidateRejectionBranches drives every rejection branch of
+// Graph.Validate with a targeted malformed graph and pins the diagnostic
+// each produces.
+func TestValidateRejectionBranches(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(t *testing.T, g *Graph)
+		wantSub string
+	}{
+		{"no outputs", func(t *testing.T, g *Graph) {
+			g.Outputs = nil
+		}, "has no outputs"},
+		{"ID mismatch", func(t *testing.T, g *Graph) {
+			g.Nodes[1].ID = 7
+		}, "has ID 7"},
+		{"non-positive width", func(t *testing.T, g *Graph) {
+			g.Nodes[1].Width = 0
+		}, "has width 0"},
+		{"non-topological arg", func(t *testing.T, g *Graph) {
+			g.Nodes[1].Args = []NodeID{1}
+		}, "not topological"},
+		{"negative arg", func(t *testing.T, g *Graph) {
+			g.Nodes[1].Args = []NodeID{-1}
+		}, "not topological"},
+		{"input with args", func(t *testing.T, g *Graph) {
+			g.Nodes[0].Args = []NodeID{0}
+		}, "not topological"}, // self-reference trips the topology check first
+		{"input node carrying args", func(t *testing.T, g *Graph) {
+			g.Nodes = append(g.Nodes, &Node{ID: 2, Kind: KInput, Width: 1, Args: []NodeID{0}})
+		}, "input node 2 has args"},
+		{"const length mismatch", func(t *testing.T, g *Graph) {
+			g.Nodes = append(g.Nodes, &Node{ID: 2, Kind: KConst, Width: 4, Const: []int32{1, 2}})
+		}, "2 values for width 4"},
+		{"map arg count", func(t *testing.T, g *Graph) {
+			g.Nodes = append(g.Nodes, &Node{ID: 2, Kind: KMap, Width: 4, Args: []NodeID{0}})
+		}, "needs 2 args"},
+		{"map width != first arg", func(t *testing.T, g *Graph) {
+			g.Nodes = append(g.Nodes, &Node{ID: 2, Kind: KMap, Width: 2, Args: []NodeID{0, 0}})
+		}, "width 2 != first arg 4"},
+		{"map second arg not broadcastable", func(t *testing.T, g *Graph) {
+			g.Nodes = append(g.Nodes,
+				&Node{ID: 2, Kind: KConst, Width: 2, Const: []int32{1, 2}},
+				&Node{ID: 3, Kind: KMap, Width: 4, Args: []NodeID{0, 2}})
+		}, "second arg width 2"},
+		{"unary arg count", func(t *testing.T, g *Graph) {
+			g.Nodes = append(g.Nodes, &Node{ID: 2, Kind: KUnary, Width: 4})
+		}, "needs 1 arg"},
+		{"unary width mismatch", func(t *testing.T, g *Graph) {
+			g.Nodes = append(g.Nodes, &Node{ID: 2, Kind: KUnary, Width: 2, Args: []NodeID{0}})
+		}, "width mismatch"},
+		{"LUT missing table", func(t *testing.T, g *Graph) {
+			g.Nodes = append(g.Nodes, &Node{ID: 2, Kind: KLUT, Width: 4, Args: []NodeID{0}})
+		}, "missing table"},
+		{"requant zero multiplier", func(t *testing.T, g *Graph) {
+			g.Nodes = append(g.Nodes, &Node{ID: 2, Kind: KRequant, Width: 4, Args: []NodeID{0}})
+		}, "not a positive factor"},
+		{"scale negative multiplier", func(t *testing.T, g *Graph) {
+			g.Nodes = append(g.Nodes, &Node{ID: 2, Kind: KScale, Width: 4, Args: []NodeID{0},
+				Mult: fixed.Multiplier{M0: -5, Shift: 10}})
+		}, "not a positive factor"},
+		{"LUT zero index multiplier", func(t *testing.T, g *Graph) {
+			g.Nodes = append(g.Nodes, &Node{ID: 2, Kind: KLUT, Width: 4, Args: []NodeID{0}, LUT: &LUT{}})
+		}, "index multiplier"},
+		{"reduce arg count", func(t *testing.T, g *Graph) {
+			g.Nodes[1].Args = nil
+		}, "needs 1 arg"},
+		{"reduce width", func(t *testing.T, g *Graph) {
+			g.Nodes[1].Width = 4
+		}, "must have width 1"},
+		{"slice arg count", func(t *testing.T, g *Graph) {
+			g.Nodes = append(g.Nodes, &Node{ID: 2, Kind: KSlice, Width: 2})
+		}, "needs 1 arg"},
+		{"slice window overrun", func(t *testing.T, g *Graph) {
+			g.Nodes = append(g.Nodes, &Node{ID: 2, Kind: KSlice, Width: 3, Start: 2, Args: []NodeID{0}})
+		}, "exceeds arg width"},
+		{"slice negative start", func(t *testing.T, g *Graph) {
+			g.Nodes = append(g.Nodes, &Node{ID: 2, Kind: KSlice, Width: 2, Start: -1, Args: []NodeID{0}})
+		}, "exceeds arg width"},
+		{"concat no args", func(t *testing.T, g *Graph) {
+			g.Nodes = append(g.Nodes, &Node{ID: 2, Kind: KConcat, Width: 4})
+		}, "has no args"},
+		{"concat width sum", func(t *testing.T, g *Graph) {
+			g.Nodes = append(g.Nodes, &Node{ID: 2, Kind: KConcat, Width: 5, Args: []NodeID{0}})
+		}, "width 5 != sum 4"},
+		{"unknown kind", func(t *testing.T, g *Graph) {
+			g.Nodes = append(g.Nodes, &Node{ID: 2, Kind: Kind(99), Width: 1})
+		}, "unknown kind"},
+		{"output out of range", func(t *testing.T, g *Graph) {
+			g.Outputs = []NodeID{9}
+		}, "output 9 out of range"},
+		{"negative output", func(t *testing.T, g *Graph) {
+			g.Outputs = []NodeID{-1}
+		}, "out of range"},
+		{"declared input not an input node", func(t *testing.T, g *Graph) {
+			g.Inputs = []NodeID{1}
+		}, "not an input node"},
+		{"declared input out of range", func(t *testing.T, g *Graph) {
+			g.Inputs = []NodeID{9}
+		}, "not an input node"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := validGraph()
+			tc.mutate(t, g)
+			err := g.Validate()
+			if err == nil {
+				t.Fatal("Validate accepted the malformed graph")
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Errorf("Validate() = %q, want it to contain %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+// TestValidateAcceptsMultiplierNodes pins the positive side of the new
+// multiplier checks: genuine NewMultiplier encodings pass.
+func TestValidateAcceptsMultiplierNodes(t *testing.T) {
+	g := validGraph()
+	m := goodMult(t)
+	lut := &LUT{Mult: m}
+	g.Nodes = append(g.Nodes,
+		&Node{ID: 2, Kind: KRequant, Width: 4, Args: []NodeID{0}, Mult: m},
+		&Node{ID: 3, Kind: KScale, Width: 4, Args: []NodeID{2}, Mult: m},
+		&Node{ID: 4, Kind: KLUT, Width: 4, Args: []NodeID{3}, LUT: lut},
+	)
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate rejected well-formed multiplier nodes: %v", err)
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"taurus/internal/compiler"
 	"taurus/internal/core"
 	"taurus/internal/fixed"
+	"taurus/internal/graphcheck"
 	mr "taurus/internal/mapreduce"
 )
 
@@ -157,6 +158,11 @@ func (p *Pipeline) LoadModel(g *mr.Graph, inQ fixed.Quantizer, opts compiler.Opt
 	if opts.Grid == (cgra.GridSpec{}) {
 		opts.Grid = p.shards[0].dev.Config().Grid
 	}
+	// Static gate: refuse a graph whose fixed-point ranges can silently
+	// saturate or that cannot fit the grid, before the compiler ever sees it.
+	if rep := graphcheck.VerifyWith(g, graphcheck.Options{Grid: opts.Grid}); !rep.OK() {
+		return rep.Err()
+	}
 	res, err := compiler.Compile(g.Clone(), opts)
 	if err != nil {
 		return err
@@ -203,10 +209,30 @@ func (p *Pipeline) LoadModel(g *mr.Graph, inQ fixed.Quantizer, opts compiler.Opt
 // UpdateWeights pushes new weights to every shard without re-placement or
 // stopping traffic: each shard applies the update between its batches. The
 // graph is only read and may be shared across concurrent updates.
+//
+// Before any shard is touched, the graph passes the static gate: it must
+// verify (no feasible saturation, fits the grid) and be structurally
+// compatible with the installed model — a weight-only update — so a bad
+// push is refused outright instead of relying on per-shard rollback.
 func (p *Pipeline) UpdateWeights(newGraph *mr.Graph) error {
+	s0 := p.shards[0]
+	s0.mu.Lock()
+	installed := s0.dev.Model()
+	grid := s0.dev.Config().Grid
+	s0.mu.Unlock()
+	if installed != nil {
+		// No model installed means the device itself reports ErrNoModel;
+		// the static gate only guards pushes that could actually land.
+		if rep := graphcheck.VerifyWith(newGraph, graphcheck.Options{Grid: grid}); !rep.OK() {
+			return rep.Err()
+		}
+		if err := graphcheck.Compatible(installed.Graph, newGraph); err != nil {
+			return err
+		}
+	}
 	for _, s := range p.shards {
 		s.mu.Lock()
-		err := s.dev.UpdateWeights(newGraph)
+		err := s.dev.UpdateWeights(newGraph) //clonecheck:owned — device copies weights out; graph is only read
 		s.mu.Unlock()
 		if err != nil {
 			return err

@@ -93,6 +93,7 @@ import (
 	"taurus/internal/dataset"
 	"taurus/internal/distfit"
 	"taurus/internal/fixed"
+	"taurus/internal/graphcheck"
 	"taurus/internal/lower"
 	"taurus/internal/mapreduce"
 	"taurus/internal/ml"
@@ -125,6 +126,49 @@ type Evaluator = mapreduce.Evaluator
 
 // NewEvaluator validates the program and preallocates every intermediate.
 func NewEvaluator(g *Graph) (*Evaluator, error) { return mapreduce.NewEvaluator(g) }
+
+// Static verification: the pre-push graph gate (internal/graphcheck).
+// Every push path — LoadModel, UpdateWeights, Controller and Fleet retrain
+// pushes, the distfit merge accept — runs the same analyses and refuses a
+// graph that fails them; VerifyGraph exposes the full report directly.
+type (
+	// GraphReport is the verifier's full result: per-node findings, the
+	// resource census against the grid, dead-node diagnostics and the
+	// depth-based initiation-interval estimate. OK() is the gate; String()
+	// renders the report taurus-compile -check prints.
+	GraphReport = graphcheck.Report
+	// GraphFinding is one diagnostic, anchored to the offending node.
+	GraphFinding = graphcheck.Finding
+	// GraphCheckOptions overrides the verifier's grid and input ranges.
+	GraphCheckOptions = graphcheck.Options
+)
+
+// Static-verification sentinels, for errors.Is.
+var (
+	// ErrBadGraph: a graph failed static verification (saturation, resource
+	// overflow, or a Validate rejection).
+	ErrBadGraph = graphcheck.ErrBadGraph
+	// ErrGraphIncompatible: a push is not a weight-only update of the
+	// previously pushed structure.
+	ErrGraphIncompatible = graphcheck.ErrIncompatible
+)
+
+// Graph verification entry points.
+var (
+	// VerifyGraph runs value-range, resource, dead-node and schedule
+	// analysis on g against the default grid and returns the full report.
+	VerifyGraph = graphcheck.Verify
+	// VerifyGraphWith is VerifyGraph against explicit options (target grid,
+	// input ranges).
+	VerifyGraphWith = graphcheck.VerifyWith
+	// CheckGraph is the gate form: nil when g verifies clean, the first
+	// error finding (wrapping ErrBadGraph) otherwise.
+	CheckGraph = graphcheck.Check
+	// GraphCompatible reports whether swapping old for new is a weight-only
+	// update: identical node kinds, widths, wiring and declared IO, with
+	// only constants, multipliers and tables free to change.
+	GraphCompatible = graphcheck.Compatible
+)
 
 // Compilation onto the CGRA grid (§4).
 type (
