@@ -24,6 +24,7 @@ bench:
 bench-smoke:
 	$(GO) test -run xxx -bench=. -benchtime=1x ./...
 	$(GO) run ./cmd/taurus-bench -exp distfit
+	$(GO) run ./cmd/taurus-bench -exp compile
 
 # Machine-readable benchmark rows — the perf-trajectory artifacts CI uploads
 # on every run, so regressions show up as a diffable series over time. Also
@@ -34,6 +35,7 @@ bench-json:
 	$(GO) run ./cmd/taurus-bench -exp fleet -model svm -json > BENCH_fleet.json
 	$(GO) run ./cmd/taurus-bench -exp latency -json > BENCH_latency.json
 	$(GO) run ./cmd/taurus-bench -exp distfit -json > BENCH_distfit.json
+	$(GO) run ./cmd/taurus-bench -exp compile -json > BENCH_compile.json
 
 check:
 	@fmtout=$$(gofmt -l .); \

@@ -9,13 +9,14 @@
 //	taurus-bench -exp fleet          # one control plane driving 3 switches
 //	taurus-bench -exp latency        # continuous-time queueing: tails, drops, push-under-load
 //	taurus-bench -exp distfit        # distributed retrain: scaling + fault-injected drift recovery
+//	taurus-bench -exp compile        # interpreted vs compiled evaluation, measured II
 //	taurus-bench -exp drift -json    # machine-readable rows (CI artifacts)
 //
 // Experiments: table1 table2 table3 table4 table5 table6 table7 table8
 // fig9 fig10 fig11 fig13 fig14 mats throughput latency drift fleet
-// distfit. The drift and fleet experiments take -model dnn|svm|iot to
-// pick the retrained model family. -json (drift, throughput, latency,
-// fleet and distfit only) replaces the rendered table with the
+// distfit compile. The drift and fleet experiments take -model dnn|svm|iot
+// to pick the retrained model family. -json (drift, throughput, latency,
+// fleet, distfit and compile only) replaces the rendered table with the
 // experiment's data rows as JSON, for the benchmark artifacts CI
 // accumulates.
 package main
@@ -31,7 +32,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (all, table1..table8, fig9..fig14, mats, throughput, latency, drift, fleet, distfit)")
+	exp := flag.String("exp", "all", "experiment to run (all, table1..table8, fig9..fig14, mats, throughput, latency, drift, fleet, distfit, compile)")
 	packets := flag.Int("packets", 400_000, "packets for the Table 8 simulation")
 	seed := flag.Int64("seed", 1, "training seed")
 	driftModel := flag.String("model", "dnn", "model family for the drift and fleet experiments (dnn, svm, iot)")
@@ -99,8 +100,18 @@ func runJSON(exp string, seed int64, driftModel string) error {
 			return err
 		}
 		out.Rows = res
+	case "compile":
+		models, err := experiments.TrainModels(seed)
+		if err != nil {
+			return err
+		}
+		rows, _, err := experiments.CompileBench(models)
+		if err != nil {
+			return err
+		}
+		out.Rows = rows
 	default:
-		return fmt.Errorf("-json supports drift, throughput, latency, fleet and distfit, not %q", exp)
+		return fmt.Errorf("-json supports drift, throughput, latency, fleet, distfit and compile, not %q", exp)
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
@@ -110,7 +121,7 @@ func runJSON(exp string, seed int64, driftModel string) error {
 func run(exp string, packets int, seed int64, driftModel string) error {
 	want := func(name string) bool { return exp == "all" || strings.EqualFold(exp, name) }
 
-	needModels := exp == "all" || want("table5") || want("table8") || want("fig11") || want("mats") || want("throughput") || want("latency")
+	needModels := exp == "all" || want("table5") || want("table8") || want("fig11") || want("mats") || want("throughput") || want("latency") || want("compile")
 	var models *experiments.Models
 	if needModels {
 		fmt.Fprintln(os.Stderr, "training application models...")
@@ -196,6 +207,14 @@ func run(exp string, packets int, seed int64, driftModel string) error {
 	}
 	if want("throughput") {
 		_, text, err := experiments.Throughput(models)
+		if err != nil {
+			return err
+		}
+		emit(text)
+	}
+	if want("compile") {
+		fmt.Fprintln(os.Stderr, "measuring interpreted vs compiled evaluation...")
+		_, text, err := experiments.CompileBench(models)
 		if err != nil {
 			return err
 		}

@@ -4,7 +4,10 @@
 //
 // With -check it instead runs the static verifier (internal/graphcheck) and
 // prints the full analysis report — value ranges, resource census, dead
-// nodes, II estimate — exiting non-zero if the graph is rejected.
+// nodes, II estimate — exiting non-zero if the graph is rejected. The
+// verifier's depth-only CriticalPathCycles/EstII are printed next to the
+// list scheduler's measured depth and II (internal/sched), with a warning
+// when the estimate turns out optimistic about resource contention.
 //
 // Usage:
 //
@@ -21,6 +24,7 @@ import (
 	"taurus/internal/experiments"
 	"taurus/internal/graphcheck"
 	mr "taurus/internal/mapreduce"
+	"taurus/internal/sched"
 )
 
 func main() {
@@ -61,6 +65,26 @@ func run(model string, maxCUs int, seed int64, check bool) error {
 		fmt.Print(rep)
 		if !rep.OK() {
 			os.Exit(1)
+		}
+		// Measured schedule next to the static estimate: the verifier's
+		// CriticalPathCycles/EstII are resource-blind, the list schedule is
+		// packed under the grid's issue capacity.
+		s, err := sched.Plan(g, cgra.DefaultGrid())
+		if err != nil {
+			return fmt.Errorf("graph verifies but does not schedule: %w", err)
+		}
+		fmt.Printf("\nscheduled (list schedule on %dx%d grid):\n", s.Spec.Rows, s.Spec.Cols)
+		fmt.Printf("  depth:     %d cycles (graphcheck estimate %d)\n", s.Depth, rep.CriticalPathCycles)
+		fmt.Printf("  II:        %d (graphcheck estimate %d)\n", s.II, rep.EstII)
+		fmt.Printf("  bundles:   %d CU issues, peak width %d, occupancy %.0f%%\n",
+			s.CUIssues, s.MaxBundle, 100*s.Occupancy())
+		if rep.EstII < s.II {
+			fmt.Printf("  WARNING: estimate is optimistic: EstII %d < scheduled II %d (resource contention)\n",
+				rep.EstII, s.II)
+		}
+		if rep.CriticalPathCycles < s.Depth {
+			fmt.Printf("  WARNING: estimate is optimistic: critical path %d < scheduled depth %d\n",
+				rep.CriticalPathCycles, s.Depth)
 		}
 		return nil
 	}

@@ -20,6 +20,7 @@ import (
 	"taurus/internal/fixed"
 	mr "taurus/internal/mapreduce"
 	"taurus/internal/pisa"
+	"taurus/internal/sched"
 )
 
 // Verdict is the postprocessing decision for a packet (§3.2: drop, flag, or
@@ -128,8 +129,15 @@ type Device struct {
 	// flowValid marks slots whose features have been accumulated.
 	flowValid *pisa.RegisterArray
 
-	model     *compiler.Result
-	eval      *mr.Evaluator
+	model *compiler.Result
+	eval  *mr.Evaluator
+	// prog is the compiled evaluation tape for the installed model. The hot
+	// path prefers it over the interpreter; it stays nil when list scheduling
+	// fails, and eval serves every inference (the fallback contract).
+	prog *sched.Program
+	// schedII is prog's measured initiation interval (0 on fallback).
+	schedII   int
+	mlIdx     []int // ML staging slots for ProcessIndexed, cap = prog batch
 	inQ       fixed.Quantizer
 	modelLat  float64
 	modelII   int
@@ -286,8 +294,24 @@ func (d *Device) InstallModel(res *compiler.Result, inQ fixed.Quantizer) error {
 	if err != nil {
 		return err
 	}
+	// Compile the hot path: list-schedule the graph on the placed grid and
+	// emit the fused tape. A graph the scheduler refuses (e.g. a LUT model on
+	// a grid with no MUs) falls back to the interpreter; the device still
+	// serves it, just without the compiled fast path or measured II.
+	grid := d.cfg.Grid
+	if res.Placement != nil && res.Placement.Spec != (cgra.GridSpec{}) {
+		grid = res.Placement.Spec
+	}
 	d.model = res
 	d.eval = eval
+	d.prog = nil
+	d.schedII = 0
+	d.mlIdx = nil
+	if prog, perr := sched.Compile(res.Graph, grid); perr == nil {
+		d.prog = prog
+		d.schedII = prog.Schedule().II
+		d.mlIdx = make([]int, 0, prog.MaxBatch())
+	}
 	d.inQ = inQ
 	d.modelLat = res.Stats.LatencyNs()
 	d.modelII = res.Stats.II
@@ -315,6 +339,9 @@ func (d *Device) InputQuantizer() fixed.Quantizer { return d.inQ }
 func (d *Device) ClearModel() {
 	d.model = nil
 	d.eval = nil
+	d.prog = nil
+	d.schedII = 0
+	d.mlIdx = nil
 	d.inQ = fixed.Quantizer{}
 	d.modelLat = 0
 	d.modelII = 0
@@ -461,20 +488,48 @@ func (d *Device) Process(in PacketIn) (Decision, error) {
 // ProcessInto runs one packet through the full pipeline, writing the
 // outcome into dec. It performs no heap allocation in the steady state.
 func (d *Device) ProcessInto(in PacketIn, dec *Decision) error {
+	key, ml, err := d.admit(in, dec)
+	if err != nil {
+		return err
+	}
+	if !ml {
+		d.finishBypass(dec)
+		return nil
+	}
+	// Hand the dense feature vector to the MapReduce block (Figure 7): the
+	// compiled tape when the schedule built, the interpreter otherwise. Both
+	// read through preallocated input buffers.
+	var score int32
+	if d.prog != nil {
+		d.stageCodes(d.prog.In(0), key)
+		d.prog.Run()
+		score = d.prog.Out(0)[0]
+	} else {
+		d.stageCodes(d.eval.Input(0), key)
+		d.eval.Eval()
+		score = d.eval.Output(0)[0]
+	}
+	d.finishML(dec, score)
+	return nil
+}
+
+// admit runs the front half of the pipeline — parse, preprocessing MAT,
+// feature accumulation — and reports whether the packet takes the ML path.
+func (d *Device) admit(in PacketIn, dec *Decision) (key uint32, ml bool, err error) {
 	d.stats.Processed++
 	phv := d.phv
 	phv.Reset()
 	if _, err := d.parser.Parse(in.Data, phv); err != nil {
 		d.stats.ParseErrors++
 		*dec = Decision{}
-		return err
+		return 0, false, err
 	}
 
 	// Preprocessing MAT: bypass decision.
 	d.preMAT.Lookup(phv)
 	bypass := phv.Get(d.bypassID) != 0
 
-	key := d.FlowKey(
+	key = d.FlowKey(
 		uint32(phv.Get(d.srcID)), uint32(phv.Get(d.dstID)),
 		uint16(phv.Get(d.sportID)), uint16(phv.Get(d.dportID)),
 		uint8(phv.Get(d.protoID)))
@@ -483,43 +538,53 @@ func (d *Device) ProcessInto(in PacketIn, dec *Decision) error {
 		if in.Features != nil {
 			if err := d.AccumulateFeatures(key, in.Features); err != nil {
 				*dec = Decision{}
-				return err
+				return 0, false, err
 			}
 		}
 		if d.model == nil || d.flowValid.Read(key) == 0 {
 			bypass = true // nothing to infer from yet
 		}
 	}
-
 	*dec = Decision{Bypassed: bypass, LatencyNs: BaseSwitchLatencyNs}
-	if !bypass {
-		// Read accumulated feature codes into the PHV, then hand the dense
-		// feature vector to the MapReduce block (Figure 7) via the
-		// evaluator's preallocated input buffer.
-		codes := d.eval.Input(0)
-		for i := range codes {
-			c := d.featureRegs[i].Read(key)
-			phv.Set(d.featureID[i], c)
-			codes[i] = c
-		}
-		d.eval.Eval()
-		score := d.eval.Output(0)[0]
-		dec.MLScore = score
-		d.stats.MLInferences++
-		d.stats.ModelBusyNs += float64(d.modelII) // II cycles at 1 GHz
-		// Threshold shift happens in the MAT action domain: score-threshold.
-		phv.Set(d.scoreID, score-d.cfg.Threshold)
-		dec.LatencyNs += d.modelLat
-	} else {
-		d.stats.Bypassed++
-		d.stats.ModelBusyNs += bypassCycleNs
-		// Bypass packets skip MapReduce entirely: no added latency (§4).
-		phv.Set(d.scoreID, -1) // negative -> forward
-	}
+	return key, !bypass, nil
+}
 
-	// Postprocessing MAT interprets the score.
-	d.post.Lookup(phv)
-	dec.Verdict = Verdict(phv.Get(d.verdictID))
+// stageCodes reads the flow's accumulated feature codes into the PHV and the
+// model's input buffer.
+func (d *Device) stageCodes(codes []int32, key uint32) {
+	for i := range codes {
+		c := d.featureRegs[i].Read(key)
+		d.phv.Set(d.featureID[i], c)
+		codes[i] = c
+	}
+}
+
+// finishML charges the inference to the service model and runs the verdict
+// MAT on the score. The postprocessing MAT keys on meta.score alone, so it
+// is safe to run after other packets have cycled through the shared PHV.
+func (d *Device) finishML(dec *Decision, score int32) {
+	dec.MLScore = score
+	d.stats.MLInferences++
+	d.stats.ModelBusyNs += float64(d.serviceII()) // II cycles at 1 GHz
+	// Threshold shift happens in the MAT action domain: score-threshold.
+	d.phv.Set(d.scoreID, score-d.cfg.Threshold)
+	dec.LatencyNs += d.modelLat
+	d.applyVerdict(dec)
+}
+
+func (d *Device) finishBypass(dec *Decision) {
+	d.stats.Bypassed++
+	d.stats.ModelBusyNs += bypassCycleNs
+	// Bypass packets skip MapReduce entirely: no added latency (§4).
+	d.phv.Set(d.scoreID, -1) // negative -> forward
+	d.applyVerdict(dec)
+}
+
+// applyVerdict runs the postprocessing MAT on meta.score and counts the
+// outcome.
+func (d *Device) applyVerdict(dec *Decision) {
+	d.post.Lookup(d.phv)
+	dec.Verdict = Verdict(d.phv.Get(d.verdictID))
 	switch dec.Verdict {
 	case Forward:
 		d.stats.Forwarded++
@@ -528,7 +593,6 @@ func (d *Device) ProcessInto(in PacketIn, dec *Decision) error {
 	case Drop:
 		d.stats.Dropped++
 	}
-	return nil
 }
 
 // ProcessBatch runs every packet of ins through the pipeline, writing
@@ -543,16 +607,77 @@ func (d *Device) ProcessBatch(ins []PacketIn, out []Decision) error {
 	if len(out) < len(ins) {
 		return fmt.Errorf("%w: out has %d slots for %d packets", ErrBadConfig, len(out), len(ins))
 	}
+	return d.ProcessIndexed(ins, out, nil)
+}
+
+// ProcessIndexed processes the packets ins[i] for each i in idx (all of ins
+// when idx is nil), writing out[i] — the shape the pipeline's shard workers
+// use, where idx is the shard's partition of a shared batch. When the
+// compiled program is installed, ML packets are staged into its batch arena
+// and swept up to MaxBatch at a time, amortising tape dispatch the way the
+// hardware amortises pipeline fill; decisions are bit-identical to the
+// per-packet path because inference neither reads nor writes flow registers.
+// Error semantics match ProcessBatch.
+func (d *Device) ProcessIndexed(ins []PacketIn, out []Decision, idx []int) error {
+	n := len(ins)
+	if idx != nil {
+		n = len(idx)
+	}
 	var callerErr error
-	for i := range ins {
-		if err := d.ProcessInto(ins[i], &out[i]); err != nil {
-			if callerErr == nil && errors.Is(err, ErrBadFeatureWidth) {
-				callerErr = err
+	fail := func(i int, err error) {
+		if callerErr == nil && errors.Is(err, ErrBadFeatureWidth) {
+			callerErr = err
+		}
+		out[i] = Decision{Verdict: Drop}
+	}
+	if d.prog == nil {
+		for k := 0; k < n; k++ {
+			i := k
+			if idx != nil {
+				i = idx[k]
 			}
-			out[i] = Decision{Verdict: Drop}
+			if err := d.ProcessInto(ins[i], &out[i]); err != nil {
+				fail(i, err)
+			}
+		}
+		return callerErr
+	}
+	staged := d.mlIdx[:0]
+	for k := 0; k < n; k++ {
+		i := k
+		if idx != nil {
+			i = idx[k]
+		}
+		key, ml, err := d.admit(ins[i], &out[i])
+		if err != nil {
+			fail(i, err)
+			continue
+		}
+		if !ml {
+			d.finishBypass(&out[i])
+			continue
+		}
+		d.stageCodes(d.prog.InAt(0, len(staged)), key)
+		staged = append(staged, i)
+		if len(staged) == d.prog.MaxBatch() {
+			d.flushML(staged, out)
+			staged = staged[:0]
 		}
 	}
+	if len(staged) > 0 {
+		d.flushML(staged, out)
+	}
+	d.mlIdx = staged[:0]
 	return callerErr
+}
+
+// flushML sweeps the staged ML packets through the compiled tape and
+// finalises each one's decision from its batch slot.
+func (d *Device) flushML(staged []int, out []Decision) {
+	d.prog.RunBatch(len(staged))
+	for j, i := range staged {
+		d.finishML(&out[i], d.prog.OutAt(0, j)[0])
+	}
 }
 
 // Stats returns a copy of the device counters.
@@ -562,5 +687,27 @@ func (d *Device) Stats() Stats { return d.stats }
 // LoadModel).
 func (d *Device) ModelLatencyNs() float64 { return d.modelLat }
 
-// ModelII returns the compiled model's initiation interval.
+// ModelII returns the placed design's initiation interval from the CGRA
+// timing model.
 func (d *Device) ModelII() int { return d.modelII }
+
+// ScheduledII returns the list schedule's measured initiation interval for
+// the installed model, or 0 when the interpreter fallback is active.
+func (d *Device) ScheduledII() int { return d.schedII }
+
+// ServiceII is the initiation interval the service model charges per ML
+// packet: the schedule-measured II when the hot path is compiled, else the
+// placed design's II. pipeline.ServiceModel and the netqueue simulator
+// derive their per-packet service times from this.
+func (d *Device) ServiceII() int { return d.serviceII() }
+
+func (d *Device) serviceII() int {
+	if d.schedII > 0 {
+		return d.schedII
+	}
+	return d.modelII
+}
+
+// CompiledProgram returns the compiled evaluation tape serving the hot path
+// (nil before LoadModel or when scheduling fell back to the interpreter).
+func (d *Device) CompiledProgram() *sched.Program { return d.prog }

@@ -191,8 +191,13 @@ type Report struct {
 	// CriticalPathCycles is the depth of the longest compute path, in CU
 	// pipeline cycles (interconnect excluded). EstII is the initiation-
 	// interval estimate: unit-sharing pressure times the widest node's
-	// lane iterations. Both are static estimates for the scheduled-
-	// evaluation follow-up, not the placed design's measured timing.
+	// lane iterations. Both are resource-blind static estimates, superseded
+	// by the list scheduler (internal/sched): sched.Plan packs the same
+	// graph under the grid's issue capacity and reports the depth and II
+	// the schedule actually sustains (Schedule.Depth, Schedule.II), which
+	// the device's service model consumes. Compare the two with
+	// `taurus-compile -check` — an EstII below the scheduled II means the
+	// estimate was optimistic about resource contention.
 	CriticalPathCycles int
 	EstII              int
 }

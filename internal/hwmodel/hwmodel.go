@@ -193,6 +193,18 @@ func FullGrid() Usage {
 // stages ("an iso-area design would lose 3 MATs per pipeline", §5.1.1).
 func IsoAreaMATs(areaMM2 float64) float64 { return areaMM2 / MATAreaMM2() }
 
+// ThroughputPPS converts an initiation interval into the block's sustained
+// packet rate at the fabric clock: one packet enters every ii cycles. Feed
+// it the list schedule's measured II (sched.Schedule.II, surfaced as
+// core.Device.ServiceII) rather than graphcheck's depth-only estimate — the
+// schedule accounts for the issue-capacity contention the estimate ignores.
+func ThroughputPPS(ii int) float64 {
+	if ii <= 0 {
+		return 0
+	}
+	return ClockGHz * 1e9 / float64(ii)
+}
+
 // MAT-only ML implementation costs (§5.1.4): MAT stages consumed by prior
 // work mapping models onto match-action tables.
 const (

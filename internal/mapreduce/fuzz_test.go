@@ -3,9 +3,11 @@ package mapreduce_test
 import (
 	"testing"
 
+	"taurus/internal/cgra"
 	"taurus/internal/fixed"
 	"taurus/internal/graphcheck"
 	mr "taurus/internal/mapreduce"
+	"taurus/internal/sched"
 )
 
 // fuzzReader consumes the fuzz input byte stream, yielding zero once
@@ -82,11 +84,73 @@ func graphFromBytes(data []byte) *mr.Graph {
 	return g
 }
 
+// fuzzSeedDNN decodes to a miniature DNN neuron: input·weights summed, plus
+// a bias constant, through a ReLU — the dot+bias+activation shape the
+// compiled tape's opDotAdd fusion targets.
+var fuzzSeedDNN = []byte{
+	6,       // 7 nodes
+	0, 4, 0, // n0 input w4
+	1, 4, 0, // n1 const w4 (each value is gated by its own count byte)
+	8, 2, 0, 0, 0, 8, 254, 255, 255, 255, 8, 3, 0, 0, 0, 8, 1, 0, 0, 0, 4,
+	2, 4, 2, 1, 2, 2, // n2 map mul (n0, n1)
+	4, 1, 1, 3, 0, // n3 reduce add (n2)
+	1, 1, 0, 8, 5, 0, 0, 0, 1, // n4 const bias w1
+	2, 1, 2, 4, 5, 0, // n5 map add (n3, n4)
+	3, 1, 1, 6, 0, // n6 relu (n5)
+	0, 6, // one output: n6
+}
+
+// fuzzSeedKMeans decodes to one squared-distance chain of the KMeans
+// lowering: sub, self-multiply, sum — the opSqDist fusion shape.
+var fuzzSeedKMeans = []byte{
+	4,       // 5 nodes
+	0, 4, 0, // n0 input w4
+	1, 4, 0, // n1 const centroid w4
+	8, 3, 0, 0, 0, 8, 253, 255, 255, 255, 8, 0, 0, 0, 0, 8, 7, 0, 0, 0, 4,
+	2, 4, 2, 1, 2, 1, // n2 map sub (n0, n1)
+	2, 4, 2, 3, 3, 2, // n3 map mul (n2, n2)
+	4, 1, 1, 4, 0, // n4 reduce add (n3)
+	0, 4, // one output: n4
+}
+
+// fuzzSeedSVM decodes to a linear decision function: input·weights summed
+// and requantised — the dot shape of the SVM lowering plus a requant stage.
+var fuzzSeedSVM = []byte{
+	4,       // 5 nodes
+	0, 4, 0, // n0 input w4
+	1, 4, 0, // n1 const weights w4
+	8, 1, 0, 0, 0, 8, 255, 255, 255, 255, 8, 7, 0, 0, 0, 8, 2, 0, 0, 0, 4,
+	2, 4, 2, 1, 2, 2, // n2 map mul (n0, n1)
+	4, 1, 1, 3, 0, // n3 reduce add (n2)
+	6, 1, 1, 4, 64, 1, 0, 0, 8, // n4 requant (n3), M0=320 shift=8
+	0, 4, // one output: n4
+}
+
+// fuzzInputs derives deterministic, magnitude-diverse input vectors from the
+// fuzz data so the differential check exercises saturation paths, not just
+// zeros. salt varies the vectors per batch slot.
+func fuzzInputs(g *mr.Graph, data []byte, salt int) [][]int32 {
+	ins := make([][]int32, len(g.Inputs))
+	for i, id := range g.Inputs {
+		ins[i] = make([]int32, g.Node(id).Width)
+		for k := range ins[i] {
+			b := byte(7*i + 13*k + 31*salt)
+			if len(data) > 0 {
+				b ^= data[(i+k+salt)%len(data)]
+			}
+			ins[i][k] = int32(int8(b)) << (uint(b) % 17)
+		}
+	}
+	return ins
+}
+
 // FuzzGraph checks the static-gate contract end to end: any graph
 // Graph.Validate accepts must survive Encode, Clone, evaluator
 // construction, Eval on zero inputs, and the graphcheck verifier without
 // panicking — Validate is the only shield between untrusted graph bytes
-// and the push paths.
+// and the push paths. On top of that it runs the compiler differential:
+// every Validate-accepted graph must list-schedule on the default grid, and
+// sched.Program.Run/RunBatch must reproduce Graph.Eval bit-for-bit.
 func FuzzGraph(f *testing.F) {
 	// Seed with a valid two-node program (input -> reduce -> output) and a
 	// few structured mutations of it, so coverage starts past Validate.
@@ -94,6 +158,11 @@ func FuzzGraph(f *testing.F) {
 	f.Add([]byte{1, 0, 1, 0, 0, 0})
 	f.Add([]byte{3, 0, 2, 0, 1, 2, 2, 0, 2, 4, 1, 1, 1, 0, 2})
 	f.Add([]byte{0xff, 0x00, 0x10, 0x80, 0x7f})
+	// Model-family shapes (miniature dnn/svm/kmeans kernels) so the corpus
+	// starts inside the fusion patterns the compiled tape special-cases.
+	f.Add(fuzzSeedDNN)
+	f.Add(fuzzSeedKMeans)
+	f.Add(fuzzSeedSVM)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		g := graphFromBytes(data)
@@ -123,5 +192,70 @@ func FuzzGraph(f *testing.F) {
 		_, _ = g.Eval(ins...)
 		// The verifier runs on every push path; it must never panic either.
 		_ = graphcheck.Verify(g)
+		schedDifferential(t, g, data)
 	})
+}
+
+// schedDifferential asserts the compiled tape agrees with the interpreter.
+// Graphs whose Eval legitimately errors (undeclared inputs) are skipped;
+// everything else must compile and match bit-for-bit, single-packet and
+// across distinct batch slots.
+func schedDifferential(t *testing.T, g *mr.Graph, data []byte) {
+	const slots = 3
+	refs := make([][][]int32, slots)
+	for j := 0; j < slots; j++ {
+		outs, err := g.Eval(fuzzInputs(g, data, j)...)
+		if err != nil {
+			return
+		}
+		refs[j] = outs
+	}
+	p, err := sched.Compile(g, cgra.DefaultGrid())
+	if err != nil {
+		t.Fatalf("sched.Compile rejects a Validate-accepted graph: %v", err)
+	}
+	// Single-packet Run on slot 0's inputs.
+	for i := range g.Inputs {
+		copy(p.In(i), fuzzInputs(g, data, 0)[i])
+	}
+	p.Run()
+	for oi := range g.Outputs {
+		for k, want := range refs[0][oi] {
+			if got := p.Out(oi)[k]; got != want {
+				t.Fatalf("Run: output %d lane %d = %d, interpreter says %d", oi, k, got, want)
+			}
+		}
+	}
+	// Batched RunBatch with a different vector per slot.
+	for j := 0; j < slots; j++ {
+		jin := fuzzInputs(g, data, j)
+		for i := range g.Inputs {
+			copy(p.InAt(i, j), jin[i])
+		}
+	}
+	p.RunBatch(slots)
+	for j := 0; j < slots; j++ {
+		for oi := range g.Outputs {
+			for k, want := range refs[j][oi] {
+				if got := p.OutAt(oi, j)[k]; got != want {
+					t.Fatalf("RunBatch slot %d: output %d lane %d = %d, interpreter says %d", j, oi, k, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestFuzzSeeds pins the model-shaped corpus seeds: each must decode to a
+// Validate-accepted graph (otherwise the fuzzer silently skips them and the
+// corpus quietly rots) and survive the compiler differential.
+func TestFuzzSeeds(t *testing.T) {
+	for name, seed := range map[string][]byte{
+		"dnn": fuzzSeedDNN, "kmeans": fuzzSeedKMeans, "svm": fuzzSeedSVM,
+	} {
+		g := graphFromBytes(seed)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s seed decodes to an invalid graph: %v", name, err)
+		}
+		schedDifferential(t, g, seed)
+	}
 }

@@ -10,7 +10,10 @@
 // queues with finite capacity — the same flow→shard mapping ProcessBatch
 // uses — and are serviced with times from the pipeline's measured occupancy
 // model (pipeline.ServiceModel: II ns per ML packet, one cycle per bypass,
-// plus the block's fill latency on the way out). Control-plane weight
+// plus the block's fill latency on the way out). The II in that model is
+// the list schedule's measured initiation interval (internal/sched, via
+// core.Device.ServiceII), so simulated latency and loss are derived from
+// the schedule the device actually executes, not a depth-only estimate. Control-plane weight
 // pushes become simulated events too: Push stalls every shard's service for
 // PushStallNs — the out-of-band weight-write window — so the drift
 // collapse-and-recover story can be asked with queueing: does a retrain

@@ -15,7 +15,6 @@
 package pipeline
 
 import (
-	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -119,16 +118,12 @@ func (p *Pipeline) worker(s *shard, reqs <-chan batchReq) {
 		s.mu.Lock()
 		s.err = nil
 		before := s.dev.Stats().ModelBusyNs
-		for _, i := range s.idx {
-			if err := s.dev.ProcessInto(r.ins[i], &r.out[i]); err != nil {
-				if errors.Is(err, core.ErrBadFeatureWidth) {
-					// Caller bug, not traffic: surface it from ProcessBatch.
-					s.err = err
-				}
-				// Malformed packet: drop it, keep the batch going (the
-				// parse error is counted in the shard's stats).
-				r.out[i] = core.Decision{Verdict: core.Drop}
-			}
+		// ProcessIndexed drops malformed packets itself (parse errors count
+		// in the shard's stats) and batches ML inferences through the
+		// device's compiled program; a bad feature width is a caller bug and
+		// surfaces from ProcessBatch.
+		if err := s.dev.ProcessIndexed(r.ins, r.out, s.idx); err != nil {
+			s.err = err
 		}
 		s.busyNs = s.dev.Stats().ModelBusyNs - before
 		s.mu.Unlock()
@@ -355,12 +350,22 @@ func (p *Pipeline) ModelLatencyNs() float64 {
 	return s.dev.ModelLatencyNs()
 }
 
-// ModelII returns the compiled model's initiation interval.
+// ModelII returns the placed design's initiation interval from the CGRA
+// timing model.
 func (p *Pipeline) ModelII() int {
 	s := p.shards[0]
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.dev.ModelII()
+}
+
+// ScheduledII returns the list schedule's measured initiation interval for
+// the deployed model (0 when the shards fell back to the interpreter).
+func (p *Pipeline) ScheduledII() int {
+	s := p.shards[0]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dev.ScheduledII()
 }
 
 // ServiceModel is the per-shard service-time model of the deployed design —
@@ -395,14 +400,18 @@ func (m ServiceModel) NominalPPS() float64 {
 
 // ServiceModel returns the deployed model's per-shard service times (zero
 // MLServiceNs before LoadModel; shards are identical, so shard 0 speaks for
-// all).
+// all). MLServiceNs is the schedule-measured II of the compiled tape
+// (core.Device.ServiceII) — the II the list scheduler packed under the
+// grid's issue capacity, not graphcheck's depth-only estimate — so the
+// queueing simulator and MaxSustainablePPS are derived from the schedule
+// the device actually executes.
 func (p *Pipeline) ServiceModel() ServiceModel {
 	s := p.shards[0]
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return ServiceModel{
 		Shards:          len(p.shards),
-		MLServiceNs:     float64(s.dev.ModelII()),
+		MLServiceNs:     float64(s.dev.ServiceII()),
 		BypassServiceNs: 1,
 		LatencyNs:       s.dev.ModelLatencyNs(),
 	}

@@ -1,0 +1,702 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"taurus/internal/cgra"
+	"taurus/internal/fixed"
+	mr "taurus/internal/mapreduce"
+)
+
+// DefaultBatch is the packet capacity a Program is compiled with: RunBatch
+// sweeps up to this many packets per instruction, amortising dispatch the
+// way pipeline.ProcessBatch amortises channel hops.
+const DefaultBatch = 16
+
+// opcode discriminates tape instructions. Each opcode is a specialised loop
+// with the operator and saturation inlined — the per-lane Apply switch the
+// interpreter pays is hoisted out entirely.
+type opcode uint8
+
+const (
+	opAdd opcode = iota
+	opSub
+	opMul
+	opMin
+	opMax
+	opRelu
+	opLeaky
+	opNeg
+	opAbs
+	opSum
+	opRedMin
+	opRedMax
+	opArgMin
+	opArgMax
+	opRequant
+	opScale
+	opLUT
+	opCopy
+	// opDot fuses KMap(MMul) into its sole KReduce(RAdd) consumer: one pass
+	// computing sum(sat32(a[i]*b[i])) without materialising the products —
+	// the dominant pattern of every dense lowering (DotProduct).
+	opDot
+	// opDotAdd additionally folds the scalar bias add that follows every
+	// neuron's dot product: sat32(sat32(dot) + c).
+	opDotAdd
+	// opSqDist fuses KMap(MSub) -> KMap(MMul, d, d) -> KReduce(RAdd): the
+	// squared-distance chain of the KMeans lowering.
+	opSqDist
+)
+
+// operand locates one argument's lanes. Constants alias the graph node's
+// Const slice (window off..off+w) so in-place weight pushes stay visible;
+// everything else lives in the program's batch-major arena at off + j*stride
+// for packet j.
+type operand struct {
+	cs     []int32 // non-nil: constant lanes cs[off:off+w], same every packet
+	off    int
+	stride int
+	w      int
+}
+
+// instr is one tape entry. dst/dstride address the output window in the
+// arena (dstride is the producing node's full width; for concat pieces the
+// copy width w is narrower). mult and lut alias the graph node's payloads so
+// UpdateWeights pushes take effect without recompiling.
+type instr struct {
+	op      opcode
+	dst     int
+	dstride int
+	w       int
+	a, b, c operand
+	mult    *fixed.Multiplier
+	lut     *mr.LUT
+}
+
+// Program is a compiled evaluation tape over a validated graph: the
+// schedule's bundles linearised into straight-line instructions over a
+// preallocated structure-of-arrays arena. Run and RunBatch are bit-exact
+// with Graph.Eval and allocate nothing.
+//
+// Like Evaluator, a Program is tied to the graph it was compiled from and
+// sees in-place weight mutations (constants, LUT tables and requantisation
+// multipliers are read through the live nodes). It is not safe for
+// concurrent use; give each shard its own Program over its own clone.
+type Program struct {
+	g     *mr.Graph
+	sched *Schedule
+	code  []instr
+	vals  []int32
+	batch int
+	ins   []operand // per declared input
+	outs  []operand // per declared output
+}
+
+// Compile plans g on spec and emits the instruction tape with the default
+// batch capacity.
+func Compile(g *mr.Graph, spec cgra.GridSpec) (*Program, error) {
+	return CompileBatch(g, spec, DefaultBatch)
+}
+
+// CompileBatch compiles with an explicit batch capacity (>= 1).
+func CompileBatch(g *mr.Graph, spec cgra.GridSpec, batch int) (*Program, error) {
+	if batch < 1 {
+		return nil, fmt.Errorf("sched: batch capacity %d", batch)
+	}
+	s, err := Plan(g, spec)
+	if err != nil {
+		return nil, err
+	}
+	p := &Program{g: g, sched: s, batch: batch}
+	if err := p.emit(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Schedule returns the bundle schedule the tape was linearised from.
+func (p *Program) Schedule() *Schedule { return p.sched }
+
+// Graph returns the graph this program evaluates.
+func (p *Program) Graph() *mr.Graph { return p.g }
+
+// MaxBatch returns the batch capacity RunBatch accepts.
+func (p *Program) MaxBatch() int { return p.batch }
+
+// In returns packet 0's buffer for the i-th declared input (the single-
+// packet Run path); the caller writes feature codes into it.
+func (p *Program) In(i int) []int32 { return p.InAt(i, 0) }
+
+// InAt returns batch slot j's buffer for the i-th declared input.
+func (p *Program) InAt(i, j int) []int32 {
+	o := p.ins[i]
+	base := o.off + j*o.stride
+	return p.vals[base : base+o.w]
+}
+
+// Out returns packet 0's i-th declared output after Run.
+func (p *Program) Out(i int) []int32 { return p.OutAt(i, 0) }
+
+// OutAt returns batch slot j's i-th declared output after RunBatch.
+func (p *Program) OutAt(i, j int) []int32 {
+	o := p.outs[i]
+	if o.cs != nil {
+		return o.cs[o.off : o.off+o.w]
+	}
+	base := o.off + j*o.stride
+	return p.vals[base : base+o.w]
+}
+
+// emit lays out the arena and linearises the schedule into the tape. Three
+// peephole passes cut the instruction count before emission: dot/sqdist
+// chains fuse into their reductions, a neuron's scalar bias add folds into
+// its dot product, and values consumed only by a concat are produced
+// directly into the concat's window (copy elimination).
+func (p *Program) emit() error {
+	g, s := p.g, p.sched
+
+	// Consumer counts decide fusion legality: a node folded into a fused
+	// instruction must have exactly the fusing consumer and must not be a
+	// declared output (outputs count as a use).
+	uses := make([]int, len(g.Nodes))
+	for _, n := range g.Nodes {
+		for _, a := range n.Args {
+			uses[a]++
+		}
+	}
+	for _, o := range g.Outputs {
+		uses[o]++
+	}
+	fused := make([]bool, len(g.Nodes))
+	for _, n := range g.Nodes {
+		if n.Kind != mr.KReduce || n.Reduce != mr.RAdd {
+			continue
+		}
+		m := g.Node(n.Args[0])
+		if m.Kind != mr.KMap || m.Map != mr.MMul || uses[m.ID] != 1 {
+			continue
+		}
+		fused[m.ID] = true
+		if m.Args[0] == m.Args[1] {
+			if d := g.Node(m.Args[0]); d.Kind == mr.KMap && d.Map == mr.MSub && uses[d.ID] == 2 {
+				fused[d.ID] = true
+			}
+		}
+	}
+	// Bias folding: MAdd(reduce, scalar) where the reduce is a
+	// single-consumer fused dot. The add is emitted as one opDotAdd at the
+	// MAdd node; the reduce disappears (saturation order is preserved:
+	// sat32(sat32(sum) + bias), and int32 addition commutes bit-exactly).
+	biasDot := make([]mr.NodeID, len(g.Nodes)) // MAdd id -> dot-reduce id
+	for i := range biasDot {
+		biasDot[i] = -1
+	}
+	for _, n := range g.Nodes {
+		if n.Kind != mr.KMap || n.Map != mr.MAdd || n.Width != 1 {
+			continue
+		}
+		for _, a := range n.Args {
+			r := g.Node(a)
+			if r.Kind != mr.KReduce || r.Reduce != mr.RAdd || uses[r.ID] != 1 {
+				continue
+			}
+			m := g.Node(r.Args[0])
+			if !fused[m.ID] || (m.Args[0] == m.Args[1] && fused[m.Args[0]]) {
+				continue // plain sum or sqdist chain: not a dot
+			}
+			biasDot[n.ID] = r.ID
+			fused[r.ID] = true
+			break
+		}
+	}
+
+	// Copy elimination: a value whose only consumer is one concat slot is
+	// produced straight into the concat's arena window.
+	type sinkTo struct {
+		target mr.NodeID
+		lane   int
+	}
+	sink := make([]sinkTo, len(g.Nodes))
+	for i := range sink {
+		sink[i].target = -1
+	}
+	for _, n := range g.Nodes {
+		if n.Kind != mr.KConcat {
+			continue
+		}
+		at := 0
+		for _, a := range n.Args {
+			an := g.Node(a)
+			switch an.Kind {
+			case mr.KInput, mr.KConst, mr.KSlice:
+				// caller-filled or not arena-backed: keep the copy
+			default:
+				if uses[a] == 1 && !fused[a] {
+					sink[a] = sinkTo{target: n.ID, lane: at}
+				}
+			}
+			at += an.Width
+		}
+	}
+
+	// Arena layout: one batch-major block per value-producing node that is
+	// neither fused away nor sunk. Consts live in the graph; slices and
+	// sunk values resolve into another node's window.
+	loc := make([]operand, len(g.Nodes))
+	resolved := make([]bool, len(g.Nodes))
+	off := 0
+	for _, n := range g.Nodes {
+		switch {
+		case n.Kind == mr.KConst:
+			loc[n.ID] = operand{cs: n.Const, w: n.Width}
+			resolved[n.ID] = true
+		case n.Kind == mr.KSlice, fused[n.ID], sink[n.ID].target >= 0:
+			// resolved lazily below
+		default:
+			loc[n.ID] = operand{off: off, stride: n.Width, w: n.Width}
+			resolved[n.ID] = true
+			off += p.batch * n.Width
+		}
+	}
+	p.vals = make([]int32, off)
+	var resolve func(id mr.NodeID) operand
+	resolve = func(id mr.NodeID) operand {
+		if resolved[id] {
+			return loc[id]
+		}
+		n := g.Node(id)
+		var o operand
+		if n.Kind == mr.KSlice {
+			o = resolve(n.Args[0])
+			o.off += n.Start
+		} else {
+			o = resolve(sink[id].target)
+			o.off += sink[id].lane
+		}
+		o.w = n.Width
+		loc[id], resolved[id] = o, true
+		return o
+	}
+
+	// Linearise bundle by bundle (ties broken by node ID, which is
+	// topological): the tape executes the schedule in issue order.
+	order := make([]mr.NodeID, 0, len(g.Nodes))
+	for _, n := range g.Nodes {
+		order = append(order, n.ID)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		if s.Start[a] != s.Start[b] {
+			return s.Start[a] < s.Start[b]
+		}
+		return a < b
+	})
+
+	for _, id := range order {
+		n := g.Node(id)
+		if fused[id] {
+			continue
+		}
+		switch n.Kind {
+		case mr.KInput, mr.KConst, mr.KSlice:
+			continue // caller-filled, resident, or pure routing
+		}
+		d := resolve(id)
+		ins := instr{dst: d.off, dstride: d.stride, w: n.Width}
+		switch n.Kind {
+		case mr.KMap:
+			if r := biasDot[id]; r >= 0 {
+				m := g.Node(g.Node(r).Args[0])
+				bias := n.Args[0]
+				if bias == r {
+					bias = n.Args[1]
+				}
+				ins.op = opDotAdd
+				ins.a, ins.b, ins.c = resolve(m.Args[0]), resolve(m.Args[1]), resolve(bias)
+				break
+			}
+			ins.op = [...]opcode{opAdd, opSub, opMul, opMin, opMax}[n.Map]
+			ins.a, ins.b = resolve(n.Args[0]), resolve(n.Args[1])
+		case mr.KUnary:
+			ins.op = [...]opcode{opRelu, opLeaky, opNeg, opAbs}[n.Unary]
+			ins.a = resolve(n.Args[0])
+		case mr.KReduce:
+			m := g.Node(n.Args[0])
+			switch {
+			case n.Reduce == mr.RAdd && fused[m.ID] && m.Args[0] == m.Args[1] && fused[m.Args[0]]:
+				d := g.Node(m.Args[0])
+				ins.op, ins.a, ins.b = opSqDist, resolve(d.Args[0]), resolve(d.Args[1])
+			case n.Reduce == mr.RAdd && fused[m.ID]:
+				ins.op, ins.a, ins.b = opDot, resolve(m.Args[0]), resolve(m.Args[1])
+			default:
+				ins.op = [...]opcode{opSum, opRedMin, opRedMax, opArgMin, opArgMax}[n.Reduce]
+				ins.a = resolve(n.Args[0])
+			}
+		case mr.KConcat:
+			at := 0
+			for _, a := range n.Args {
+				src := resolve(a)
+				if sink[a].target == id {
+					at += src.w
+					continue // produced in place, no copy
+				}
+				p.code = append(p.code, instr{
+					op: opCopy, dst: d.off + at, dstride: d.stride, w: src.w, a: src,
+				})
+				at += src.w
+			}
+			continue
+		case mr.KRequant:
+			ins.op, ins.a, ins.mult = opRequant, resolve(n.Args[0]), &n.Mult
+		case mr.KScale:
+			ins.op, ins.a, ins.mult = opScale, resolve(n.Args[0]), &n.Mult
+		case mr.KLUT:
+			ins.op, ins.a, ins.lut = opLUT, resolve(n.Args[0]), n.LUT
+		default:
+			return fmt.Errorf("sched: node %d has unknown kind %v", id, n.Kind)
+		}
+		p.code = append(p.code, ins)
+	}
+
+	p.ins = make([]operand, len(g.Inputs))
+	for i, id := range g.Inputs {
+		p.ins[i] = resolve(id)
+	}
+	p.outs = make([]operand, len(g.Outputs))
+	for i, id := range g.Outputs {
+		p.outs[i] = resolve(id)
+	}
+	return nil
+}
+
+// lanes resolves an operand's window for batch slot j.
+func (p *Program) lanes(o operand, j int) []int32 {
+	if o.cs != nil {
+		return o.cs[o.off : o.off+o.w]
+	}
+	base := o.off + j*o.stride
+	return p.vals[base : base+o.w]
+}
+
+// sat32 clamps a wide intermediate to int32, identically to
+// fixed.Fix32.Saturate.
+func sat32(v int64) int32 {
+	if v < math.MinInt32 {
+		return math.MinInt32
+	}
+	if v > math.MaxInt32 {
+		return math.MaxInt32
+	}
+	return int32(v)
+}
+
+// Run evaluates batch slot 0: the per-packet hot path.
+func (p *Program) Run() { p.RunBatch(1) }
+
+// RunBatch evaluates batch slots 0..n-1 in one tape sweep. The caller fills
+// InAt(i, j) for each slot beforehand and reads OutAt(i, j) after. It
+// allocates nothing and is bit-exact with Graph.Eval per slot.
+func (p *Program) RunBatch(n int) {
+	if n < 1 || n > p.batch {
+		panic(fmt.Sprintf("sched: RunBatch(%d) outside capacity %d", n, p.batch))
+	}
+	for ci := range p.code {
+		ins := &p.code[ci]
+		switch ins.op {
+		case opAdd:
+			for j := 0; j < n; j++ {
+				a, out := p.lanes(ins.a, j), p.dst(ins, j)
+				if ins.b.w == 1 {
+					bv := int64(p.lanes(ins.b, j)[0])
+					for i := range out {
+						out[i] = sat32(int64(a[i]) + bv)
+					}
+				} else {
+					b := p.lanes(ins.b, j)
+					for i := range out {
+						out[i] = sat32(int64(a[i]) + int64(b[i]))
+					}
+				}
+			}
+		case opSub:
+			for j := 0; j < n; j++ {
+				a, out := p.lanes(ins.a, j), p.dst(ins, j)
+				if ins.b.w == 1 {
+					bv := int64(p.lanes(ins.b, j)[0])
+					for i := range out {
+						out[i] = sat32(int64(a[i]) - bv)
+					}
+				} else {
+					b := p.lanes(ins.b, j)
+					for i := range out {
+						out[i] = sat32(int64(a[i]) - int64(b[i]))
+					}
+				}
+			}
+		case opMul:
+			for j := 0; j < n; j++ {
+				a, out := p.lanes(ins.a, j), p.dst(ins, j)
+				if ins.b.w == 1 {
+					bv := int64(p.lanes(ins.b, j)[0])
+					for i := range out {
+						out[i] = sat32(int64(a[i]) * bv)
+					}
+				} else {
+					b := p.lanes(ins.b, j)
+					for i := range out {
+						out[i] = sat32(int64(a[i]) * int64(b[i]))
+					}
+				}
+			}
+		case opMin:
+			for j := 0; j < n; j++ {
+				a, out := p.lanes(ins.a, j), p.dst(ins, j)
+				if ins.b.w == 1 {
+					bv := p.lanes(ins.b, j)[0]
+					for i := range out {
+						if v := a[i]; v < bv {
+							out[i] = v
+						} else {
+							out[i] = bv
+						}
+					}
+				} else {
+					b := p.lanes(ins.b, j)
+					for i := range out {
+						if v, bv := a[i], b[i]; v < bv {
+							out[i] = v
+						} else {
+							out[i] = bv
+						}
+					}
+				}
+			}
+		case opMax:
+			for j := 0; j < n; j++ {
+				a, out := p.lanes(ins.a, j), p.dst(ins, j)
+				if ins.b.w == 1 {
+					bv := p.lanes(ins.b, j)[0]
+					for i := range out {
+						if v := a[i]; v > bv {
+							out[i] = v
+						} else {
+							out[i] = bv
+						}
+					}
+				} else {
+					b := p.lanes(ins.b, j)
+					for i := range out {
+						if v, bv := a[i], b[i]; v > bv {
+							out[i] = v
+						} else {
+							out[i] = bv
+						}
+					}
+				}
+			}
+		case opRelu:
+			for j := 0; j < n; j++ {
+				a, out := p.lanes(ins.a, j), p.dst(ins, j)
+				for i := range out {
+					if v := a[i]; v > 0 {
+						out[i] = v
+					} else {
+						out[i] = 0
+					}
+				}
+			}
+		case opLeaky:
+			for j := 0; j < n; j++ {
+				a, out := p.lanes(ins.a, j), p.dst(ins, j)
+				for i := range out {
+					if v := a[i]; v < 0 {
+						out[i] = int32((int64(v)*82 + 4096) >> 13)
+					} else {
+						out[i] = v
+					}
+				}
+			}
+		case opNeg:
+			for j := 0; j < n; j++ {
+				a, out := p.lanes(ins.a, j), p.dst(ins, j)
+				for i := range out {
+					out[i] = sat32(-int64(a[i]))
+				}
+			}
+		case opAbs:
+			for j := 0; j < n; j++ {
+				a, out := p.lanes(ins.a, j), p.dst(ins, j)
+				for i := range out {
+					if v := a[i]; v < 0 {
+						out[i] = sat32(-int64(v))
+					} else {
+						out[i] = v
+					}
+				}
+			}
+		case opSum:
+			for j := 0; j < n; j++ {
+				a := p.lanes(ins.a, j)
+				var s int64
+				for _, v := range a {
+					s += int64(v)
+				}
+				p.dst(ins, j)[0] = sat32(s)
+			}
+		case opRedMin, opArgMin:
+			for j := 0; j < n; j++ {
+				a := p.lanes(ins.a, j)
+				best := 0
+				for i, v := range a {
+					if v < a[best] {
+						best = i
+					}
+				}
+				if ins.op == opArgMin {
+					p.dst(ins, j)[0] = int32(best)
+				} else {
+					p.dst(ins, j)[0] = a[best]
+				}
+			}
+		case opRedMax, opArgMax:
+			for j := 0; j < n; j++ {
+				a := p.lanes(ins.a, j)
+				best := 0
+				for i, v := range a {
+					if v > a[best] {
+						best = i
+					}
+				}
+				if ins.op == opArgMax {
+					p.dst(ins, j)[0] = int32(best)
+				} else {
+					p.dst(ins, j)[0] = a[best]
+				}
+			}
+		case opRequant:
+			m := *ins.mult // read once per sweep; aliases the live node
+			if m.Shift >= 63 {
+				p.fill(ins, n, 0) // degenerate multiplier rounds to zero
+				continue
+			}
+			m0, half, sh := int64(m.M0), int64(1)<<(m.Shift-1), uint(m.Shift)
+			for j := 0; j < n; j++ {
+				a, out := p.lanes(ins.a, j), p.dst(ins, j)
+				for i := range out {
+					v := int32((int64(a[i])*m0 + half) >> sh)
+					if v > 127 {
+						v = 127
+					} else if v < -128 {
+						v = -128
+					}
+					out[i] = v
+				}
+			}
+		case opScale:
+			m := *ins.mult
+			if m.Shift >= 63 {
+				p.fill(ins, n, 0)
+				continue
+			}
+			m0, half, sh := int64(m.M0), int64(1)<<(m.Shift-1), uint(m.Shift)
+			for j := 0; j < n; j++ {
+				a, out := p.lanes(ins.a, j), p.dst(ins, j)
+				for i := range out {
+					out[i] = int32((int64(a[i])*m0 + half) >> sh)
+				}
+			}
+		case opLUT:
+			lut := ins.lut
+			m := lut.Mult
+			for j := 0; j < n; j++ {
+				a, out := p.lanes(ins.a, j), p.dst(ins, j)
+				for i := range out {
+					idx := m.Apply(a[i])
+					if idx < -mr.LUTSize/2 {
+						idx = -mr.LUTSize / 2
+					} else if idx > mr.LUTSize/2-1 {
+						idx = mr.LUTSize/2 - 1
+					}
+					out[i] = int32(lut.Table[idx+mr.LUTSize/2])
+				}
+			}
+		case opCopy:
+			for j := 0; j < n; j++ {
+				copy(p.dst(ins, j), p.lanes(ins.a, j))
+			}
+		case opDot:
+			for j := 0; j < n; j++ {
+				a := p.lanes(ins.a, j)
+				var s int64
+				if ins.b.w == 1 {
+					bv := int64(p.lanes(ins.b, j)[0])
+					for _, v := range a {
+						s += int64(sat32(int64(v) * bv))
+					}
+				} else {
+					b := p.lanes(ins.b, j)
+					for i, v := range a {
+						s += int64(sat32(int64(v) * int64(b[i])))
+					}
+				}
+				p.dst(ins, j)[0] = sat32(s)
+			}
+		case opDotAdd:
+			for j := 0; j < n; j++ {
+				a := p.lanes(ins.a, j)
+				var s int64
+				if ins.b.w == 1 {
+					bv := int64(p.lanes(ins.b, j)[0])
+					for _, v := range a {
+						s += int64(sat32(int64(v) * bv))
+					}
+				} else {
+					b := p.lanes(ins.b, j)
+					for i, v := range a {
+						s += int64(sat32(int64(v) * int64(b[i])))
+					}
+				}
+				cv := int64(p.lanes(ins.c, j)[0])
+				p.dst(ins, j)[0] = sat32(int64(sat32(s)) + cv)
+			}
+		case opSqDist:
+			for j := 0; j < n; j++ {
+				a := p.lanes(ins.a, j)
+				var s int64
+				if ins.b.w == 1 {
+					bv := int64(p.lanes(ins.b, j)[0])
+					for _, v := range a {
+						d := int64(sat32(int64(v) - bv))
+						s += int64(sat32(d * d))
+					}
+				} else {
+					b := p.lanes(ins.b, j)
+					for i, v := range a {
+						d := int64(sat32(int64(v) - int64(b[i])))
+						s += int64(sat32(d * d))
+					}
+				}
+				p.dst(ins, j)[0] = sat32(s)
+			}
+		}
+	}
+}
+
+// dst resolves an instruction's output window for batch slot j.
+func (p *Program) dst(ins *instr, j int) []int32 {
+	base := ins.dst + j*ins.dstride
+	return p.vals[base : base+ins.w]
+}
+
+// fill writes v across the instruction's output for slots 0..n-1.
+func (p *Program) fill(ins *instr, n int, v int32) {
+	for j := 0; j < n; j++ {
+		out := p.dst(ins, j)
+		for i := range out {
+			out[i] = v
+		}
+	}
+}

@@ -101,6 +101,7 @@ import (
 	"taurus/internal/netqueue"
 	"taurus/internal/pipeline"
 	"taurus/internal/pisa"
+	"taurus/internal/sched"
 	"taurus/internal/tensor"
 	"taurus/internal/trafficgen"
 )
@@ -183,6 +184,31 @@ type (
 // Compile lowers a MapReduce program onto the grid.
 func Compile(g *Graph, opts CompileOptions) (*Compiled, error) {
 	return compiler.Compile(g, opts)
+}
+
+// Scheduled evaluation (internal/sched): the compiled counterpart of the
+// Evaluator. PlanSchedule list-schedules a validated graph into VLIW-style
+// issue bundles under the grid's CU/MU capacity and reports the measured
+// depth and initiation interval (superseding GraphReport's depth-only
+// estimate); CompileProgram additionally emits the fused, allocation-free
+// instruction tape the device hot path runs, with batch-vectorised
+// RunBatch. Devices compile installed models automatically — these entry
+// points are for inspecting or benchmarking a schedule directly.
+type (
+	// Schedule is a resource-constrained bundle schedule of one graph;
+	// String() renders the per-cycle bundles.
+	Schedule = sched.Schedule
+	// CompiledProgram is the executable instruction tape; Run/RunBatch are
+	// bit-exact with Graph.Eval and allocate nothing.
+	CompiledProgram = sched.Program
+)
+
+// PlanSchedule list-schedules g on the grid.
+func PlanSchedule(g *Graph, spec GridSpec) (*Schedule, error) { return sched.Plan(g, spec) }
+
+// CompileProgram plans g and emits its instruction tape.
+func CompileProgram(g *Graph, spec GridSpec) (*CompiledProgram, error) {
+	return sched.Compile(g, spec)
 }
 
 // DefaultGrid returns the final ASIC configuration: a 12x10 grid with 3:1
