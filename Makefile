@@ -44,10 +44,11 @@ check:
 	fi
 	$(GO) vet ./...
 
-# Repo-local vet passes. clonecheck enforces the clone-before-push contract
-# on every UpdateWeights/LoadModel call site (see internal/lint/clonecheck).
+# Repo-local vet passes: the taurus-lint multichecker runs clonecheck
+# (clone-before-push), hotpathcheck (zero-alloc hot paths) and gatecheck
+# (verify-before-push) over the production tree (see internal/lint).
 lint: check
-	$(GO) run ./cmd/clonecheck .
+	$(GO) run ./cmd/taurus-lint .
 
 fmt:
 	gofmt -w .

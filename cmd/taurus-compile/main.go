@@ -2,19 +2,25 @@
 // MapReduce, places it on the CGRA grid, and prints the compilation report:
 // units used, latency, initiation interval, area and power.
 //
-// With -check it instead runs the static verifier (internal/graphcheck) and
-// prints the full analysis report — value ranges, resource census, dead
-// nodes, II estimate — exiting non-zero if the graph is rejected. The
-// verifier's depth-only CriticalPathCycles/EstII are printed next to the
-// list scheduler's measured depth and II (internal/sched), with a warning
-// when the estimate turns out optimistic about resource contention.
+// With -check it instead runs both static verifiers and prints their full
+// reports, exiting non-zero if either rejects: the graph verifier
+// (internal/graphcheck) — value ranges, resource census, dead nodes, II
+// estimate — and the tape verifier (internal/sched/tapecheck), which
+// translation-validates the compiled instruction tape against the graph
+// (semantic equivalence, interval soundness, weight aliasing, arena and
+// schedule bounds). The graph verifier's depth-only CriticalPathCycles/EstII
+// are printed next to the list scheduler's measured depth and II
+// (internal/sched), with a warning when the estimate turns out optimistic
+// about resource contention. -json renders both reports as one JSON document
+// instead of text.
 //
 // Usage:
 //
-//	taurus-compile -model dnn|svm|kmeans|lstm [-maxcus N] [-seed N] [-check]
+//	taurus-compile -model dnn|svm|kmeans|lstm [-maxcus N] [-seed N] [-check [-json]]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -25,22 +31,28 @@ import (
 	"taurus/internal/graphcheck"
 	mr "taurus/internal/mapreduce"
 	"taurus/internal/sched"
+	"taurus/internal/sched/tapecheck"
 )
 
 func main() {
 	model := flag.String("model", "dnn", "model to compile: dnn, svm, kmeans, lstm")
 	maxCUs := flag.Int("maxcus", 0, "cap on compute units (0 = whole grid); forces unit sharing")
 	seed := flag.Int64("seed", 1, "training seed")
-	check := flag.Bool("check", false, "run the static verifier and print its report instead of compiling")
+	check := flag.Bool("check", false, "run the static verifiers and print their reports instead of compiling")
+	asJSON := flag.Bool("json", false, "with -check: print both verifier reports as JSON")
 	flag.Parse()
 
-	if err := run(*model, *maxCUs, *seed, *check); err != nil {
+	if *asJSON && !*check {
+		fmt.Fprintln(os.Stderr, "taurus-compile: -json requires -check")
+		os.Exit(2)
+	}
+	if err := run(*model, *maxCUs, *seed, *check, *asJSON); err != nil {
 		fmt.Fprintln(os.Stderr, "taurus-compile:", err)
 		os.Exit(1)
 	}
 }
 
-func run(model string, maxCUs int, seed int64, check bool) error {
+func run(model string, maxCUs int, seed int64, check, asJSON bool) error {
 	fmt.Fprintln(os.Stderr, "training models...")
 	m, err := experiments.TrainModels(seed)
 	if err != nil {
@@ -61,32 +73,7 @@ func run(model string, maxCUs int, seed int64, check bool) error {
 	}
 
 	if check {
-		rep := graphcheck.Verify(g)
-		fmt.Print(rep)
-		if !rep.OK() {
-			os.Exit(1)
-		}
-		// Measured schedule next to the static estimate: the verifier's
-		// CriticalPathCycles/EstII are resource-blind, the list schedule is
-		// packed under the grid's issue capacity.
-		s, err := sched.Plan(g, cgra.DefaultGrid())
-		if err != nil {
-			return fmt.Errorf("graph verifies but does not schedule: %w", err)
-		}
-		fmt.Printf("\nscheduled (list schedule on %dx%d grid):\n", s.Spec.Rows, s.Spec.Cols)
-		fmt.Printf("  depth:     %d cycles (graphcheck estimate %d)\n", s.Depth, rep.CriticalPathCycles)
-		fmt.Printf("  II:        %d (graphcheck estimate %d)\n", s.II, rep.EstII)
-		fmt.Printf("  bundles:   %d CU issues, peak width %d, occupancy %.0f%%\n",
-			s.CUIssues, s.MaxBundle, 100*s.Occupancy())
-		if rep.EstII < s.II {
-			fmt.Printf("  WARNING: estimate is optimistic: EstII %d < scheduled II %d (resource contention)\n",
-				rep.EstII, s.II)
-		}
-		if rep.CriticalPathCycles < s.Depth {
-			fmt.Printf("  WARNING: estimate is optimistic: critical path %d < scheduled depth %d\n",
-				rep.CriticalPathCycles, s.Depth)
-		}
-		return nil
+		return runCheck(g, asJSON)
 	}
 
 	res, err := compiler.Compile(g, compiler.Options{MaxCUs: maxCUs})
@@ -121,5 +108,71 @@ func run(model string, maxCUs int, seed int64, check bool) error {
 		fmt.Printf("col%d:%d ", c, perCol[c])
 	}
 	fmt.Println()
+	return nil
+}
+
+// runCheck runs both static verifiers and prints their reports; the process
+// exits non-zero when either rejects.
+func runCheck(g *mr.Graph, asJSON bool) error {
+	rep := graphcheck.Verify(g)
+
+	// Compile the tape unverified so a rejected translation still yields the
+	// full tapecheck report rather than a bare compile error.
+	var trep *tapecheck.Report
+	var tapeErr string
+	if prog, err := sched.CompileUnverified(g, cgra.DefaultGrid()); err == nil {
+		trep = tapecheck.Verify(prog)
+	} else {
+		tapeErr = err.Error()
+	}
+
+	if asJSON {
+		out := struct {
+			Graph *graphcheck.Report `json:"graph"`
+			Tape  *tapecheck.Report  `json:"tape,omitempty"`
+			// TapeError is set when the list scheduler refused the graph and
+			// no tape exists to verify.
+			TapeError string `json:"tape_error,omitempty"`
+		}{rep, trep, tapeErr}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			return err
+		}
+	} else {
+		fmt.Print(rep)
+		fmt.Println()
+		switch {
+		case trep != nil:
+			fmt.Print(trep)
+		default:
+			fmt.Printf("tapecheck: skipped — graph does not schedule: %s\n", tapeErr)
+		}
+	}
+	if !rep.OK() || (trep != nil && !trep.OK()) {
+		os.Exit(1)
+	}
+	if !asJSON {
+		// Measured schedule next to the static estimate: the verifier's
+		// CriticalPathCycles/EstII are resource-blind, the list schedule is
+		// packed under the grid's issue capacity.
+		s, err := sched.Plan(g, cgra.DefaultGrid())
+		if err != nil {
+			return fmt.Errorf("graph verifies but does not schedule: %w", err)
+		}
+		fmt.Printf("\nscheduled (list schedule on %dx%d grid):\n", s.Spec.Rows, s.Spec.Cols)
+		fmt.Printf("  depth:     %d cycles (graphcheck estimate %d)\n", s.Depth, rep.CriticalPathCycles)
+		fmt.Printf("  II:        %d (graphcheck estimate %d)\n", s.II, rep.EstII)
+		fmt.Printf("  bundles:   %d CU issues, peak width %d, occupancy %.0f%%\n",
+			s.CUIssues, s.MaxBundle, 100*s.Occupancy())
+		if rep.EstII < s.II {
+			fmt.Printf("  WARNING: estimate is optimistic: EstII %d < scheduled II %d (resource contention)\n",
+				rep.EstII, s.II)
+		}
+		if rep.CriticalPathCycles < s.Depth {
+			fmt.Printf("  WARNING: estimate is optimistic: critical path %d < scheduled depth %d\n",
+				rep.CriticalPathCycles, s.Depth)
+		}
+	}
 	return nil
 }

@@ -1,0 +1,63 @@
+// Command taurus-lint runs the repo's static-analysis suite (internal/lint)
+// over one or more directory trees and prints every diagnostic. Exit status
+// 1 when any diagnostic is reported, 2 on a driver error.
+//
+// The suite holds three analyzers, selectable with flags (all on by
+// default):
+//
+//	clonecheck    graphs pushed to UpdateWeights/LoadModel must be owned by
+//	              the pushing function (clone-before-push)
+//	hotpathcheck  functions annotated `//hotpath: zero-alloc` must stay free
+//	              of allocating constructs
+//	gatecheck     push call sites must be dominated by a graphcheck gate
+//
+// Usage:
+//
+//	taurus-lint [-clonecheck=false] [-hotpathcheck=false] [-gatecheck=false] [dir ...]   (default ".")
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"taurus/internal/lint"
+	"taurus/internal/lint/clonecheck"
+	"taurus/internal/lint/gatecheck"
+	"taurus/internal/lint/hotpathcheck"
+)
+
+func main() {
+	all := []*lint.Analyzer{clonecheck.Analyzer, hotpathcheck.Analyzer, gatecheck.Analyzer}
+	enabled := map[string]*bool{}
+	for _, a := range all {
+		enabled[a.Name] = flag.Bool(a.Name, true, a.Doc)
+	}
+	flag.Parse()
+
+	var run []*lint.Analyzer
+	for _, a := range all {
+		if *enabled[a.Name] {
+			run = append(run, a)
+		}
+	}
+	roots := flag.Args()
+	if len(roots) == 0 {
+		roots = []string{"."}
+	}
+	bad := false
+	for _, root := range roots {
+		diags, err := lint.CheckDir(root, run...)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "taurus-lint:", err)
+			os.Exit(2)
+		}
+		for _, d := range diags {
+			bad = true
+			fmt.Println(d)
+		}
+	}
+	if bad {
+		os.Exit(1)
+	}
+}

@@ -45,6 +45,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	// Static gate before anything reaches the data plane (the verify-before-
+	// push contract gatecheck enforces repo-wide).
+	if err := taurus.CheckGraph(g1); err != nil {
+		log.Fatal(err)
+	}
 	if err := dev.LoadModel(g1, q1.InputQ, taurus.CompileOptions{}); err != nil {
 		log.Fatal(err)
 	}
@@ -84,7 +89,11 @@ func main() {
 	fmt.Printf("per-packet F1 with the v1 (early) model:  %.1f\n", before)
 
 	// Control plane pushes new weights out of band; the placement is
-	// untouched (§3.3.1 "out-of-band weight updates").
+	// untouched (§3.3.1 "out-of-band weight updates"). The retrained graph
+	// clears the same static gate before the push.
+	if err := taurus.CheckGraph(g2); err != nil {
+		log.Fatal(err)
+	}
 	if err := dev.UpdateWeights(g2); err != nil {
 		log.Fatal(err)
 	}

@@ -42,6 +42,7 @@ func main() {
 		log.Fatal(err)
 	}
 	defer pl.Close()
+	//gatecheck:verified — Pipeline.LoadModel runs graphcheck on the graph before installing
 	if err := pl.LoadModel(program, q.InputQ, taurus.CompileOptions{}); err != nil {
 		log.Fatal(err)
 	}

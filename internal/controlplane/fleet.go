@@ -274,6 +274,7 @@ func (f *Fleet) Register(name string, p Pusher, src LabelSource) (int, error) {
 	f.mu.Unlock()
 	if g != nil {
 		//clonecheck:owned — catch-up push of the fleet's immutable last graph; members copy weights out
+		//gatecheck:verified — f.lastGraph passed graphcheck.Check/Compatible in the retrain that installed it
 		if err := p.UpdateWeights(g); err != nil {
 			f.mu.Lock()
 			m.gone = true
@@ -579,6 +580,7 @@ func (f *Fleet) push(g *mr.Graph) error {
 	f.mu.Unlock()
 	for i, m := range members {
 		//clonecheck:owned — fan-out of the retrain's freshly lowered graph; pushers copy weights out
+		//gatecheck:verified — the caller (retrain) passed g through graphcheck.Check/Compatible before push()
 		if err := m.pusher.UpdateWeights(g); err != nil {
 			if prev == nil {
 				if i > 0 {
@@ -595,6 +597,7 @@ func (f *Fleet) push(g *mr.Graph) error {
 				// prev installed on r once already; structural rejection
 				// cannot recur, and a deeper device failure would leave
 				// the original error the one worth surfacing.
+				//gatecheck:verified — rollback to the previously pushed graph, verified by its own push
 				_ = r.pusher.UpdateWeights(prev) //clonecheck:owned — rollback to the immutable previous push
 			}
 			return fmt.Errorf("controlplane: push to fleet member %q: %w", m.name, err)

@@ -21,6 +21,11 @@ import (
 	mr "taurus/internal/mapreduce"
 	"taurus/internal/pisa"
 	"taurus/internal/sched"
+
+	// Linking tapecheck arms sched.Compile's translation-validation gate:
+	// every tape a Device installs has been statically verified against its
+	// source graph, and a rejected tape is a counted interpreter fallback.
+	_ "taurus/internal/sched/tapecheck"
 )
 
 // Verdict is the postprocessing decision for a packet (§3.2: drop, flag, or
@@ -65,6 +70,10 @@ type Stats struct {
 	Processed, MLInferences, Bypassed int
 	Forwarded, Flagged, Dropped       int
 	ParseErrors                       int
+	// TapeFallbacks counts model installs that fell back to the interpreter
+	// because the compiled tape was refused — by the list scheduler or by
+	// tapecheck's translation validator (see Device.TapeFallbackReason).
+	TapeFallbacks int
 	// ModelBusyNs is the modelled occupancy of this device's MapReduce
 	// block: each ML packet holds an issue slot for II cycles (1 ns each at
 	// the 1 GHz fabric), each bypass packet for one PISA cycle. The busiest
@@ -81,6 +90,7 @@ func (s *Stats) Add(other Stats) {
 	s.Flagged += other.Flagged
 	s.Dropped += other.Dropped
 	s.ParseErrors += other.ParseErrors
+	s.TapeFallbacks += other.TapeFallbacks
 	s.ModelBusyNs += other.ModelBusyNs
 }
 
@@ -136,7 +146,10 @@ type Device struct {
 	// fails, and eval serves every inference (the fallback contract).
 	prog *sched.Program
 	// schedII is prog's measured initiation interval (0 on fallback).
-	schedII   int
+	schedII int
+	// tapeErr records why the last install fell back to the interpreter
+	// ("" when the compiled tape is serving).
+	tapeErr   string
 	mlIdx     []int // ML staging slots for ProcessIndexed, cap = prog batch
 	inQ       fixed.Quantizer
 	modelLat  float64
@@ -295,9 +308,12 @@ func (d *Device) InstallModel(res *compiler.Result, inQ fixed.Quantizer) error {
 		return err
 	}
 	// Compile the hot path: list-schedule the graph on the placed grid and
-	// emit the fused tape. A graph the scheduler refuses (e.g. a LUT model on
-	// a grid with no MUs) falls back to the interpreter; the device still
-	// serves it, just without the compiled fast path or measured II.
+	// emit the fused tape, which sched.Compile hands through tapecheck's
+	// translation validator before returning it. A graph the scheduler
+	// refuses (e.g. a LUT model on a grid with no MUs) — or a tape the
+	// validator rejects as an unfaithful translation — falls back to the
+	// interpreter; the device still serves it, just without the compiled
+	// fast path or measured II, and the fallback is counted in Stats.
 	grid := d.cfg.Grid
 	if res.Placement != nil && res.Placement.Spec != (cgra.GridSpec{}) {
 		grid = res.Placement.Spec
@@ -307,10 +323,14 @@ func (d *Device) InstallModel(res *compiler.Result, inQ fixed.Quantizer) error {
 	d.prog = nil
 	d.schedII = 0
 	d.mlIdx = nil
+	d.tapeErr = ""
 	if prog, perr := sched.Compile(res.Graph, grid); perr == nil {
 		d.prog = prog
 		d.schedII = prog.Schedule().II
 		d.mlIdx = make([]int, 0, prog.MaxBatch())
+	} else {
+		d.tapeErr = perr.Error()
+		d.stats.TapeFallbacks++
 	}
 	d.inQ = inQ
 	d.modelLat = res.Stats.LatencyNs()
@@ -341,6 +361,7 @@ func (d *Device) ClearModel() {
 	d.eval = nil
 	d.prog = nil
 	d.schedII = 0
+	d.tapeErr = ""
 	d.mlIdx = nil
 	d.inQ = fixed.Quantizer{}
 	d.modelLat = 0
@@ -487,6 +508,8 @@ func (d *Device) Process(in PacketIn) (Decision, error) {
 
 // ProcessInto runs one packet through the full pipeline, writing the
 // outcome into dec. It performs no heap allocation in the steady state.
+//
+// hotpath: zero-alloc
 func (d *Device) ProcessInto(in PacketIn, dec *Decision) error {
 	key, ml, err := d.admit(in, dec)
 	if err != nil {
@@ -603,8 +626,11 @@ func (d *Device) applyVerdict(dec *Decision) {
 // out is fully written, matching the pipeline's behaviour), then the first
 // such error is returned as ErrBadFeatureWidth. The steady-state path
 // performs no heap allocation. out must be at least as long as ins.
+//
+// hotpath: zero-alloc
 func (d *Device) ProcessBatch(ins []PacketIn, out []Decision) error {
 	if len(out) < len(ins) {
+		//hotpathcheck:allow — caller-bug error path, taken at most once per batch, never per packet
 		return fmt.Errorf("%w: out has %d slots for %d packets", ErrBadConfig, len(out), len(ins))
 	}
 	return d.ProcessIndexed(ins, out, nil)
@@ -618,12 +644,15 @@ func (d *Device) ProcessBatch(ins []PacketIn, out []Decision) error {
 // hardware amortises pipeline fill; decisions are bit-identical to the
 // per-packet path because inference neither reads nor writes flow registers.
 // Error semantics match ProcessBatch.
+//
+// hotpath: zero-alloc
 func (d *Device) ProcessIndexed(ins []PacketIn, out []Decision, idx []int) error {
 	n := len(ins)
 	if idx != nil {
 		n = len(idx)
 	}
 	var callerErr error
+	//hotpathcheck:allow — closure is built once per batch, captures only stack state, and does not escape
 	fail := func(i int, err error) {
 		if callerErr == nil && errors.Is(err, ErrBadFeatureWidth) {
 			callerErr = err
@@ -658,6 +687,7 @@ func (d *Device) ProcessIndexed(ins []PacketIn, out []Decision, idx []int) error
 			continue
 		}
 		d.stageCodes(d.prog.InAt(0, len(staged)), key)
+		//hotpathcheck:allow — append stays within d.mlIdx's preallocated MaxBatch capacity (flushed when full)
 		staged = append(staged, i)
 		if len(staged) == d.prog.MaxBatch() {
 			d.flushML(staged, out)
@@ -673,6 +703,8 @@ func (d *Device) ProcessIndexed(ins []PacketIn, out []Decision, idx []int) error
 
 // flushML sweeps the staged ML packets through the compiled tape and
 // finalises each one's decision from its batch slot.
+//
+// hotpath: zero-alloc
 func (d *Device) flushML(staged []int, out []Decision) {
 	d.prog.RunBatch(len(staged))
 	for j, i := range staged {
@@ -711,3 +743,13 @@ func (d *Device) serviceII() int {
 // CompiledProgram returns the compiled evaluation tape serving the hot path
 // (nil before LoadModel or when scheduling fell back to the interpreter).
 func (d *Device) CompiledProgram() *sched.Program { return d.prog }
+
+// TapeVerified reports whether the hot path is serving a compiled tape that
+// cleared tapecheck's translation validator. False before LoadModel and while
+// the interpreter fallback is active.
+func (d *Device) TapeVerified() bool { return d.prog != nil }
+
+// TapeFallbackReason returns why the installed model is served by the
+// interpreter instead of a compiled tape — the scheduler's or the translation
+// validator's rejection — or "" when the compiled hot path is active.
+func (d *Device) TapeFallbackReason() string { return d.tapeErr }

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"taurus/internal/compiler"
@@ -10,6 +11,8 @@ import (
 	"taurus/internal/lower"
 	"taurus/internal/ml"
 	"taurus/internal/pisa"
+	"taurus/internal/sched"
+	"taurus/internal/sched/tapecheck"
 	"taurus/internal/tensor"
 )
 
@@ -346,6 +349,46 @@ func TestDeviceStats(t *testing.T) {
 	}
 	if s.Forwarded+s.Flagged+s.Dropped != 20 {
 		t.Errorf("verdict counts don't add up: %+v", s)
+	}
+}
+
+// TestTapeFallbackOnVerifierRejection swaps sched's compile gate for one that
+// rejects every tape and checks the device degrades exactly as documented: the
+// install succeeds on the interpreter, the fallback is counted and explained,
+// and restoring the real validator restores the compiled hot path.
+func TestTapeFallbackOnVerifierRejection(t *testing.T) {
+	sched.SetVerifier(func(p *sched.Program) error { return errors.New("synthetic tape rejection") })
+	defer sched.SetVerifier(tapecheck.Check)
+
+	dev, q, gen := buildAnomalyDevice(t)
+	if dev.TapeVerified() {
+		t.Fatal("TapeVerified() = true with a rejecting verifier installed")
+	}
+	if r := dev.TapeFallbackReason(); !strings.Contains(r, "synthetic tape rejection") {
+		t.Errorf("TapeFallbackReason() = %q, want the verifier's error", r)
+	}
+	if got := dev.Stats().TapeFallbacks; got != 1 {
+		t.Errorf("Stats().TapeFallbacks = %d, want 1", got)
+	}
+	if dev.CompiledProgram() != nil || dev.ScheduledII() != 0 {
+		t.Error("rejected tape still serving the hot path")
+	}
+	// The interpreter fallback still classifies.
+	rec := gen.Record()
+	if _, err := dev.Process(PacketIn{Data: pisa.BuildTCPPacket(1, 2, 3, 4, 0, 0), Features: rec.Features}); err != nil {
+		t.Fatal(err)
+	}
+
+	sched.SetVerifier(tapecheck.Check)
+	if err := dev.InstallModel(dev.Model(), q.InputQ); err != nil {
+		t.Fatal(err)
+	}
+	if !dev.TapeVerified() || dev.TapeFallbackReason() != "" {
+		t.Errorf("after reinstall with the real validator: TapeVerified() = %v, reason %q",
+			dev.TapeVerified(), dev.TapeFallbackReason())
+	}
+	if got := dev.Stats().TapeFallbacks; got != 1 {
+		t.Errorf("Stats().TapeFallbacks = %d after clean reinstall, want 1", got)
 	}
 }
 

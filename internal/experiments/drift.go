@@ -159,6 +159,7 @@ func (s *driftSpec) newPipe(g *mr.Graph, inQ fixed.Quantizer, shards int) (*pipe
 		return nil, err
 	}
 	//clonecheck:owned — LoadModel clones per shard; g is the experiment's frozen deployment graph
+	//gatecheck:verified — Pipeline.LoadModel runs graphcheck on the graph before installing
 	if err := pl.LoadModel(g, inQ, compiler.Options{}); err != nil {
 		pl.Close()
 		return nil, err

@@ -108,6 +108,7 @@ func latencyServiceModel(m *Models, shards int) (pipeline.ServiceModel, error) {
 	}
 	defer pl.Close()
 	//clonecheck:owned — LoadModel clones per shard; the trained-model graph stays read-only
+	//gatecheck:verified — Pipeline.LoadModel runs graphcheck on the graph before installing
 	if err := pl.LoadModel(m.DNNGraph, m.DNN.InputQ, compiler.Options{}); err != nil {
 		return pipeline.ServiceModel{}, err
 	}

@@ -48,6 +48,7 @@ func Throughput(m *Models) ([]ThroughputRow, string, error) {
 			return nil, "", err
 		}
 		//clonecheck:owned — LoadModel clones per shard; the trained-model graph stays read-only
+		//gatecheck:verified — Pipeline.LoadModel runs graphcheck on the graph before installing
 		if err := pl.LoadModel(m.DNNGraph, m.DNN.InputQ, compiler.Options{}); err != nil {
 			pl.Close()
 			return nil, "", err

@@ -43,6 +43,7 @@
 package graphcheck
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"math/bits"
@@ -121,6 +122,10 @@ func (s Severity) String() string {
 		return fmt.Sprintf("severity(%d)", int(s))
 	}
 }
+
+// MarshalJSON renders the severity by name, so `taurus-compile -json` emits
+// "error" rather than an opaque ordinal.
+func (s Severity) MarshalJSON() ([]byte, error) { return json.Marshal(s.String()) }
 
 // Analysis names the check a finding came from.
 type Analysis string
@@ -421,26 +426,7 @@ func (v *verifier) transferMap(n *mr.Node) {
 		if len(b) > 1 {
 			bv = b[i]
 		}
-		av := a[i]
-		var iv Interval
-		switch n.Map {
-		case mr.MAdd:
-			iv = Interval{av.Lo + bv.Lo, av.Hi + bv.Hi}
-		case mr.MSub:
-			iv = Interval{av.Lo - bv.Hi, av.Hi - bv.Lo}
-		case mr.MMul:
-			// Endpoint products bound a monotone-by-parts bilinear map.
-			p := [4]int64{av.Lo * bv.Lo, av.Lo * bv.Hi, av.Hi * bv.Lo, av.Hi * bv.Hi}
-			iv = point(p[0])
-			for _, x := range p[1:] {
-				iv = iv.union(point(x))
-			}
-		case mr.MMin:
-			iv = Interval{min64(av.Lo, bv.Lo), min64(av.Hi, bv.Hi)}
-		case mr.MMax:
-			iv = Interval{max64(av.Lo, bv.Lo), max64(av.Hi, bv.Hi)}
-		}
-		lanes[i] = v.sat32(n, i, iv, &reported)
+		lanes[i] = v.sat32(n, i, MapTransfer(n.Map, a[i], bv), &reported)
 	}
 	v.lanes[n.ID] = lanes
 }
@@ -459,52 +445,17 @@ func (v *verifier) transferUnary(n *mr.Node) {
 	lanes := make([]Interval, n.Width)
 	reported := false
 	for i, av := range a {
-		var iv Interval
-		switch n.Unary {
-		case mr.UReLU:
-			iv = Interval{max64(0, av.Lo), max64(0, av.Hi)}
-		case mr.ULeakyReLU:
-			iv = Interval{leaky(av.Lo), leaky(av.Hi)}
-		case mr.UNeg:
-			iv = Interval{-av.Hi, -av.Lo}
-		case mr.UAbs:
-			switch {
-			case av.Lo >= 0:
-				iv = av
-			case av.Hi <= 0:
-				iv = Interval{-av.Hi, -av.Lo}
-			default:
-				iv = Interval{0, max64(av.Hi, -av.Lo)}
-			}
-		}
-		lanes[i] = v.sat32(n, i, iv, &reported)
+		lanes[i] = v.sat32(n, i, UnaryTransfer(n.Unary, av), &reported)
 	}
 	v.lanes[n.ID] = lanes
 }
 
 func (v *verifier) transferReduce(n *mr.Node) {
 	a := v.lanes[n.Args[0]]
-	var iv Interval
-	reported := false
-	switch n.Reduce {
-	case mr.RAdd:
-		for _, av := range a {
-			iv.Lo += av.Lo
-			iv.Hi += av.Hi
-		}
+	iv := ReduceTransfer(n.Reduce, a)
+	if n.Reduce == mr.RAdd {
+		reported := false
 		iv = v.sat32(n, 0, iv, &reported)
-	case mr.RMin:
-		iv = a[0]
-		for _, av := range a[1:] {
-			iv = Interval{min64(iv.Lo, av.Lo), min64(iv.Hi, av.Hi)}
-		}
-	case mr.RMax:
-		iv = a[0]
-		for _, av := range a[1:] {
-			iv = Interval{max64(iv.Lo, av.Lo), max64(iv.Hi, av.Hi)}
-		}
-	case mr.RArgMin, mr.RArgMax:
-		iv = Interval{0, int64(len(a) - 1)}
 	}
 	v.lanes[n.ID] = []Interval{iv}
 }
@@ -529,31 +480,18 @@ func (v *verifier) transferRequant(n *mr.Node) {
 	lanes := make([]Interval, n.Width)
 	reported := false
 	for i, av := range a {
-		iv := Interval{applyMult(n.Mult, av.Lo), applyMult(n.Mult, av.Hi)}
 		// ApplySat8's clamp is the programming model, not corruption — but a
 		// lane whose every feasible value clips is a constant, which no
-		// calibrated requant produces: the multiplier is wrong.
-		if (iv.Lo > int8Hi || iv.Hi < int8Lo) && !reported {
+		// calibrated requant produces: the multiplier is wrong. A fully
+		// clipped lane still propagates its pinned value.
+		out, raw, clipped := Requant8Transfer(n.Mult, av)
+		if clipped && !reported {
 			reported = true
-			v.finding(n, SevError, CheckRange, iv,
+			v.finding(n, SevError, CheckRange, raw,
 				"lane %d always clips to int8: feasible interval %s lies outside [%d, %d] (multiplier %.3g miscalibrated)",
-				i, iv, int8Lo, int8Hi, n.Mult.Float())
+				i, raw, int8Lo, int8Hi, n.Mult.Float())
 		}
-		if iv.Lo < int8Lo {
-			iv.Lo = int8Lo
-		}
-		if iv.Hi > int8Hi {
-			iv.Hi = int8Hi
-		}
-		// A fully clipped lane still propagates its pinned value.
-		if iv.Lo > iv.Hi {
-			if iv.Hi < int8Lo {
-				iv = point(int8Lo)
-			} else {
-				iv = point(int8Hi)
-			}
-		}
-		lanes[i] = iv
+		lanes[i] = out
 	}
 	v.lanes[n.ID] = lanes
 }
@@ -563,21 +501,18 @@ func (v *verifier) transferScale(n *mr.Node) {
 	lanes := make([]Interval, n.Width)
 	reported := false
 	for i, av := range a {
-		iv := Interval{applyMult(n.Mult, av.Lo), applyMult(n.Mult, av.Hi)}
 		// Unlike the saturating map/reduce datapath, Multiplier.Apply
 		// truncates its result to int32 — a feasible value outside the
 		// range does not clip, it wraps. Always an error; the wrapped
 		// value can land anywhere, so the lane widens to the full range.
-		if iv.Lo < fix32.Lo || iv.Hi > fix32.Hi {
-			if !reported {
-				reported = true
-				v.finding(n, SevError, CheckRange, iv,
-					"lane %d wraps int32: scale result interval %s exceeds [%d, %d] (multiplier %.3g)",
-					i, iv, fix32.Lo, fix32.Hi, n.Mult.Float())
-			}
-			iv = fix32
+		out, raw, wraps := ScaleTransfer(n.Mult, av)
+		if wraps && !reported {
+			reported = true
+			v.finding(n, SevError, CheckRange, raw,
+				"lane %d wraps int32: scale result interval %s exceeds [%d, %d] (multiplier %.3g)",
+				i, raw, fix32.Lo, fix32.Hi, n.Mult.Float())
 		}
-		lanes[i] = iv
+		lanes[i] = out
 	}
 	v.lanes[n.ID] = lanes
 }
@@ -588,36 +523,23 @@ func (v *verifier) transferLUT(n *mr.Node) {
 	reported := false
 	const idxLo, idxHi = -mr.LUTSize / 2, mr.LUTSize/2 - 1
 	for i, av := range a {
-		idx := Interval{applyMult(n.LUT.Mult, av.Lo), applyMult(n.LUT.Mult, av.Hi)}
-		if (idx.Lo > idxHi || idx.Hi < idxLo) && !reported {
+		idx, raw, allOutside := LUTIndex(n.LUT, av)
+		if allOutside && !reported {
 			// Every feasible index clamps to the same table end: the LUT
 			// input never lands in the table's domain. Degenerate, but the
 			// activation's asymptote is usually the right value out there,
 			// so warn rather than reject.
 			reported = true
-			v.finding(n, SevWarning, CheckRange, idx,
+			v.finding(n, SevWarning, CheckRange, raw,
 				"lane %d index interval %s lies entirely outside the table domain [%d, %d]",
-				i, idx, idxLo, idxHi)
-		}
-		if idx.Lo < idxLo {
-			idx.Lo = idxLo
-		}
-		if idx.Hi > idxHi {
-			idx.Hi = idxHi
-		}
-		if idx.Lo > idx.Hi { // fully clamped to one end
-			if idx.Hi < idxLo {
-				idx = point(idxLo)
-			} else {
-				idx = point(idxHi)
-			}
+				i, raw, idxLo, idxHi)
 		}
 		lanes[i] = v.lutRange(n.LUT, idx)
 	}
 	v.lanes[n.ID] = lanes
 }
 
-// lutRange returns the min/max table value over the feasible index window.
+// lutRange memoises LUTRange's full-domain case per distinct table.
 func (v *verifier) lutRange(l *mr.LUT, idx Interval) Interval {
 	full := idx.Lo == -mr.LUTSize/2 && idx.Hi == mr.LUTSize/2-1
 	if full {
@@ -628,10 +550,7 @@ func (v *verifier) lutRange(l *mr.LUT, idx Interval) Interval {
 			return iv
 		}
 	}
-	iv := point(int64(l.Table[idx.Lo+mr.LUTSize/2]))
-	for i := idx.Lo + 1; i <= idx.Hi; i++ {
-		iv = iv.union(point(int64(l.Table[i+mr.LUTSize/2])))
-	}
+	iv := LUTRange(l, idx)
 	if full {
 		v.lutFull[l] = iv
 	}

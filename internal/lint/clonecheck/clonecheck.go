@@ -25,12 +25,27 @@ import (
 	"io/fs"
 	"path/filepath"
 	"strings"
+
+	"taurus/internal/lint"
 )
 
 // pushFuncs are the callee names whose first argument is a pushed graph.
 var pushFuncs = map[string]bool{
 	"UpdateWeights": true,
 	"LoadModel":     true,
+}
+
+// Analyzer adapts the checker to the lint driver (cmd/taurus-lint).
+var Analyzer = &lint.Analyzer{
+	Name: "clonecheck",
+	Doc:  "graphs pushed to UpdateWeights/LoadModel must be owned by the pushing function (clone-before-push)",
+	Run: func(f *lint.File) []lint.Diagnostic {
+		var out []lint.Diagnostic
+		for _, d := range CheckFile(f.Fset, f.File) {
+			out = append(out, lint.Diagnostic{Analyzer: "clonecheck", Pos: d.Pos, Msg: d.Msg})
+		}
+		return out
+	},
 }
 
 // Diagnostic is one clone-before-push violation.
@@ -87,14 +102,22 @@ func CheckDir(root string) ([]Diagnostic, error) {
 }
 
 // ownedLines collects the lines carrying a //clonecheck:owned annotation.
-// An annotation covers a call starting on its own line or on the next line.
+// An annotation covers a call starting on its own line or on the next line;
+// a match inside a stacked comment block also marks the block's last line,
+// so the annotation keeps covering the call when other analyzers' markers
+// share the block.
 func ownedLines(fset *token.FileSet, file *ast.File) map[int]bool {
 	lines := map[int]bool{}
 	for _, cg := range file.Comments {
+		hit := false
 		for _, c := range cg.List {
 			if strings.Contains(c.Text, "clonecheck:owned") {
 				lines[fset.Position(c.Pos()).Line] = true
+				hit = true
 			}
+		}
+		if hit {
+			lines[fset.Position(cg.End()).Line] = true
 		}
 	}
 	return lines

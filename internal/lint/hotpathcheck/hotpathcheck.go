@@ -1,0 +1,120 @@
+// Package hotpathcheck enforces the zero-allocation discipline on the
+// per-packet hot path. A function whose doc comment carries a
+// `//hotpath: zero-alloc` annotation promises the steady-state contract the
+// core package documents: no heap allocation per packet. The checker rejects
+// the constructs that break that promise:
+//
+//   - allocating composite literals: slice and map literals, and &T{...}
+//     (the address forces the literal to escape);
+//   - make, new and append (append growth reallocates the backing array);
+//   - function literals (closures allocate their environment);
+//   - fmt.* calls (arguments are boxed into interfaces — the interface
+//     conversion go vet cannot see without type information).
+//
+// Plain struct value literals (T{...}) stay legal: they live in registers or
+// on the stack.
+//
+// Cold branches inside a hot function — guard panics, error returns that
+// abort the batch — are exempted line by line with `//hotpathcheck:allow`,
+// each carrying its justification. The annotation covers a construct
+// starting on the same line or the line after.
+//
+// The checker is syntactic; escape analysis proper is the compiler's job.
+// The point is review pressure in the right place: TestZeroAlloc proves the
+// property dynamically for the inputs it runs, this checker keeps the
+// property legible at the call sites that could silently break it.
+package hotpathcheck
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+
+	"taurus/internal/lint"
+)
+
+// Marker is the doc-comment annotation that opts a function into checking.
+const Marker = "hotpath: zero-alloc"
+
+// Analyzer is the hot-path allocation checker.
+var Analyzer = &lint.Analyzer{
+	Name: "hotpathcheck",
+	Doc:  "functions annotated `//hotpath: zero-alloc` must not contain allocating constructs",
+	Run:  run,
+}
+
+func run(f *lint.File) []lint.Diagnostic {
+	allow := lint.AnnotatedLines(f, "hotpathcheck:allow")
+	var diags []lint.Diagnostic
+	for _, decl := range f.File.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Body == nil || !annotated(fn) {
+			continue
+		}
+		diags = append(diags, checkFunc(f, fn, allow)...)
+	}
+	return diags
+}
+
+func annotated(fn *ast.FuncDecl) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if strings.Contains(c.Text, Marker) {
+			return true
+		}
+	}
+	return false
+}
+
+func checkFunc(f *lint.File, fn *ast.FuncDecl, allow map[int]bool) []lint.Diagnostic {
+	var diags []lint.Diagnostic
+	report := func(n ast.Node, format string, args ...any) {
+		pos := f.Fset.Position(n.Pos())
+		if allow[pos.Line] || allow[pos.Line-1] {
+			return
+		}
+		diags = append(diags, lint.Diagnostic{
+			Analyzer: "hotpathcheck",
+			Pos:      pos,
+			Msg: fmt.Sprintf(format, args...) +
+				fmt.Sprintf(" in hot-path function %s (annotated `//%s`)", fn.Name.Name, Marker),
+		})
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CompositeLit:
+			switch x.Type.(type) {
+			case *ast.ArrayType:
+				if at := x.Type.(*ast.ArrayType); at.Len == nil {
+					report(x, "slice literal allocates")
+				}
+			case *ast.MapType:
+				report(x, "map literal allocates")
+			}
+		case *ast.UnaryExpr:
+			if _, lit := x.X.(*ast.CompositeLit); x.Op.String() == "&" && lit {
+				report(x, "&composite literal escapes to the heap")
+			}
+		case *ast.CallExpr:
+			switch lint.CalleeName(x.Fun) {
+			case "make":
+				report(x, "make allocates")
+			case "new":
+				report(x, "new allocates")
+			case "append":
+				report(x, "append may grow (reallocate) its backing array")
+			}
+			if sel, ok := x.Fun.(*ast.SelectorExpr); ok {
+				if pkg, ok := sel.X.(*ast.Ident); ok && pkg.Name == "fmt" {
+					report(x, "fmt.%s boxes its arguments into interfaces", sel.Sel.Name)
+				}
+			}
+		case *ast.FuncLit:
+			report(x, "function literal allocates its closure")
+		}
+		return true
+	})
+	return diags
+}

@@ -1,0 +1,95 @@
+package hotpathcheck
+
+import (
+	"bufio"
+	"go/parser"
+	"go/token"
+	"os"
+	"strings"
+	"testing"
+
+	"taurus/internal/lint"
+)
+
+// wantLines extracts the 1-based line numbers carrying a "want:" marker in
+// the fixture source.
+func wantLines(t *testing.T, path string) map[int]bool {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	want := map[int]bool{}
+	sc := bufio.NewScanner(f)
+	for line := 1; sc.Scan(); line++ {
+		if strings.Contains(sc.Text(), "want:") {
+			want[line] = true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return want
+}
+
+// TestFixtures runs the checker over the seeded corpus: every want: line
+// must be flagged, and nothing else.
+func TestFixtures(t *testing.T) {
+	const path = "testdata/fixtures.go.src"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := wantLines(t, path)
+	if len(want) == 0 {
+		t.Fatal("fixture has no seeded violations")
+	}
+
+	got := map[int]bool{}
+	for _, d := range lint.CheckFile(fset, file, path, Analyzer) {
+		got[d.Pos.Line] = true
+		if !want[d.Pos.Line] {
+			t.Errorf("unexpected diagnostic at line %d: %s", d.Pos.Line, d.Msg)
+		}
+	}
+	for line := range want {
+		if !got[line] {
+			t.Errorf("seeded violation at line %d not flagged", line)
+		}
+	}
+}
+
+// TestDiagnosticMessage pins the shape of the report: it names the construct,
+// the enclosing function and the annotation that opted it in.
+func TestDiagnosticMessage(t *testing.T) {
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "testdata/fixtures.go.src", nil, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := lint.CheckFile(fset, file, "testdata/fixtures.go.src", Analyzer)
+	if len(diags) == 0 {
+		t.Fatal("no diagnostics")
+	}
+	msg := diags[0].String()
+	for _, needle := range []string{"hotpathcheck", "hot", Marker} {
+		if !strings.Contains(msg, needle) {
+			t.Errorf("diagnostic %q does not mention %q", msg, needle)
+		}
+	}
+}
+
+// TestRepoIsClean enforces the contract on the tree itself: every function
+// annotated `//hotpath: zero-alloc` must be free of allocating constructs
+// (or carry a reviewed //hotpathcheck:allow on its cold lines).
+func TestRepoIsClean(t *testing.T) {
+	diags, err := lint.CheckDir("../../..", Analyzer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

@@ -61,6 +61,8 @@ func (e *Evaluator) Output(i int) []int32 { return e.vals[e.g.Outputs[i]] }
 
 // Eval runs the program over the bound inputs. It allocates nothing and is
 // bit-exact with Graph.Eval (the reference semantics).
+//
+// hotpath: zero-alloc
 func (e *Evaluator) Eval() {
 	for _, n := range e.g.Nodes {
 		out := e.vals[n.ID]

@@ -8,6 +8,7 @@ import (
 	"taurus/internal/graphcheck"
 	mr "taurus/internal/mapreduce"
 	"taurus/internal/sched"
+	"taurus/internal/sched/tapecheck"
 )
 
 // fuzzReader consumes the fuzz input byte stream, yielding zero once
@@ -196,24 +197,27 @@ func FuzzGraph(f *testing.F) {
 	})
 }
 
-// schedDifferential asserts the compiled tape agrees with the interpreter.
-// Graphs whose Eval legitimately errors (undeclared inputs) are skipped;
-// everything else must compile and match bit-for-bit, single-packet and
-// across distinct batch slots.
-func schedDifferential(t *testing.T, g *mr.Graph, data []byte) {
-	const slots = 3
-	refs := make([][][]int32, slots)
-	for j := 0; j < slots; j++ {
+// fuzzSlots is the number of distinct batch slots the differential fills.
+const fuzzSlots = 3
+
+// evalRefs runs the interpreter on fuzzSlots distinct input vectors,
+// returning false when Eval legitimately errors (undeclared inputs).
+func evalRefs(g *mr.Graph, data []byte) ([][][]int32, bool) {
+	refs := make([][][]int32, fuzzSlots)
+	for j := 0; j < fuzzSlots; j++ {
 		outs, err := g.Eval(fuzzInputs(g, data, j)...)
 		if err != nil {
-			return
+			return nil, false
 		}
 		refs[j] = outs
 	}
-	p, err := sched.Compile(g, cgra.DefaultGrid())
-	if err != nil {
-		t.Fatalf("sched.Compile rejects a Validate-accepted graph: %v", err)
-	}
+	return refs, true
+}
+
+// diffProgram asserts the tape reproduces the interpreter's outputs
+// bit-for-bit, single-packet and across distinct batch slots.
+func diffProgram(t *testing.T, g *mr.Graph, p *sched.Program, data []byte, refs [][][]int32, ctx string) {
+	t.Helper()
 	// Single-packet Run on slot 0's inputs.
 	for i := range g.Inputs {
 		copy(p.In(i), fuzzInputs(g, data, 0)[i])
@@ -222,25 +226,192 @@ func schedDifferential(t *testing.T, g *mr.Graph, data []byte) {
 	for oi := range g.Outputs {
 		for k, want := range refs[0][oi] {
 			if got := p.Out(oi)[k]; got != want {
-				t.Fatalf("Run: output %d lane %d = %d, interpreter says %d", oi, k, got, want)
+				t.Fatalf("%sRun: output %d lane %d = %d, interpreter says %d", ctx, oi, k, got, want)
 			}
 		}
 	}
 	// Batched RunBatch with a different vector per slot.
-	for j := 0; j < slots; j++ {
+	for j := 0; j < fuzzSlots; j++ {
 		jin := fuzzInputs(g, data, j)
 		for i := range g.Inputs {
 			copy(p.InAt(i, j), jin[i])
 		}
 	}
-	p.RunBatch(slots)
-	for j := 0; j < slots; j++ {
+	p.RunBatch(fuzzSlots)
+	for j := 0; j < fuzzSlots; j++ {
 		for oi := range g.Outputs {
 			for k, want := range refs[j][oi] {
 				if got := p.OutAt(oi, j)[k]; got != want {
-					t.Fatalf("RunBatch slot %d: output %d lane %d = %d, interpreter says %d", j, oi, k, got, want)
+					t.Fatalf("%sRunBatch slot %d: output %d lane %d = %d, interpreter says %d", ctx, j, oi, k, got, want)
 				}
 			}
+		}
+	}
+}
+
+// schedDifferential asserts the compiled tape agrees with the interpreter.
+// Graphs whose Eval legitimately errors (undeclared inputs) are skipped;
+// everything else must compile — through the tapecheck gate, which the
+// tapecheck import above arms — and match bit-for-bit.
+func schedDifferential(t *testing.T, g *mr.Graph, data []byte) {
+	refs, ok := evalRefs(g, data)
+	if !ok {
+		return
+	}
+	p, err := sched.Compile(g, cgra.DefaultGrid())
+	if err != nil {
+		t.Fatalf("sched.Compile rejects a Validate-accepted graph: %v", err)
+	}
+	// Compile's gate already ran; pin the stronger invariant behind it: a
+	// faithful compile carries no translation-class findings at all. (Range
+	// findings may legitimately be inherited from a saturating source graph.)
+	for _, fd := range tapecheck.Verify(p).Findings {
+		if fd.Check != tapecheck.CheckRange {
+			t.Fatalf("tapecheck %s finding on a faithfully compiled graph: %s", fd.Check, fd)
+		}
+	}
+	diffProgram(t, g, p, data, refs, "")
+}
+
+// mutateTape applies one hand-corruption class to instruction k of the tape:
+// swapped operands, shifted destination or source slots, a flipped opcode, a
+// narrowed lane width, or a skewed bias/weight window — the miscompilation
+// shapes tapecheck's analyses exist to catch. Returns false when the tape has
+// nothing to mutate.
+func mutateTape(p *sched.Program, kind, k int) bool {
+	code := p.Code()
+	if len(code) == 0 {
+		return false
+	}
+	ins := &code[k%len(code)]
+	switch kind % 6 {
+	case 0: // swapped operands (neutral only for commutative ops)
+		ins.A, ins.B = ins.B, ins.A
+	case 1: // off-by-one destination slot
+		ins.Dst++
+	case 2: // off-by-one source slot
+		ins.A.Off++
+	case 3: // flipped opcode
+		switch ins.Op {
+		case sched.OpAdd:
+			ins.Op = sched.OpSub
+		case sched.OpSub:
+			ins.Op = sched.OpAdd
+		case sched.OpMul:
+			ins.Op = sched.OpMax
+		case sched.OpRelu:
+			ins.Op = sched.OpNeg
+		case sched.OpSum:
+			ins.Op = sched.OpRedMax
+		case sched.OpDot:
+			ins.Op = sched.OpSqDist
+		case sched.OpDotAdd:
+			ins.Op = sched.OpDot // dropped bias
+		default:
+			ins.Dst++
+		}
+	case 4: // narrowed width: the last lane is never written
+		if ins.W > 1 {
+			ins.W--
+		} else {
+			ins.A.Off++
+		}
+	case 5: // skewed third operand (bias / second source window)
+		if ins.C.W > 0 {
+			ins.C.Off++
+		} else {
+			ins.Dst++
+		}
+	}
+	return true
+}
+
+// FuzzTapeMutation fuzzes the verifier's soundness: corrupt one instruction
+// of a faithfully compiled tape, then demand that tapecheck either rejects
+// the mutant or — when it certifies the mutation harmless (a commutative
+// operand swap, a shift into an equivalent slot) — the mutant still matches
+// the interpreter bit-for-bit. A lying verifier loses either way.
+func FuzzTapeMutation(f *testing.F) {
+	for _, seed := range [][]byte{fuzzSeedDNN, fuzzSeedKMeans, fuzzSeedSVM} {
+		for kind := byte(0); kind < 6; kind++ {
+			f.Add(append([]byte{kind, 0}, seed...))
+		}
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			return
+		}
+		kind, k := int(data[0]), int(data[1])
+		g := graphFromBytes(data[2:])
+		if g.Validate() != nil {
+			return
+		}
+		refs, ok := evalRefs(g, data)
+		if !ok {
+			return
+		}
+		p, err := sched.CompileUnverified(g, cgra.DefaultGrid())
+		if err != nil {
+			return
+		}
+		if !mutateTape(p, kind, k) {
+			return
+		}
+		if !tapecheck.Verify(p).OK() {
+			return // caught — the expected outcome for a harmful mutation
+		}
+		diffProgram(t, g, p, data, refs, "certified mutant: ")
+	})
+}
+
+// TestTapeMutationSeeds pins the checked-in mutation corpus: over the model
+// seeds and every mutation class, each mutant must be rejected or verifiably
+// neutral, and the rejections must collectively exercise the translation-
+// validation analyses (equivalence, bounds) — proving the corpus actually
+// reaches the finding classes it exists to cover.
+func TestTapeMutationSeeds(t *testing.T) {
+	classes := map[tapecheck.Analysis]int{}
+	rejected := 0
+	for name, seed := range map[string][]byte{
+		"dnn": fuzzSeedDNN, "kmeans": fuzzSeedKMeans, "svm": fuzzSeedSVM,
+	} {
+		g := graphFromBytes(seed)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s seed invalid: %v", name, err)
+		}
+		refs, ok := evalRefs(g, seed)
+		if !ok {
+			t.Fatalf("%s seed does not evaluate", name)
+		}
+		code, _ := sched.CompileUnverified(g, cgra.DefaultGrid())
+		for kind := 0; kind < 6; kind++ {
+			for k := 0; k < len(code.Code()); k++ {
+				p, err := sched.CompileUnverified(g, cgra.DefaultGrid())
+				if err != nil {
+					t.Fatalf("%s seed does not compile: %v", name, err)
+				}
+				mutateTape(p, kind, k)
+				rep := tapecheck.Verify(p)
+				if rep.OK() {
+					diffProgram(t, g, p, seed, refs,
+						name+" certified mutant kind "+string(rune('0'+kind))+": ")
+					continue
+				}
+				rejected++
+				for _, fd := range rep.Findings {
+					if fd.Severity == tapecheck.SevError {
+						classes[fd.Check]++
+					}
+				}
+			}
+		}
+	}
+	if rejected == 0 {
+		t.Fatal("no mutant was rejected: the mutation corpus is inert")
+	}
+	for _, want := range []tapecheck.Analysis{tapecheck.CheckEquiv, tapecheck.CheckBounds} {
+		if classes[want] == 0 {
+			t.Errorf("mutation corpus never fired the %s analysis (fired: %v)", want, classes)
 		}
 	}
 }

@@ -188,6 +188,7 @@ func Run(cfg Config) (Result, error) {
 		return Result{}, err
 	}
 	defer pl.Close()
+	//gatecheck:verified — Pipeline.LoadModel runs graphcheck on the graph before installing
 	if err := pl.LoadModel(g, cfg.Model.InputQ, compiler.Options{}); err != nil {
 		return Result{}, err
 	}

@@ -368,6 +368,36 @@ func (p *Pipeline) ScheduledII() int {
 	return s.dev.ScheduledII()
 }
 
+// TapeVerified reports whether every shard serves inference from a compiled,
+// translation-validated tape. False means at least one shard fell back to
+// the interpreter — see TapeFallbackReason and Stats().TapeFallbacks.
+func (p *Pipeline) TapeVerified() bool {
+	for _, s := range p.shards {
+		s.mu.Lock()
+		ok := s.dev.TapeVerified()
+		s.mu.Unlock()
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// TapeFallbackReason returns why a shard last fell back to the interpreter
+// ("" when every shard serves the compiled tape). Shards load identical
+// clones, so the first non-empty reason speaks for all.
+func (p *Pipeline) TapeFallbackReason() string {
+	for _, s := range p.shards {
+		s.mu.Lock()
+		reason := s.dev.TapeFallbackReason()
+		s.mu.Unlock()
+		if reason != "" {
+			return reason
+		}
+	}
+	return ""
+}
+
 // ServiceModel is the per-shard service-time model of the deployed design —
 // the hook the continuous-time queueing simulator (internal/netqueue) runs
 // on. It is the same occupancy model BatchStats.ModelNs folds per batch,

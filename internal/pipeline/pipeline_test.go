@@ -87,6 +87,23 @@ func makeBatch(t *testing.T, n, nflows int) ([]core.PacketIn, []core.Decision) {
 	return ins, out
 }
 
+// TestPipelineTapeVerified pins the fallback-visibility contract at the
+// pipeline surface: a freshly loaded pipeline serves every shard from the
+// translation-validated tape, with no fallback reason and no counted
+// fallbacks.
+func TestPipelineTapeVerified(t *testing.T) {
+	p := newLoadedPipeline(t, 3)
+	if !p.TapeVerified() {
+		t.Errorf("TapeVerified() = false after a clean LoadModel (reason %q)", p.TapeFallbackReason())
+	}
+	if r := p.TapeFallbackReason(); r != "" {
+		t.Errorf("TapeFallbackReason() = %q, want empty", r)
+	}
+	if n := p.Stats().TapeFallbacks; n != 0 {
+		t.Errorf("Stats().TapeFallbacks = %d, want 0", n)
+	}
+}
+
 func TestPipelineMatchesSingleDevice(t *testing.T) {
 	q, g, _, _ := trainModel(t)
 	p := newLoadedPipeline(t, 4)

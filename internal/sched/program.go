@@ -15,65 +15,68 @@ import (
 // way pipeline.ProcessBatch amortises channel hops.
 const DefaultBatch = 16
 
-// opcode discriminates tape instructions. Each opcode is a specialised loop
+// Opcode discriminates tape instructions. Each Opcode is a specialised loop
 // with the operator and saturation inlined — the per-lane Apply switch the
 // interpreter pays is hoisted out entirely.
-type opcode uint8
+type Opcode uint8
 
 const (
-	opAdd opcode = iota
-	opSub
-	opMul
-	opMin
-	opMax
-	opRelu
-	opLeaky
-	opNeg
-	opAbs
-	opSum
-	opRedMin
-	opRedMax
-	opArgMin
-	opArgMax
-	opRequant
-	opScale
-	opLUT
-	opCopy
-	// opDot fuses KMap(MMul) into its sole KReduce(RAdd) consumer: one pass
+	OpAdd Opcode = iota
+	OpSub
+	OpMul
+	OpMin
+	OpMax
+	OpRelu
+	OpLeaky
+	OpNeg
+	OpAbs
+	OpSum
+	OpRedMin
+	OpRedMax
+	OpArgMin
+	OpArgMax
+	OpRequant
+	OpScale
+	OpLUT
+	OpCopy
+	// OpDot fuses KMap(MMul) into its sole KReduce(RAdd) consumer: one pass
 	// computing sum(sat32(a[i]*b[i])) without materialising the products —
 	// the dominant pattern of every dense lowering (DotProduct).
-	opDot
-	// opDotAdd additionally folds the scalar bias add that follows every
+	OpDot
+	// OpDotAdd additionally folds the scalar bias add that follows every
 	// neuron's dot product: sat32(sat32(dot) + c).
-	opDotAdd
-	// opSqDist fuses KMap(MSub) -> KMap(MMul, d, d) -> KReduce(RAdd): the
+	OpDotAdd
+	// OpSqDist fuses KMap(MSub) -> KMap(MMul, d, d) -> KReduce(RAdd): the
 	// squared-distance chain of the KMeans lowering.
-	opSqDist
+	OpSqDist
 )
 
-// operand locates one argument's lanes. Constants alias the graph node's
-// Const slice (window off..off+w) so in-place weight pushes stay visible;
-// everything else lives in the program's batch-major arena at off + j*stride
-// for packet j.
-type operand struct {
-	cs     []int32 // non-nil: constant lanes cs[off:off+w], same every packet
-	off    int
-	stride int
-	w      int
+// Operand locates one argument's lanes. Constants alias the graph node's
+// Const slice (window Off..Off+W) so in-place weight pushes stay visible;
+// everything else lives in the program's batch-major arena at Off + j*Stride
+// for packet j. The fields are exported for static inspection
+// (internal/sched/tapecheck audits every operand against the graph's
+// storage); runtime code treats them as immutable after emit.
+type Operand struct {
+	Const  []int32 // non-nil: constant lanes Const[Off:Off+W], same every packet
+	Off    int
+	Stride int
+	W      int
 }
 
-// instr is one tape entry. dst/dstride address the output window in the
-// arena (dstride is the producing node's full width; for concat pieces the
-// copy width w is narrower). mult and lut alias the graph node's payloads so
-// UpdateWeights pushes take effect without recompiling.
-type instr struct {
-	op      opcode
-	dst     int
-	dstride int
-	w       int
-	a, b, c operand
-	mult    *fixed.Multiplier
-	lut     *mr.LUT
+// Instr is one tape entry. Dst/DStride address the output window in the
+// arena (DStride is the producing node's full width; for concat pieces the
+// copy width W is narrower). Mult and LUT alias the graph node's payloads so
+// UpdateWeights pushes take effect without recompiling. Exported for static
+// inspection and for fault-injection in verifier tests (Program.Code).
+type Instr struct {
+	Op      Opcode
+	Dst     int
+	DStride int
+	W       int
+	A, B, C Operand
+	Mult    *fixed.Multiplier
+	LUT     *mr.LUT
 }
 
 // Program is a compiled evaluation tape over a validated graph: the
@@ -88,21 +91,45 @@ type instr struct {
 type Program struct {
 	g     *mr.Graph
 	sched *Schedule
-	code  []instr
+	code  []Instr
 	vals  []int32
 	batch int
-	ins   []operand // per declared input
-	outs  []operand // per declared output
+	ins   []Operand // per declared input
+	outs  []Operand // per declared output
 }
 
 // Compile plans g on spec and emits the instruction tape with the default
-// batch capacity.
+// batch capacity. When a tape verifier is registered (SetVerifier — importing
+// internal/sched/tapecheck registers one) the tape must clear it before it is
+// returned: a miscompilation is an error here, not a wrong verdict later.
 func Compile(g *mr.Graph, spec cgra.GridSpec) (*Program, error) {
 	return CompileBatch(g, spec, DefaultBatch)
 }
 
-// CompileBatch compiles with an explicit batch capacity (>= 1).
+// CompileBatch compiles with an explicit batch capacity (>= 1) and runs the
+// registered tape verifier, if any.
 func CompileBatch(g *mr.Graph, spec cgra.GridSpec, batch int) (*Program, error) {
+	p, err := CompileBatchUnverified(g, spec, batch)
+	if err != nil {
+		return nil, err
+	}
+	if verifyHook != nil {
+		if err := verifyHook(p); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// CompileUnverified compiles with the default batch capacity, skipping the
+// registered tape verifier — the opt-out for tests that inspect or corrupt
+// tapes, and for callers that run the verifier themselves to keep the report.
+func CompileUnverified(g *mr.Graph, spec cgra.GridSpec) (*Program, error) {
+	return CompileBatchUnverified(g, spec, DefaultBatch)
+}
+
+// CompileBatchUnverified is CompileBatch without the verifier gate.
+func CompileBatchUnverified(g *mr.Graph, spec cgra.GridSpec, batch int) (*Program, error) {
 	if batch < 1 {
 		return nil, fmt.Errorf("sched: batch capacity %d", batch)
 	}
@@ -133,8 +160,8 @@ func (p *Program) In(i int) []int32 { return p.InAt(i, 0) }
 // InAt returns batch slot j's buffer for the i-th declared input.
 func (p *Program) InAt(i, j int) []int32 {
 	o := p.ins[i]
-	base := o.off + j*o.stride
-	return p.vals[base : base+o.w]
+	base := o.Off + j*o.Stride
+	return p.vals[base : base+o.W]
 }
 
 // Out returns packet 0's i-th declared output after Run.
@@ -143,11 +170,11 @@ func (p *Program) Out(i int) []int32 { return p.OutAt(i, 0) }
 // OutAt returns batch slot j's i-th declared output after RunBatch.
 func (p *Program) OutAt(i, j int) []int32 {
 	o := p.outs[i]
-	if o.cs != nil {
-		return o.cs[o.off : o.off+o.w]
+	if o.Const != nil {
+		return o.Const[o.Off : o.Off+o.W]
 	}
-	base := o.off + j*o.stride
-	return p.vals[base : base+o.w]
+	base := o.Off + j*o.Stride
+	return p.vals[base : base+o.W]
 }
 
 // emit lays out the arena and linearises the schedule into the tape. Three
@@ -187,7 +214,7 @@ func (p *Program) emit() error {
 		}
 	}
 	// Bias folding: MAdd(reduce, scalar) where the reduce is a
-	// single-consumer fused dot. The add is emitted as one opDotAdd at the
+	// single-consumer fused dot. The add is emitted as one OpDotAdd at the
 	// MAdd node; the reduce disappears (saturation order is preserved:
 	// sat32(sat32(sum) + bias), and int32 addition commutes bit-exactly).
 	biasDot := make([]mr.NodeID, len(g.Nodes)) // MAdd id -> dot-reduce id
@@ -245,38 +272,38 @@ func (p *Program) emit() error {
 	// Arena layout: one batch-major block per value-producing node that is
 	// neither fused away nor sunk. Consts live in the graph; slices and
 	// sunk values resolve into another node's window.
-	loc := make([]operand, len(g.Nodes))
+	loc := make([]Operand, len(g.Nodes))
 	resolved := make([]bool, len(g.Nodes))
 	off := 0
 	for _, n := range g.Nodes {
 		switch {
 		case n.Kind == mr.KConst:
-			loc[n.ID] = operand{cs: n.Const, w: n.Width}
+			loc[n.ID] = Operand{Const: n.Const, W: n.Width}
 			resolved[n.ID] = true
 		case n.Kind == mr.KSlice, fused[n.ID], sink[n.ID].target >= 0:
 			// resolved lazily below
 		default:
-			loc[n.ID] = operand{off: off, stride: n.Width, w: n.Width}
+			loc[n.ID] = Operand{Off: off, Stride: n.Width, W: n.Width}
 			resolved[n.ID] = true
 			off += p.batch * n.Width
 		}
 	}
 	p.vals = make([]int32, off)
-	var resolve func(id mr.NodeID) operand
-	resolve = func(id mr.NodeID) operand {
+	var resolve func(id mr.NodeID) Operand
+	resolve = func(id mr.NodeID) Operand {
 		if resolved[id] {
 			return loc[id]
 		}
 		n := g.Node(id)
-		var o operand
+		var o Operand
 		if n.Kind == mr.KSlice {
 			o = resolve(n.Args[0])
-			o.off += n.Start
+			o.Off += n.Start
 		} else {
 			o = resolve(sink[id].target)
-			o.off += sink[id].lane
+			o.Off += sink[id].lane
 		}
-		o.w = n.Width
+		o.W = n.Width
 		loc[id], resolved[id] = o, true
 		return o
 	}
@@ -305,7 +332,7 @@ func (p *Program) emit() error {
 			continue // caller-filled, resident, or pure routing
 		}
 		d := resolve(id)
-		ins := instr{dst: d.off, dstride: d.stride, w: n.Width}
+		ins := Instr{Dst: d.Off, DStride: d.Stride, W: n.Width}
 		switch n.Kind {
 		case mr.KMap:
 			if r := biasDot[id]; r >= 0 {
@@ -314,71 +341,71 @@ func (p *Program) emit() error {
 				if bias == r {
 					bias = n.Args[1]
 				}
-				ins.op = opDotAdd
-				ins.a, ins.b, ins.c = resolve(m.Args[0]), resolve(m.Args[1]), resolve(bias)
+				ins.Op = OpDotAdd
+				ins.A, ins.B, ins.C = resolve(m.Args[0]), resolve(m.Args[1]), resolve(bias)
 				break
 			}
-			ins.op = [...]opcode{opAdd, opSub, opMul, opMin, opMax}[n.Map]
-			ins.a, ins.b = resolve(n.Args[0]), resolve(n.Args[1])
+			ins.Op = [...]Opcode{OpAdd, OpSub, OpMul, OpMin, OpMax}[n.Map]
+			ins.A, ins.B = resolve(n.Args[0]), resolve(n.Args[1])
 		case mr.KUnary:
-			ins.op = [...]opcode{opRelu, opLeaky, opNeg, opAbs}[n.Unary]
-			ins.a = resolve(n.Args[0])
+			ins.Op = [...]Opcode{OpRelu, OpLeaky, OpNeg, OpAbs}[n.Unary]
+			ins.A = resolve(n.Args[0])
 		case mr.KReduce:
 			m := g.Node(n.Args[0])
 			switch {
 			case n.Reduce == mr.RAdd && fused[m.ID] && m.Args[0] == m.Args[1] && fused[m.Args[0]]:
 				d := g.Node(m.Args[0])
-				ins.op, ins.a, ins.b = opSqDist, resolve(d.Args[0]), resolve(d.Args[1])
+				ins.Op, ins.A, ins.B = OpSqDist, resolve(d.Args[0]), resolve(d.Args[1])
 			case n.Reduce == mr.RAdd && fused[m.ID]:
-				ins.op, ins.a, ins.b = opDot, resolve(m.Args[0]), resolve(m.Args[1])
+				ins.Op, ins.A, ins.B = OpDot, resolve(m.Args[0]), resolve(m.Args[1])
 			default:
-				ins.op = [...]opcode{opSum, opRedMin, opRedMax, opArgMin, opArgMax}[n.Reduce]
-				ins.a = resolve(n.Args[0])
+				ins.Op = [...]Opcode{OpSum, OpRedMin, OpRedMax, OpArgMin, OpArgMax}[n.Reduce]
+				ins.A = resolve(n.Args[0])
 			}
 		case mr.KConcat:
 			at := 0
 			for _, a := range n.Args {
 				src := resolve(a)
 				if sink[a].target == id {
-					at += src.w
+					at += src.W
 					continue // produced in place, no copy
 				}
-				p.code = append(p.code, instr{
-					op: opCopy, dst: d.off + at, dstride: d.stride, w: src.w, a: src,
+				p.code = append(p.code, Instr{
+					Op: OpCopy, Dst: d.Off + at, DStride: d.Stride, W: src.W, A: src,
 				})
-				at += src.w
+				at += src.W
 			}
 			continue
 		case mr.KRequant:
-			ins.op, ins.a, ins.mult = opRequant, resolve(n.Args[0]), &n.Mult
+			ins.Op, ins.A, ins.Mult = OpRequant, resolve(n.Args[0]), &n.Mult
 		case mr.KScale:
-			ins.op, ins.a, ins.mult = opScale, resolve(n.Args[0]), &n.Mult
+			ins.Op, ins.A, ins.Mult = OpScale, resolve(n.Args[0]), &n.Mult
 		case mr.KLUT:
-			ins.op, ins.a, ins.lut = opLUT, resolve(n.Args[0]), n.LUT
+			ins.Op, ins.A, ins.LUT = OpLUT, resolve(n.Args[0]), n.LUT
 		default:
 			return fmt.Errorf("sched: node %d has unknown kind %v", id, n.Kind)
 		}
 		p.code = append(p.code, ins)
 	}
 
-	p.ins = make([]operand, len(g.Inputs))
+	p.ins = make([]Operand, len(g.Inputs))
 	for i, id := range g.Inputs {
 		p.ins[i] = resolve(id)
 	}
-	p.outs = make([]operand, len(g.Outputs))
+	p.outs = make([]Operand, len(g.Outputs))
 	for i, id := range g.Outputs {
 		p.outs[i] = resolve(id)
 	}
 	return nil
 }
 
-// lanes resolves an operand's window for batch slot j.
-func (p *Program) lanes(o operand, j int) []int32 {
-	if o.cs != nil {
-		return o.cs[o.off : o.off+o.w]
+// lanes resolves an Operand's window for batch slot j.
+func (p *Program) lanes(o Operand, j int) []int32 {
+	if o.Const != nil {
+		return o.Const[o.Off : o.Off+o.W]
 	}
-	base := o.off + j*o.stride
-	return p.vals[base : base+o.w]
+	base := o.Off + j*o.Stride
+	return p.vals[base : base+o.W]
 }
 
 // sat32 clamps a wide intermediate to int32, identically to
@@ -394,68 +421,73 @@ func sat32(v int64) int32 {
 }
 
 // Run evaluates batch slot 0: the per-packet hot path.
+//
+// hotpath: zero-alloc
 func (p *Program) Run() { p.RunBatch(1) }
 
 // RunBatch evaluates batch slots 0..n-1 in one tape sweep. The caller fills
 // InAt(i, j) for each slot beforehand and reads OutAt(i, j) after. It
 // allocates nothing and is bit-exact with Graph.Eval per slot.
+//
+// hotpath: zero-alloc
 func (p *Program) RunBatch(n int) {
 	if n < 1 || n > p.batch {
+		//hotpathcheck:allow — misuse guard; panics before the sweep, never taken on the steady path
 		panic(fmt.Sprintf("sched: RunBatch(%d) outside capacity %d", n, p.batch))
 	}
 	for ci := range p.code {
 		ins := &p.code[ci]
-		switch ins.op {
-		case opAdd:
+		switch ins.Op {
+		case OpAdd:
 			for j := 0; j < n; j++ {
-				a, out := p.lanes(ins.a, j), p.dst(ins, j)
-				if ins.b.w == 1 {
-					bv := int64(p.lanes(ins.b, j)[0])
+				a, out := p.lanes(ins.A, j), p.dstLanes(ins, j)
+				if ins.B.W == 1 {
+					bv := int64(p.lanes(ins.B, j)[0])
 					for i := range out {
 						out[i] = sat32(int64(a[i]) + bv)
 					}
 				} else {
-					b := p.lanes(ins.b, j)
+					b := p.lanes(ins.B, j)
 					for i := range out {
 						out[i] = sat32(int64(a[i]) + int64(b[i]))
 					}
 				}
 			}
-		case opSub:
+		case OpSub:
 			for j := 0; j < n; j++ {
-				a, out := p.lanes(ins.a, j), p.dst(ins, j)
-				if ins.b.w == 1 {
-					bv := int64(p.lanes(ins.b, j)[0])
+				a, out := p.lanes(ins.A, j), p.dstLanes(ins, j)
+				if ins.B.W == 1 {
+					bv := int64(p.lanes(ins.B, j)[0])
 					for i := range out {
 						out[i] = sat32(int64(a[i]) - bv)
 					}
 				} else {
-					b := p.lanes(ins.b, j)
+					b := p.lanes(ins.B, j)
 					for i := range out {
 						out[i] = sat32(int64(a[i]) - int64(b[i]))
 					}
 				}
 			}
-		case opMul:
+		case OpMul:
 			for j := 0; j < n; j++ {
-				a, out := p.lanes(ins.a, j), p.dst(ins, j)
-				if ins.b.w == 1 {
-					bv := int64(p.lanes(ins.b, j)[0])
+				a, out := p.lanes(ins.A, j), p.dstLanes(ins, j)
+				if ins.B.W == 1 {
+					bv := int64(p.lanes(ins.B, j)[0])
 					for i := range out {
 						out[i] = sat32(int64(a[i]) * bv)
 					}
 				} else {
-					b := p.lanes(ins.b, j)
+					b := p.lanes(ins.B, j)
 					for i := range out {
 						out[i] = sat32(int64(a[i]) * int64(b[i]))
 					}
 				}
 			}
-		case opMin:
+		case OpMin:
 			for j := 0; j < n; j++ {
-				a, out := p.lanes(ins.a, j), p.dst(ins, j)
-				if ins.b.w == 1 {
-					bv := p.lanes(ins.b, j)[0]
+				a, out := p.lanes(ins.A, j), p.dstLanes(ins, j)
+				if ins.B.W == 1 {
+					bv := p.lanes(ins.B, j)[0]
 					for i := range out {
 						if v := a[i]; v < bv {
 							out[i] = v
@@ -464,7 +496,7 @@ func (p *Program) RunBatch(n int) {
 						}
 					}
 				} else {
-					b := p.lanes(ins.b, j)
+					b := p.lanes(ins.B, j)
 					for i := range out {
 						if v, bv := a[i], b[i]; v < bv {
 							out[i] = v
@@ -474,11 +506,11 @@ func (p *Program) RunBatch(n int) {
 					}
 				}
 			}
-		case opMax:
+		case OpMax:
 			for j := 0; j < n; j++ {
-				a, out := p.lanes(ins.a, j), p.dst(ins, j)
-				if ins.b.w == 1 {
-					bv := p.lanes(ins.b, j)[0]
+				a, out := p.lanes(ins.A, j), p.dstLanes(ins, j)
+				if ins.B.W == 1 {
+					bv := p.lanes(ins.B, j)[0]
 					for i := range out {
 						if v := a[i]; v > bv {
 							out[i] = v
@@ -487,7 +519,7 @@ func (p *Program) RunBatch(n int) {
 						}
 					}
 				} else {
-					b := p.lanes(ins.b, j)
+					b := p.lanes(ins.B, j)
 					for i := range out {
 						if v, bv := a[i], b[i]; v > bv {
 							out[i] = v
@@ -497,9 +529,9 @@ func (p *Program) RunBatch(n int) {
 					}
 				}
 			}
-		case opRelu:
+		case OpRelu:
 			for j := 0; j < n; j++ {
-				a, out := p.lanes(ins.a, j), p.dst(ins, j)
+				a, out := p.lanes(ins.A, j), p.dstLanes(ins, j)
 				for i := range out {
 					if v := a[i]; v > 0 {
 						out[i] = v
@@ -508,9 +540,9 @@ func (p *Program) RunBatch(n int) {
 					}
 				}
 			}
-		case opLeaky:
+		case OpLeaky:
 			for j := 0; j < n; j++ {
-				a, out := p.lanes(ins.a, j), p.dst(ins, j)
+				a, out := p.lanes(ins.A, j), p.dstLanes(ins, j)
 				for i := range out {
 					if v := a[i]; v < 0 {
 						out[i] = int32((int64(v)*82 + 4096) >> 13)
@@ -519,16 +551,16 @@ func (p *Program) RunBatch(n int) {
 					}
 				}
 			}
-		case opNeg:
+		case OpNeg:
 			for j := 0; j < n; j++ {
-				a, out := p.lanes(ins.a, j), p.dst(ins, j)
+				a, out := p.lanes(ins.A, j), p.dstLanes(ins, j)
 				for i := range out {
 					out[i] = sat32(-int64(a[i]))
 				}
 			}
-		case opAbs:
+		case OpAbs:
 			for j := 0; j < n; j++ {
-				a, out := p.lanes(ins.a, j), p.dst(ins, j)
+				a, out := p.lanes(ins.A, j), p.dstLanes(ins, j)
 				for i := range out {
 					if v := a[i]; v < 0 {
 						out[i] = sat32(-int64(v))
@@ -537,54 +569,54 @@ func (p *Program) RunBatch(n int) {
 					}
 				}
 			}
-		case opSum:
+		case OpSum:
 			for j := 0; j < n; j++ {
-				a := p.lanes(ins.a, j)
+				a := p.lanes(ins.A, j)
 				var s int64
 				for _, v := range a {
 					s += int64(v)
 				}
-				p.dst(ins, j)[0] = sat32(s)
+				p.dstLanes(ins, j)[0] = sat32(s)
 			}
-		case opRedMin, opArgMin:
+		case OpRedMin, OpArgMin:
 			for j := 0; j < n; j++ {
-				a := p.lanes(ins.a, j)
+				a := p.lanes(ins.A, j)
 				best := 0
 				for i, v := range a {
 					if v < a[best] {
 						best = i
 					}
 				}
-				if ins.op == opArgMin {
-					p.dst(ins, j)[0] = int32(best)
+				if ins.Op == OpArgMin {
+					p.dstLanes(ins, j)[0] = int32(best)
 				} else {
-					p.dst(ins, j)[0] = a[best]
+					p.dstLanes(ins, j)[0] = a[best]
 				}
 			}
-		case opRedMax, opArgMax:
+		case OpRedMax, OpArgMax:
 			for j := 0; j < n; j++ {
-				a := p.lanes(ins.a, j)
+				a := p.lanes(ins.A, j)
 				best := 0
 				for i, v := range a {
 					if v > a[best] {
 						best = i
 					}
 				}
-				if ins.op == opArgMax {
-					p.dst(ins, j)[0] = int32(best)
+				if ins.Op == OpArgMax {
+					p.dstLanes(ins, j)[0] = int32(best)
 				} else {
-					p.dst(ins, j)[0] = a[best]
+					p.dstLanes(ins, j)[0] = a[best]
 				}
 			}
-		case opRequant:
-			m := *ins.mult // read once per sweep; aliases the live node
+		case OpRequant:
+			m := *ins.Mult // read once per sweep; aliases the live node
 			if m.Shift >= 63 {
 				p.fill(ins, n, 0) // degenerate multiplier rounds to zero
 				continue
 			}
 			m0, half, sh := int64(m.M0), int64(1)<<(m.Shift-1), uint(m.Shift)
 			for j := 0; j < n; j++ {
-				a, out := p.lanes(ins.a, j), p.dst(ins, j)
+				a, out := p.lanes(ins.A, j), p.dstLanes(ins, j)
 				for i := range out {
 					v := int32((int64(a[i])*m0 + half) >> sh)
 					if v > 127 {
@@ -595,24 +627,24 @@ func (p *Program) RunBatch(n int) {
 					out[i] = v
 				}
 			}
-		case opScale:
-			m := *ins.mult
+		case OpScale:
+			m := *ins.Mult
 			if m.Shift >= 63 {
 				p.fill(ins, n, 0)
 				continue
 			}
 			m0, half, sh := int64(m.M0), int64(1)<<(m.Shift-1), uint(m.Shift)
 			for j := 0; j < n; j++ {
-				a, out := p.lanes(ins.a, j), p.dst(ins, j)
+				a, out := p.lanes(ins.A, j), p.dstLanes(ins, j)
 				for i := range out {
 					out[i] = int32((int64(a[i])*m0 + half) >> sh)
 				}
 			}
-		case opLUT:
-			lut := ins.lut
+		case OpLUT:
+			lut := ins.LUT
 			m := lut.Mult
 			for j := 0; j < n; j++ {
-				a, out := p.lanes(ins.a, j), p.dst(ins, j)
+				a, out := p.lanes(ins.A, j), p.dstLanes(ins, j)
 				for i := range out {
 					idx := m.Apply(a[i])
 					if idx < -mr.LUTSize/2 {
@@ -623,78 +655,78 @@ func (p *Program) RunBatch(n int) {
 					out[i] = int32(lut.Table[idx+mr.LUTSize/2])
 				}
 			}
-		case opCopy:
+		case OpCopy:
 			for j := 0; j < n; j++ {
-				copy(p.dst(ins, j), p.lanes(ins.a, j))
+				copy(p.dstLanes(ins, j), p.lanes(ins.A, j))
 			}
-		case opDot:
+		case OpDot:
 			for j := 0; j < n; j++ {
-				a := p.lanes(ins.a, j)
+				a := p.lanes(ins.A, j)
 				var s int64
-				if ins.b.w == 1 {
-					bv := int64(p.lanes(ins.b, j)[0])
+				if ins.B.W == 1 {
+					bv := int64(p.lanes(ins.B, j)[0])
 					for _, v := range a {
 						s += int64(sat32(int64(v) * bv))
 					}
 				} else {
-					b := p.lanes(ins.b, j)
+					b := p.lanes(ins.B, j)
 					for i, v := range a {
 						s += int64(sat32(int64(v) * int64(b[i])))
 					}
 				}
-				p.dst(ins, j)[0] = sat32(s)
+				p.dstLanes(ins, j)[0] = sat32(s)
 			}
-		case opDotAdd:
+		case OpDotAdd:
 			for j := 0; j < n; j++ {
-				a := p.lanes(ins.a, j)
+				a := p.lanes(ins.A, j)
 				var s int64
-				if ins.b.w == 1 {
-					bv := int64(p.lanes(ins.b, j)[0])
+				if ins.B.W == 1 {
+					bv := int64(p.lanes(ins.B, j)[0])
 					for _, v := range a {
 						s += int64(sat32(int64(v) * bv))
 					}
 				} else {
-					b := p.lanes(ins.b, j)
+					b := p.lanes(ins.B, j)
 					for i, v := range a {
 						s += int64(sat32(int64(v) * int64(b[i])))
 					}
 				}
-				cv := int64(p.lanes(ins.c, j)[0])
-				p.dst(ins, j)[0] = sat32(int64(sat32(s)) + cv)
+				cv := int64(p.lanes(ins.C, j)[0])
+				p.dstLanes(ins, j)[0] = sat32(int64(sat32(s)) + cv)
 			}
-		case opSqDist:
+		case OpSqDist:
 			for j := 0; j < n; j++ {
-				a := p.lanes(ins.a, j)
+				a := p.lanes(ins.A, j)
 				var s int64
-				if ins.b.w == 1 {
-					bv := int64(p.lanes(ins.b, j)[0])
+				if ins.B.W == 1 {
+					bv := int64(p.lanes(ins.B, j)[0])
 					for _, v := range a {
 						d := int64(sat32(int64(v) - bv))
 						s += int64(sat32(d * d))
 					}
 				} else {
-					b := p.lanes(ins.b, j)
+					b := p.lanes(ins.B, j)
 					for i, v := range a {
 						d := int64(sat32(int64(v) - int64(b[i])))
 						s += int64(sat32(d * d))
 					}
 				}
-				p.dst(ins, j)[0] = sat32(s)
+				p.dstLanes(ins, j)[0] = sat32(s)
 			}
 		}
 	}
 }
 
 // dst resolves an instruction's output window for batch slot j.
-func (p *Program) dst(ins *instr, j int) []int32 {
-	base := ins.dst + j*ins.dstride
-	return p.vals[base : base+ins.w]
+func (p *Program) dstLanes(ins *Instr, j int) []int32 {
+	base := ins.Dst + j*ins.DStride
+	return p.vals[base : base+ins.W]
 }
 
 // fill writes v across the instruction's output for slots 0..n-1.
-func (p *Program) fill(ins *instr, n int, v int32) {
+func (p *Program) fill(ins *Instr, n int, v int32) {
 	for j := 0; j < n; j++ {
-		out := p.dst(ins, j)
+		out := p.dstLanes(ins, j)
 		for i := range out {
 			out[i] = v
 		}

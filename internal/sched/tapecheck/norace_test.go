@@ -1,0 +1,5 @@
+//go:build !race
+
+package tapecheck_test
+
+const raceEnabled = false

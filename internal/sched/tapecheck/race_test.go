@@ -1,0 +1,8 @@
+//go:build race
+
+package tapecheck_test
+
+// raceEnabled reports whether the race detector instruments this binary;
+// the wall-clock budget tests skip under it (5-10x slowdown is the
+// detector's, not the verifier's).
+const raceEnabled = true

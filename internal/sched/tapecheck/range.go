@@ -1,0 +1,203 @@
+package tapecheck
+
+import (
+	"taurus/internal/graphcheck"
+	mr "taurus/internal/mapreduce"
+	"taurus/internal/sched"
+)
+
+// ranges is the interval-soundness analysis: graphcheck's transfer kernel,
+// rerun cell-by-cell over the tape instead of node-by-node over the graph.
+// The point is not to re-prove what graphcheck already proved — it is to
+// prove it of the *compiled* dataflow, whose fused instructions materialise
+// intermediates that have no graph node (each sat32-clamped term of a dot,
+// the pre-bias accumulator of a dot+add, the difference and square of a
+// fused squared-distance). Severities mirror graphcheck exactly: silent
+// Fix32 saturation and an int32 scale wrap are errors, designed clipping
+// (requant's int8 clamp, a LUT's index clamp) merely tightens the interval,
+// and a fully clipped requant lane or out-of-domain LUT is diagnosed the
+// same way the graph walk would.
+//
+// Intervals are identical across batch slots (the layout is slot-uniform;
+// bounds() proves that), so the walk runs over slot 0.
+func (c *checker) ranges(opts Options) {
+	cells := make([]Interval, c.arena)
+	defined := make([]bool, c.arena)
+
+	for i := range c.g.Inputs {
+		o := c.p.InputOperand(i)
+		if o.Const != nil || o.Off < 0 || o.Off+o.W > c.arena {
+			continue // alias/bounds findings cover these
+		}
+		seed := graphcheck.Int8Range()
+		if opts.InputRange != nil {
+			if iv, ok := opts.InputRange(i, c.g.Node(c.g.Inputs[i]).Name); ok {
+				seed, _ = graphcheck.ClampFix32(iv) // seeds describe runtime int32s
+			}
+		}
+		for l := 0; l < o.W; l++ {
+			cells[o.Off+l] = seed
+			defined[o.Off+l] = true
+		}
+	}
+
+	fix32 := graphcheck.Fix32Range()
+	read := func(o sched.Operand, l int) Interval {
+		if o.Const != nil {
+			if idx := o.Off + l; idx >= 0 && idx < len(o.Const) {
+				return graphcheck.Point(int64(o.Const[idx]))
+			}
+			return fix32
+		}
+		if idx := o.Off + l; idx >= 0 && idx < c.arena && defined[idx] {
+			return cells[idx]
+		}
+		return fix32 // undefined or out of range: bounds() reports, stay sound
+	}
+	var lutFull map[*mr.LUT]Interval
+	lutRange := func(l *mr.LUT, idx Interval) Interval {
+		full := idx.Lo == -mr.LUTSize/2 && idx.Hi == mr.LUTSize/2-1
+		if full {
+			if lutFull == nil {
+				lutFull = make(map[*mr.LUT]Interval, 4)
+			}
+			if iv, ok := lutFull[l]; ok {
+				return iv
+			}
+		}
+		iv := graphcheck.LUTRange(l, idx)
+		if full {
+			lutFull[l] = iv
+		}
+		return iv
+	}
+
+	for pc := range c.code {
+		ins := &c.code[pc]
+		write := func(l int, iv Interval) {
+			if idx := ins.Dst + l; idx >= 0 && idx < c.arena {
+				cells[idx] = iv
+				defined[idx] = true
+			}
+		}
+		bLane := func(l int) Interval {
+			if ins.B.W == 1 {
+				return read(ins.B, 0)
+			}
+			return read(ins.B, l)
+		}
+		reported := false
+		sat := func(lane int, what string, raw Interval) Interval {
+			out, clipped := graphcheck.ClampFix32(raw)
+			if clipped && !reported {
+				reported = true
+				c.finding(pc, -1, SevError, CheckRange, raw,
+					"%s %d may silently saturate fix32: feasible interval %s exceeds %s",
+					what, lane, raw, fix32)
+			}
+			return out
+		}
+
+		switch ins.Op {
+		case sched.OpAdd, sched.OpSub, sched.OpMul, sched.OpMin, sched.OpMax:
+			mop := [...]mr.MapOp{mr.MAdd, mr.MSub, mr.MMul, mr.MMin, mr.MMax}[ins.Op-sched.OpAdd]
+			w := min(ins.W, ins.A.W)
+			for l := 0; l < w; l++ {
+				write(l, sat(l, "lane", graphcheck.MapTransfer(mop, read(ins.A, l), bLane(l))))
+			}
+		case sched.OpRelu, sched.OpLeaky, sched.OpNeg, sched.OpAbs:
+			uop := [...]mr.UnaryOp{mr.UReLU, mr.ULeakyReLU, mr.UNeg, mr.UAbs}[ins.Op-sched.OpRelu]
+			w := min(ins.W, ins.A.W)
+			for l := 0; l < w; l++ {
+				write(l, sat(l, "lane", graphcheck.UnaryTransfer(uop, read(ins.A, l))))
+			}
+		case sched.OpSum:
+			var acc Interval
+			for l := 0; l < ins.A.W; l++ {
+				iv := read(ins.A, l)
+				acc.Lo += iv.Lo
+				acc.Hi += iv.Hi
+			}
+			write(0, sat(0, "accumulator lane", acc))
+		case sched.OpRedMin, sched.OpRedMax, sched.OpArgMin, sched.OpArgMax:
+			if ins.A.W < 1 {
+				break
+			}
+			rop := [...]mr.ReduceOp{mr.RMin, mr.RMax, mr.RArgMin, mr.RArgMax}[ins.Op-sched.OpRedMin]
+			lanes := make([]Interval, ins.A.W)
+			for l := range lanes {
+				lanes[l] = read(ins.A, l)
+			}
+			write(0, graphcheck.ReduceTransfer(rop, lanes))
+		case sched.OpRequant:
+			if ins.Mult == nil {
+				break
+			}
+			w := min(ins.W, ins.A.W)
+			for l := 0; l < w; l++ {
+				out, raw, clipped := graphcheck.Requant8Transfer(*ins.Mult, read(ins.A, l))
+				if clipped && !reported {
+					reported = true
+					c.finding(pc, -1, SevError, CheckRange, raw,
+						"lane %d always clips to int8: feasible interval %s lies outside %s (multiplier miscalibrated)",
+						l, raw, graphcheck.Int8Range())
+				}
+				write(l, out)
+			}
+		case sched.OpScale:
+			if ins.Mult == nil {
+				break
+			}
+			w := min(ins.W, ins.A.W)
+			for l := 0; l < w; l++ {
+				out, raw, wraps := graphcheck.ScaleTransfer(*ins.Mult, read(ins.A, l))
+				if wraps && !reported {
+					reported = true
+					c.finding(pc, -1, SevError, CheckRange, raw,
+						"lane %d wraps int32: scale result interval %s exceeds %s", l, raw, fix32)
+				}
+				write(l, out)
+			}
+		case sched.OpLUT:
+			if ins.LUT == nil {
+				break
+			}
+			w := min(ins.W, ins.A.W)
+			for l := 0; l < w; l++ {
+				idx, raw, allOutside := graphcheck.LUTIndex(ins.LUT, read(ins.A, l))
+				if allOutside && !reported {
+					reported = true
+					c.finding(pc, -1, SevWarning, CheckRange, raw,
+						"lane %d index interval %s lies entirely outside the table domain", l, raw)
+				}
+				write(l, lutRange(ins.LUT, idx))
+			}
+		case sched.OpCopy:
+			w := min(ins.W, ins.A.W)
+			for l := 0; l < w; l++ {
+				write(l, read(ins.A, l))
+			}
+		case sched.OpDot, sched.OpDotAdd:
+			var acc Interval
+			for l := 0; l < ins.A.W; l++ {
+				p := sat(l, "fused dot term", graphcheck.MapTransfer(mr.MMul, read(ins.A, l), bLane(l)))
+				acc.Lo += p.Lo
+				acc.Hi += p.Hi
+			}
+			out := sat(0, "fused dot accumulator lane", acc)
+			if ins.Op == sched.OpDotAdd {
+				out = sat(0, "fused bias-add lane", graphcheck.MapTransfer(mr.MAdd, out, read(ins.C, 0)))
+			}
+			write(0, out)
+		case sched.OpSqDist:
+			var acc Interval
+			for l := 0; l < ins.A.W; l++ {
+				d := sat(l, "fused difference term", graphcheck.MapTransfer(mr.MSub, read(ins.A, l), bLane(l)))
+				sq := sat(l, "fused square term", graphcheck.MapTransfer(mr.MMul, d, d))
+				acc.Lo += sq.Lo
+				acc.Hi += sq.Hi
+			}
+			write(0, sat(0, "fused distance accumulator lane", acc))
+		}
+	}
+}

@@ -102,6 +102,7 @@ import (
 	"taurus/internal/pipeline"
 	"taurus/internal/pisa"
 	"taurus/internal/sched"
+	"taurus/internal/sched/tapecheck"
 	"taurus/internal/tensor"
 	"taurus/internal/trafficgen"
 )
@@ -210,6 +211,33 @@ func PlanSchedule(g *Graph, spec GridSpec) (*Schedule, error) { return sched.Pla
 func CompileProgram(g *Graph, spec GridSpec) (*CompiledProgram, error) {
 	return sched.Compile(g, spec)
 }
+
+// Translation validation: the post-compile tape gate (internal/sched/
+// tapecheck). CompileProgram (and every Device install) already refuses a
+// tape that fails it; these entry points expose the full report for
+// inspection — taurus-compile -check prints it, and callers holding a tape
+// compiled elsewhere can re-verify it.
+type (
+	// TapeReport is the validator's full result: semantic equivalence of
+	// every output lane against the source graph, interval soundness of each
+	// tape cell, the weight-aliasing audit and the arena/schedule bounds.
+	TapeReport = tapecheck.Report
+	// TapeFinding is one diagnostic, anchored to the offending instruction.
+	TapeFinding = tapecheck.Finding
+)
+
+// ErrBadTape: a compiled tape failed translation validation.
+var ErrBadTape = tapecheck.ErrBadTape
+
+// Tape verification entry points.
+var (
+	// VerifyTape validates a compiled tape against its source graph and
+	// returns the full report.
+	VerifyTape = tapecheck.Verify
+	// CheckTape is the gate form: nil when the tape verifies clean, an error
+	// wrapping ErrBadTape otherwise. CompileProgram runs it implicitly.
+	CheckTape = tapecheck.Check
+)
 
 // DefaultGrid returns the final ASIC configuration: a 12x10 grid with 3:1
 // CU:MU ratio, 16-lane 4-stage CUs, 8-bit datapath (§5.1.1).
