@@ -18,17 +18,23 @@
 // to pick the retrained model family. -json (drift, throughput, latency,
 // fleet, distfit and compile only) replaces the rendered table with the
 // experiment's data rows as JSON, for the benchmark artifacts CI
-// accumulates.
+// accumulates; every -json envelope carries an "obs" block — the full
+// metrics-registry snapshot at the end of the run. -metrics-addr serves
+// /metrics (Prometheus text), /metrics.json, /trace and /trace.json while
+// the run executes; -trace-dump writes the control-plane trace journal to a
+// file at exit.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"strings"
 
 	"taurus/internal/experiments"
+	"taurus/internal/obs"
 )
 
 func main() {
@@ -37,13 +43,21 @@ func main() {
 	seed := flag.Int64("seed", 1, "training seed")
 	driftModel := flag.String("model", "dnn", "model family for the drift and fleet experiments (dnn, svm, iot)")
 	jsonOut := flag.Bool("json", false, "emit the experiment's data rows as JSON (drift, throughput, latency, fleet, distfit only)")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /metrics.json, /trace on this address while the run executes")
+	traceDump := flag.String("trace-dump", "", "write the control-plane trace journal to this file at exit (.json selects JSON, otherwise text)")
 	flag.Parse()
 
+	if *metricsAddr != "" {
+		go serveMetrics(*metricsAddr)
+	}
 	var err error
 	if *jsonOut {
 		err = runJSON(*exp, *seed, *driftModel)
 	} else {
 		err = run(*exp, *packets, *seed, *driftModel)
+	}
+	if derr := dumpTrace(*traceDump); err == nil {
+		err = derr
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "taurus-bench:", err)
@@ -51,15 +65,51 @@ func main() {
 	}
 }
 
+// serveMetrics exposes the default registry and trace journal for scrapes
+// while the experiments run; the listener dies with the process.
+func serveMetrics(addr string) {
+	if err := http.ListenAndServe(addr, obs.Handler(obs.Default(), obs.DefaultTracer())); err != nil {
+		fmt.Fprintln(os.Stderr, "taurus-bench: metrics listener:", err)
+	}
+}
+
+// dumpTrace writes the retained trace journal to path ("" = skip).
+func dumpTrace(path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	tr := obs.DefaultTracer()
+	if strings.HasSuffix(path, ".json") {
+		err = tr.WriteJSON(f)
+	} else {
+		err = tr.WriteText(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// benchOutput is the envelope of every -json run: the experiment's rows
+// plus an obs block — the full metrics-registry snapshot at the end of the
+// run, so CI artifacts carry the telemetry beside the results. The field
+// set is pinned by TestBenchOutputSchema.
+type benchOutput struct {
+	Experiment string       `json:"experiment"`
+	Model      string       `json:"model,omitempty"`
+	Seed       int64        `json:"seed"`
+	Rows       any          `json:"rows"`
+	Obs        []obs.Metric `json:"obs"`
+}
+
 // runJSON emits one experiment's rows as indented JSON on stdout — the
 // machine-readable benchmark trajectory CI uploads as artifacts.
 func runJSON(exp string, seed int64, driftModel string) error {
-	out := struct {
-		Experiment string `json:"experiment"`
-		Model      string `json:"model,omitempty"`
-		Seed       int64  `json:"seed"`
-		Rows       any    `json:"rows"`
-	}{Experiment: strings.ToLower(exp), Seed: seed}
+	out := benchOutput{Experiment: strings.ToLower(exp), Seed: seed}
 
 	switch out.Experiment {
 	case "drift":
@@ -113,6 +163,7 @@ func runJSON(exp string, seed int64, driftModel string) error {
 	default:
 		return fmt.Errorf("-json supports drift, throughput, latency, fleet, distfit and compile, not %q", exp)
 	}
+	out.Obs = obs.Default().Snapshot()
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	return enc.Encode(out)

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"taurus/internal/obs"
+)
+
+// TestBenchOutputSchema pins the -json envelope: the top-level keys CI
+// tooling indexes by, and the shape of the obs block's entries. Renaming or
+// dropping a field breaks downstream artifact consumers — this test is the
+// tripwire.
+func TestBenchOutputSchema(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("taurus.device.processed", obs.L("dev", "0")).Add(3)
+	reg.Histogram("taurus.device.service_ns", obs.L("dev", "0")).Record(140)
+
+	out := benchOutput{
+		Experiment: "drift",
+		Model:      "dnn",
+		Seed:       1,
+		Rows:       []int{1, 2, 3},
+		Obs:        reg.Snapshot(),
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	if err := enc.Encode(out); err != nil {
+		t.Fatal(err)
+	}
+
+	var got map[string]json.RawMessage
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"experiment", "model", "seed", "rows", "obs"} {
+		if _, ok := got[key]; !ok {
+			t.Errorf("envelope missing key %q", key)
+		}
+	}
+	if len(got) != 5 {
+		t.Errorf("envelope has %d keys, want 5: %v", len(got), keys(got))
+	}
+
+	var obsBlock []map[string]json.RawMessage
+	if err := json.Unmarshal(got["obs"], &obsBlock); err != nil {
+		t.Fatalf("obs block: %v", err)
+	}
+	if len(obsBlock) != 2 {
+		t.Fatalf("obs block has %d metrics, want 2", len(obsBlock))
+	}
+	// The counter renders name/labels/kind/value; the histogram additionally
+	// count/sum/quantiles. Spot-check the keys consumers address.
+	sawHist := false
+	for _, m := range obsBlock {
+		for _, key := range []string{"name", "kind"} {
+			if _, ok := m[key]; !ok {
+				t.Errorf("obs metric missing key %q: %v", key, keys(m))
+			}
+		}
+		if string(m["kind"]) == `"histogram"` {
+			sawHist = true
+			for _, key := range []string{"count", "sum", "p50", "p99"} {
+				if _, ok := m[key]; !ok {
+					t.Errorf("histogram metric missing key %q: %v", key, keys(m))
+				}
+			}
+		}
+	}
+	if !sawHist {
+		t.Error("obs block has no histogram metric")
+	}
+
+	// A model-less experiment must omit "model" entirely, not emit "".
+	buf.Reset()
+	if err := enc.Encode(benchOutput{Experiment: "distfit", Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	clear(got)
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := got["model"]; ok {
+		t.Error("empty model should be omitted from the envelope")
+	}
+}
+
+func keys(m map[string]json.RawMessage) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

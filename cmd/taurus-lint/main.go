@@ -2,7 +2,7 @@
 // over one or more directory trees and prints every diagnostic. Exit status
 // 1 when any diagnostic is reported, 2 on a driver error.
 //
-// The suite holds three analyzers, selectable with flags (all on by
+// The suite holds four analyzers, selectable with flags (all on by
 // default):
 //
 //	clonecheck    graphs pushed to UpdateWeights/LoadModel must be owned by
@@ -10,10 +10,12 @@
 //	hotpathcheck  functions annotated `//hotpath: zero-alloc` must stay free
 //	              of allocating constructs
 //	gatecheck     push call sites must be dominated by a graphcheck gate
+//	obsnames      metric registrations must use valid dotted names, one kind
+//	              per name
 //
 // Usage:
 //
-//	taurus-lint [-clonecheck=false] [-hotpathcheck=false] [-gatecheck=false] [dir ...]   (default ".")
+//	taurus-lint [-clonecheck=false] [-hotpathcheck=false] [-gatecheck=false] [-obsnames=false] [dir ...]   (default ".")
 package main
 
 import (
@@ -25,10 +27,13 @@ import (
 	"taurus/internal/lint/clonecheck"
 	"taurus/internal/lint/gatecheck"
 	"taurus/internal/lint/hotpathcheck"
+	"taurus/internal/lint/obsnames"
 )
 
 func main() {
-	all := []*lint.Analyzer{clonecheck.Analyzer, hotpathcheck.Analyzer, gatecheck.Analyzer}
+	// obsnames is constructed per run: its kind census spans every file the
+	// run sees, so the instance must not outlive the invocation.
+	all := []*lint.Analyzer{clonecheck.Analyzer, hotpathcheck.Analyzer, gatecheck.Analyzer, obsnames.New()}
 	enabled := map[string]*bool{}
 	for _, a := range all {
 		enabled[a.Name] = flag.Bool(a.Name, true, a.Doc)

@@ -1,0 +1,30 @@
+// Command taurus-promcheck validates Prometheus text exposition on stdin:
+// every non-comment line must parse as a well-formed sample (metric name,
+// optional label set, float value, optional timestamp), and at least one
+// sample must be present. Exit status 0 means the input is scrapeable;
+// 1 means it is not, with the offending line on stderr.
+//
+// It is the CI gate behind the observe-example job: the example's /metrics
+// endpoint is curled and piped through this tool, so an exposition-format
+// regression fails the build instead of silently breaking scrapes.
+//
+// Usage:
+//
+//	curl -s localhost:9090/metrics | taurus-promcheck
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"taurus/internal/obs"
+)
+
+func main() {
+	n, err := obs.ParsePrometheus(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "taurus-promcheck:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("ok: %d samples\n", n)
+}

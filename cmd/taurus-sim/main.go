@@ -6,15 +6,20 @@
 // Usage:
 //
 //	taurus-sim [-sampling 1e-3] [-packets 400000] [-seed 1] [-shards 4]
+//	taurus-sim -metrics-addr :9090      # serve /metrics while simulating
+//	taurus-sim -trace-dump trace.txt    # journal control-plane events to a file
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
+	"strings"
 
 	"taurus/internal/experiments"
 	"taurus/internal/netsim"
+	"taurus/internal/obs"
 )
 
 func main() {
@@ -22,12 +27,46 @@ func main() {
 	packets := flag.Int("packets", 400_000, "packets to simulate")
 	seed := flag.Int64("seed", 1, "seed for training and traffic")
 	shards := flag.Int("shards", 4, "Taurus pipeline shard count")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /metrics.json, /trace on this address while the simulation runs")
+	traceDump := flag.String("trace-dump", "", "write the control-plane trace journal to this file at exit (.json selects JSON, otherwise text)")
 	flag.Parse()
 
-	if err := run(*sampling, *packets, *seed, *shards); err != nil {
+	if *metricsAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*metricsAddr, obs.Handler(obs.Default(), obs.DefaultTracer())); err != nil {
+				fmt.Fprintln(os.Stderr, "taurus-sim: metrics listener:", err)
+			}
+		}()
+	}
+	err := run(*sampling, *packets, *seed, *shards)
+	if derr := dumpTrace(*traceDump); err == nil {
+		err = derr
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "taurus-sim:", err)
 		os.Exit(1)
 	}
+}
+
+// dumpTrace writes the retained trace journal to path ("" = skip).
+func dumpTrace(path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	tr := obs.DefaultTracer()
+	if strings.HasSuffix(path, ".json") {
+		err = tr.WriteJSON(f)
+	} else {
+		err = tr.WriteText(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 func run(sampling float64, packets int, seed int64, shards int) error {

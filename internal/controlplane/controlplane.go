@@ -40,7 +40,9 @@ package controlplane
 
 import (
 	"fmt"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"taurus/internal/core"
@@ -50,7 +52,18 @@ import (
 	"taurus/internal/graphcheck"
 	mr "taurus/internal/mapreduce"
 	"taurus/internal/model"
+	"taurus/internal/obs"
 )
+
+// TapeRechecker is the optional audit surface of a Pusher: after a
+// successful weight push, the control plane re-runs tapecheck's translation
+// validator on the tape the data plane is serving — the pushed weights
+// mutated the graph the tape aliases, and RecheckTape proves the compiled
+// path is still a faithful translation. *pipeline.Pipeline and *core.Device
+// both implement it.
+type TapeRechecker interface {
+	RecheckTape() error
+}
 
 // Pusher is the controller's view of the data plane: anything that accepts
 // an out-of-band weight push. *pipeline.Pipeline and *core.Device both
@@ -171,6 +184,17 @@ type Config struct {
 	// retrain path with no controller locks held; it must not call back
 	// into the controller.
 	OnPush func()
+	// Obs is the metrics registry the control plane's counters register in
+	// (obs.Default() when nil).
+	Obs *obs.Registry
+	// ObsLabels identify this control plane's instruments. When nil a
+	// Controller takes a process-unique {ctl=N}; a Fleet takes {fleet=N} and
+	// tags each member's detector {fleet=N, member=<name>}.
+	ObsLabels []obs.Label
+	// Tracer receives the control-plane trace: drift detections, retrain
+	// spans, graphcheck/tapecheck verdicts, label pooling, push fan-out and
+	// rollback (obs.DefaultTracer() when nil).
+	Tracer *obs.Tracer
 }
 
 // DefaultConfig returns the default controller configuration.
@@ -262,6 +286,9 @@ type Stats struct {
 	ReissuedTasks int
 }
 
+// ctlOrdinal numbers controllers built without explicit ObsLabels.
+var ctlOrdinal atomic.Int64
+
 // Controller is the closed-loop control plane over one data plane.
 type Controller struct {
 	cfg    Config
@@ -274,7 +301,8 @@ type Controller struct {
 	// never stalls the traffic driver's Observe calls.
 	mu          sync.Mutex
 	det         detector
-	retrains    int
+	retrainsC   *obs.Counter // taurus.ctl.retrains — completed cycles
+	tracer      *obs.Tracer
 	lastRecords int
 	lastErr     error
 
@@ -322,15 +350,30 @@ func New(pusher Pusher, m model.Deployable, inQ fixed.Quantizer, source LabelSou
 		return nil, fmt.Errorf("controlplane: input quantiser has scale %v; pass the quantiser the model was loaded with", inQ.Scale)
 	}
 	cfg.applyDefaults()
+	reg := cfg.Obs
+	if reg == nil {
+		reg = obs.Default()
+	}
+	labels := cfg.ObsLabels
+	if labels == nil {
+		labels = []obs.Label{obs.L("ctl", strconv.FormatInt(ctlOrdinal.Add(1)-1, 10))}
+	}
+	tracer := cfg.Tracer
+	if tracer == nil {
+		tracer = obs.DefaultTracer()
+	}
 	c := &Controller{
-		cfg:    cfg,
-		pusher: pusher,
-		inQ:    inQ,
-		source: source,
-		model:  m,
-		kick:   make(chan struct{}, 1),
+		cfg:       cfg,
+		pusher:    pusher,
+		inQ:       inQ,
+		source:    source,
+		model:     m,
+		retrainsC: reg.Counter("taurus.ctl.retrains", labels...),
+		tracer:    tracer,
+		kick:      make(chan struct{}, 1),
 	}
 	c.det.cfg = &c.cfg
+	c.det.bind(reg, labels)
 	if cfg.DistFit != nil {
 		pf, ok := m.(model.PartialFitter)
 		if !ok {
@@ -338,6 +381,10 @@ func New(pusher Pusher, m model.Deployable, inQ fixed.Quantizer, source LabelSou
 		}
 		c.pf = pf
 		c.dfCfg = *cfg.DistFit
+		if c.dfCfg.Tracer == nil {
+			// Distributed rounds journal beside the retrain spans that ran them.
+			c.dfCfg.Tracer = tracer
+		}
 		if c.dfCfg.Store == nil {
 			// Pin the checkpoint store now so it survives coordinator
 			// respawns across Close — that persistence is what lets an
@@ -395,8 +442,10 @@ func (c *Controller) coordinator() (*distfit.Coordinator, error) {
 func (c *Controller) Observe(decs []core.Decision) bool {
 	c.mu.Lock()
 	newDrift := c.det.observe(decs)
+	flagRate, meanScore := c.det.lastFlagRate, c.det.lastMeanScore
 	c.mu.Unlock()
 	if newDrift {
+		c.tracer.Emitf(0, "drift.detected", "flag_rate=%.3f mean_score=%.1f", flagRate, meanScore)
 		select {
 		case c.kick <- struct{}{}:
 		default: // a retrain is already pending; coalesce
@@ -417,40 +466,57 @@ func (c *Controller) RetrainNow() error {
 	c.trainMu.Lock()
 	defer c.trainMu.Unlock()
 
+	span := c.tracer.Begin()
+	c.tracer.Emitf(span, "retrain.start", "model=%q", c.model.Name())
 	coord, err := c.coordinator()
 	if err != nil {
-		return c.fail(err)
+		return c.fail(span, err)
 	}
 	n, err := fitOnFresh(c.model, c.source, &c.cfg, coord)
 	if err != nil {
-		return c.fail(err)
+		return c.fail(span, err)
 	}
+	c.tracer.Emitf(span, "retrain.fit", "records=%d", n)
 	g, err := c.model.Lower(c.inQ)
 	if err != nil {
-		return c.fail(err)
+		return c.fail(span, err)
 	}
 	// Static gate before the data plane sees the graph: a lowering whose
 	// fixed-point ranges can saturate, or that changed structure since the
 	// last push, is refused here — the push never starts, so no rollback
 	// machinery is ever needed for it.
 	if err := graphcheck.Check(g); err != nil {
-		return c.fail(err)
+		c.tracer.Emitf(span, "graphcheck.fail", "err=%q", err.Error())
+		return c.fail(span, err)
 	}
 	if c.lastGraph != nil {
 		if err := graphcheck.Compatible(c.lastGraph, g); err != nil {
-			return c.fail(err)
+			c.tracer.Emitf(span, "graphcheck.fail", "err=%q", err.Error())
+			return c.fail(span, err)
 		}
 	}
+	c.tracer.Emitf(span, "graphcheck.pass", "graph=%q", g.Name)
 	if err := c.pusher.UpdateWeights(g); err != nil {
-		return c.fail(err)
+		return c.fail(span, err)
+	}
+	// Post-push audit: the push mutated the graph the serving tape aliases;
+	// prove the compiled path is still a faithful translation before
+	// declaring the cycle done.
+	if rc, ok := c.pusher.(TapeRechecker); ok {
+		if err := rc.RecheckTape(); err != nil {
+			c.tracer.Emitf(span, "tapecheck.fail", "post-push recheck: err=%q", err.Error())
+			return c.fail(span, err)
+		}
+		c.tracer.Emit(span, "tapecheck.pass", "post-push recheck")
 	}
 	c.lastGraph = g
 	if c.cfg.OnPush != nil {
 		c.cfg.OnPush()
 	}
+	c.tracer.Emitf(span, "push.done", "records=%d", n)
 
 	c.mu.Lock()
-	c.retrains++
+	c.retrainsC.Inc()
 	c.lastRecords = n
 	if coord != nil {
 		c.lastWorkers = coord.Stats().LiveWorkers
@@ -539,7 +605,8 @@ func scoresOf(m model.Deployable, recs []dataset.Record) []float64 {
 	return out
 }
 
-func (c *Controller) fail(err error) error {
+func (c *Controller) fail(span int64, err error) error {
+	c.tracer.Emitf(span, "retrain.fail", "err=%q", err.Error())
 	c.mu.Lock()
 	c.lastErr = err
 	// Re-arm the drift latch: left set, the detector would never signal
@@ -642,7 +709,7 @@ func (c *Controller) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	st := c.det.stats()
-	st.Retrains = c.retrains
+	st.Retrains = int(c.retrainsC.Value())
 	st.LastRetrainRecords = c.lastRecords
 	st.LastRetrainWorkers = c.lastWorkers
 	st.ReissuedTasks = c.reissuedBase

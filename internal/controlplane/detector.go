@@ -1,6 +1,9 @@
 package controlplane
 
-import "taurus/internal/core"
+import (
+	"taurus/internal/core"
+	"taurus/internal/obs"
+)
 
 // detector is the drift-detection state machine shared by the single-switch
 // Controller and every Fleet member: it samples data-plane decisions into
@@ -23,10 +26,11 @@ type detector struct {
 	outOfBand  int // consecutive windows past a threshold
 	drifted    bool
 
-	// Cumulative counters — they survive re-arms.
-	sampled int
-	windows int
-	drifts  int
+	// Cumulative counters — registry instruments (taurus.ctl.*), so they
+	// survive re-arms and surface on a scrape; bind installs them.
+	sampled *obs.Counter
+	windows *obs.Counter
+	drifts  *obs.Counter
 
 	// Diagnostics of the current reference profile and the last completed
 	// window. The reference diagnostics (and the statistics measured against
@@ -38,6 +42,14 @@ type detector struct {
 	lastMeanScore float64
 	lastPSI       float64
 	lastKS        float64
+}
+
+// bind registers the detector's cumulative counters. Every owner (Controller
+// construction, Fleet registration) binds before the first observe.
+func (d *detector) bind(reg *obs.Registry, labels []obs.Label) {
+	d.sampled = reg.Counter("taurus.ctl.sampled", labels...)
+	d.windows = reg.Counter("taurus.ctl.windows", labels...)
+	d.drifts = reg.Counter("taurus.ctl.drifts", labels...)
 }
 
 // observe feeds one batch of data-plane decisions, sampling one in
@@ -53,7 +65,7 @@ func (d *detector) observe(decs []core.Decision) bool {
 		if d.sampleTick%d.cfg.SampleEvery != 0 {
 			continue
 		}
-		d.sampled++
+		d.sampled.Inc()
 		d.winN++
 		if decs[i].Verdict != core.Forward {
 			d.winFlagged++
@@ -82,7 +94,7 @@ func (d *detector) closeWindow() bool {
 	flagRate := float64(d.winFlagged) / float64(d.winN)
 	meanScore := d.winScore / float64(d.winN)
 	d.winN, d.winFlagged, d.winScore = 0, 0, 0
-	d.windows++
+	d.windows.Inc()
 	d.lastFlagRate, d.lastMeanScore = flagRate, meanScore
 
 	if d.refWindows < d.cfg.RefWindows {
@@ -126,7 +138,7 @@ func (d *detector) closeWindow() bool {
 	}
 	if d.outOfBand >= d.cfg.DriftPatience {
 		d.drifted = true
-		d.drifts++
+		d.drifts.Inc()
 		return true
 	}
 	return false
@@ -159,9 +171,9 @@ func (d *detector) clearLatch() {
 // retrain counters are the owner's).
 func (d *detector) stats() Stats {
 	return Stats{
-		Sampled:       d.sampled,
-		Windows:       d.windows,
-		Drifts:        d.drifts,
+		Sampled:       int(d.sampled.Value()),
+		Windows:       int(d.windows.Value()),
+		Drifts:        int(d.drifts.Value()),
 		RefFlagRate:   d.refFlagRate,
 		RefMeanScore:  d.refMeanScore,
 		LastFlagRate:  d.lastFlagRate,

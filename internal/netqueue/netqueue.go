@@ -29,6 +29,7 @@ package netqueue
 import (
 	"fmt"
 
+	"taurus/internal/obs"
 	"taurus/internal/pipeline"
 )
 
@@ -214,7 +215,7 @@ type Simulator struct {
 	arrivalPending bool
 
 	// Interval metrics (reset by ResetStats).
-	hist       latHist
+	hist       obs.Histogram
 	statsStart float64
 	arrived    int
 	served     int
@@ -355,7 +356,7 @@ func (s *Simulator) onArrival(pkt Packet) {
 func (s *Simulator) onDeparture(shard int) {
 	sh := &s.shards[shard]
 	lat := s.now - sh.cur.arrival + s.cfg.Service.LatencyNs
-	s.hist.record(lat)
+	s.hist.Record(lat)
 	s.served++
 	s.sumNs += lat
 	if lat > s.maxNs {
@@ -430,9 +431,9 @@ func (s *Simulator) Stats() Result {
 		Served:           s.served,
 		Drops:            s.drops,
 		DroppedAnomalous: s.dropsAnom,
-		P50Ns:            s.hist.quantile(0.50),
-		P99Ns:            s.hist.quantile(0.99),
-		P999Ns:           s.hist.quantile(0.999),
+		P50Ns:            s.hist.Quantile(0.50),
+		P99Ns:            s.hist.Quantile(0.99),
+		P999Ns:           s.hist.Quantile(0.999),
 		MaxNs:            s.maxNs,
 		Pushes:           s.pushes,
 		DurationNs:       s.now - s.statsStart,
@@ -463,7 +464,7 @@ func (s *Simulator) Stats() Result {
 // integrals) while queue and server state carry on — the boundary between
 // windowed measurements on one continuous timeline.
 func (s *Simulator) ResetStats() {
-	s.hist.reset()
+	s.hist.Reset()
 	s.statsStart = s.now
 	s.arrived, s.served, s.drops, s.dropsAnom, s.pushes = 0, 0, 0, 0, 0
 	s.maxNs, s.sumNs = 0, 0

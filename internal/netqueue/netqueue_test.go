@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"taurus/internal/dataset"
+	"taurus/internal/obs"
 	"taurus/internal/pipeline"
 	"taurus/internal/trafficgen"
 )
@@ -313,20 +314,20 @@ func TestMaxSustainablePPS(t *testing.T) {
 // TestHistQuantiles: the log-linear histogram's quantiles stay within its
 // ~3% bucket resolution.
 func TestHistQuantiles(t *testing.T) {
-	var h latHist
+	var h obs.Histogram
 	for v := 1; v <= 100_000; v++ {
-		h.record(float64(v))
+		h.Record(float64(v))
 	}
 	for _, tc := range []struct{ q, want float64 }{
 		{0.50, 50_000}, {0.99, 99_000}, {0.999, 99_900},
 	} {
-		got := h.quantile(tc.q)
+		got := h.Quantile(tc.q)
 		if math.Abs(got-tc.want)/tc.want > 0.04 {
 			t.Errorf("quantile(%v) = %.0f, want %.0f ±4%%", tc.q, got, tc.want)
 		}
 	}
-	h.reset()
-	if h.quantile(0.5) != 0 {
+	h.Reset()
+	if h.Quantile(0.5) != 0 {
 		t.Error("reset histogram should report 0")
 	}
 }

@@ -1,0 +1,41 @@
+package obs
+
+import "sync/atomic"
+
+// Counter is a monotonically increasing atomic counter. The update methods
+// are safe for concurrent use and allocation-free; instrumented hot paths
+// pay one uncontended atomic add per update.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+//
+// hotpath: zero-alloc
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+//
+// hotpath: zero-alloc
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value (live workers, queue depth).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge's value.
+//
+// hotpath: zero-alloc
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add moves the gauge by n (negative to decrease).
+//
+// hotpath: zero-alloc
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }

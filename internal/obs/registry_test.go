@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("taurus.test.hits", L("shard", "0"))
+	c2 := r.Counter("taurus.test.hits", L("shard", "0"))
+	if c1 != c2 {
+		t.Fatal("same name+labels returned distinct counters")
+	}
+	c3 := r.Counter("taurus.test.hits", L("shard", "1"))
+	if c1 == c3 {
+		t.Fatal("distinct labels returned the same counter")
+	}
+	c1.Add(5)
+	c3.Inc()
+	if c2.Value() != 5 || c3.Value() != 1 {
+		t.Fatalf("values: shard0=%d shard1=%d", c2.Value(), c3.Value())
+	}
+	// Label order must not matter: the registry sorts.
+	g1 := r.Gauge("taurus.test.depth", L("a", "1"), L("b", "2"))
+	g2 := r.Gauge("taurus.test.depth", L("b", "2"), L("a", "1"))
+	if g1 != g2 {
+		t.Fatal("label order changed instrument identity")
+	}
+}
+
+func TestRegistryKindConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("taurus.test.thing")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter name as a gauge did not panic")
+		}
+	}()
+	r.Gauge("taurus.test.thing", L("x", "y"))
+}
+
+func TestRegistryInvalidNamePanics(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"nodots",
+		"Upper.case",
+		"taurus..double",
+		"taurus.",
+		".leading",
+		"taurus.sp ace",
+		"9taurus.x",
+		"taurus.dash-name",
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Counter(%q) did not panic", bad)
+				}
+			}()
+			NewRegistry().Counter(bad)
+		}()
+	}
+	for _, good := range []string{"a.b", "taurus.device.ml_inferences", "x.y0.z_9"} {
+		if !ValidMetricName(good) {
+			t.Errorf("ValidMetricName(%q) = false, want true", good)
+		}
+	}
+}
+
+func TestSnapshotSortedAndComplete(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("taurus.z.last").Add(3)
+	r.Gauge("taurus.a.first", L("shard", "1")).Set(7)
+	r.Gauge("taurus.a.first", L("shard", "0")).Set(6)
+	h := r.Histogram("taurus.m.middle")
+	h.Record(10)
+	h.Record(20)
+
+	snap := r.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("snapshot has %d metrics, want 4", len(snap))
+	}
+	for i := 1; i < len(snap); i++ {
+		if snap[i-1].Name > snap[i].Name {
+			t.Fatalf("snapshot not sorted by name: %q before %q", snap[i-1].Name, snap[i].Name)
+		}
+	}
+	if snap[0].Name != "taurus.a.first" || snap[0].Labels[0].Value != "0" {
+		t.Fatalf("first metric = %+v, want taurus.a.first{shard=0}", snap[0])
+	}
+	if snap[2].Kind != KindHistogram || snap[2].Count != 2 || snap[2].Sum != 30 {
+		t.Fatalf("histogram metric = %+v", snap[2])
+	}
+	if snap[3].Value != 3 {
+		t.Fatalf("counter metric = %+v", snap[3])
+	}
+
+	var sb strings.Builder
+	if err := r.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `"taurus.m.middle"`) {
+		t.Fatalf("JSON snapshot missing metric: %s", sb.String())
+	}
+}
+
+// TestCounterGaugeZeroAlloc proves the mutators are allocation-free — they
+// run once per packet on the device path.
+func TestCounterGaugeZeroAlloc(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("taurus.test.zeroalloc")
+	g := r.Gauge("taurus.test.zeroalloc_gauge")
+	if n := testing.AllocsPerRun(200, func() {
+		c.Inc()
+		c.Add(2)
+		g.Set(4)
+		g.Add(-1)
+	}); n != 0 {
+		t.Fatalf("counter/gauge mutators allocate %.1f times per run, want 0", n)
+	}
+}
+
+func TestDefaultRegistrySingleton(t *testing.T) {
+	if Default() != Default() {
+		t.Fatal("Default() not a singleton")
+	}
+	if DefaultTracer() != DefaultTracer() {
+		t.Fatal("DefaultTracer() not a singleton")
+	}
+}

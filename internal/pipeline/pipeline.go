@@ -16,6 +16,7 @@ package pipeline
 
 import (
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
@@ -25,6 +26,7 @@ import (
 	"taurus/internal/fixed"
 	"taurus/internal/graphcheck"
 	mr "taurus/internal/mapreduce"
+	"taurus/internal/obs"
 )
 
 // DefaultShards is used when Config.Shards is zero.
@@ -37,7 +39,11 @@ type Config struct {
 	// accepts a packet every II cycles, so N shards sustain N packets per
 	// II.
 	Shards int
-	// Device is the per-shard device configuration.
+	// Device is the per-shard device configuration. Its Obs registry (the
+	// process default when nil) also receives the pipeline's own batch
+	// instruments; when Device.ObsLabels is nil each shard's device is tagged
+	// {pipe=N, shard=i}, so per-shard service-time histograms stay separable
+	// on a scrape.
 	Device core.Config
 }
 
@@ -80,10 +86,18 @@ type Pipeline struct {
 	shards []*shard
 	reqs   []chan batchReq
 
+	// Registry instruments for the batch plane (one label set per pipeline).
+	batches      *obs.Counter
+	batchPackets *obs.Histogram
+	batchModelNs *obs.Histogram
+
 	dispatchMu sync.Mutex // serialises batch partitioning + fan-out
 	wg         sync.WaitGroup
 	closed     atomic.Bool
 }
+
+// pipeOrdinal numbers pipelines built without explicit ObsLabels.
+var pipeOrdinal atomic.Int64
 
 // New builds a pipeline of cfg.Shards devices and starts its workers.
 func New(cfg Config) (*Pipeline, error) {
@@ -93,14 +107,32 @@ func New(cfg Config) (*Pipeline, error) {
 	if cfg.Shards < 0 {
 		return nil, fmt.Errorf("%w: Shards must be positive, got %d", core.ErrBadConfig, cfg.Shards)
 	}
+	reg := cfg.Device.Obs
+	if reg == nil {
+		reg = obs.Default()
+		cfg.Device.Obs = reg
+	}
+	pipeLabels := cfg.Device.ObsLabels
+	autoLabels := pipeLabels == nil
+	if autoLabels {
+		pipeLabels = []obs.Label{obs.L("pipe", strconv.FormatInt(pipeOrdinal.Add(1)-1, 10))}
+	}
 	p := &Pipeline{
-		shards: make([]*shard, cfg.Shards),
-		reqs:   make([]chan batchReq, cfg.Shards),
+		shards:       make([]*shard, cfg.Shards),
+		reqs:         make([]chan batchReq, cfg.Shards),
+		batches:      reg.Counter("taurus.pipeline.batches", pipeLabels...),
+		batchPackets: reg.Histogram("taurus.pipeline.batch_packets", pipeLabels...),
+		batchModelNs: reg.Histogram("taurus.pipeline.batch_model_ns", pipeLabels...),
 	}
 	// Construct every device before starting any worker, so a constructor
 	// failure for a later shard cannot leak the goroutines of earlier ones.
 	for i := range p.shards {
-		dev, err := core.NewDevice(cfg.Device)
+		devCfg := cfg.Device
+		if autoLabels {
+			devCfg.ObsLabels = append(pipeLabels[:len(pipeLabels):len(pipeLabels)],
+				obs.L("shard", strconv.Itoa(i)))
+		}
+		dev, err := core.NewDevice(devCfg)
 		if err != nil {
 			return nil, err
 		}
@@ -290,6 +322,9 @@ func (p *Pipeline) ProcessBatch(ins []core.PacketIn, out []core.Decision) (Batch
 			bs.ModelNs = s.busyNs
 		}
 	}
+	p.batches.Inc()
+	p.batchPackets.Record(float64(bs.Packets))
+	p.batchModelNs.Record(bs.ModelNs)
 	return bs, firstErr
 }
 
@@ -381,6 +416,17 @@ func (p *Pipeline) TapeVerified() bool {
 		}
 	}
 	return true
+}
+
+// RecheckTape re-validates the compiled tape a shard is serving against its
+// graph as it stands now — the control plane's post-push audit that a weight
+// update left the translation faithful. Shards install identical clones and
+// weight pushes are all-or-nothing, so shard 0 speaks for all.
+func (p *Pipeline) RecheckTape() error {
+	s := p.shards[0]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dev.RecheckTape()
 }
 
 // TapeFallbackReason returns why a shard last fell back to the interpreter

@@ -8,6 +8,7 @@ import (
 	"taurus/internal/cgra"
 	"taurus/internal/fixed"
 	mr "taurus/internal/mapreduce"
+	"taurus/internal/obs"
 )
 
 // DefaultBatch is the packet capacity a Program is compiled with: RunBatch
@@ -107,16 +108,22 @@ func Compile(g *mr.Graph, spec cgra.GridSpec) (*Program, error) {
 }
 
 // CompileBatch compiles with an explicit batch capacity (>= 1) and runs the
-// registered tape verifier, if any.
+// registered tape verifier, if any. The verifier's verdict is journalled to
+// the process trace (obs.DefaultTracer) as tapecheck.pass / tapecheck.fail,
+// so a drift-recovery trace shows the translation gate alongside the push it
+// guarded.
 func CompileBatch(g *mr.Graph, spec cgra.GridSpec, batch int) (*Program, error) {
 	p, err := CompileBatchUnverified(g, spec, batch)
 	if err != nil {
 		return nil, err
 	}
 	if verifyHook != nil {
+		tr := obs.DefaultTracer()
 		if err := verifyHook(p); err != nil {
+			tr.Emitf(0, "tapecheck.fail", "graph=%q err=%q", g.Name, err.Error())
 			return nil, err
 		}
+		tr.Emitf(0, "tapecheck.pass", "graph=%q ii=%d", g.Name, p.sched.II)
 	}
 	return p, nil
 }

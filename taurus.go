@@ -48,6 +48,17 @@
 //     merge — every Deployable family implements the PartialFitter
 //     contract it needs.
 //
+//   - Metrics and Tracer expose the observability layer (internal/obs):
+//     every device, pipeline, controller and fleet binds its counters and
+//     latency histograms to one process-wide registry (stable dotted names,
+//     allocation-free hot-path updates), and every control-plane action —
+//     drift detection, retrain rounds, graph and tape verification verdicts,
+//     pushes and rollbacks — lands in a bounded trace journal. Snapshot the
+//     registry programmatically, serve it over HTTP with MetricsHandler
+//     (Prometheus text and JSON), or rebind a component to a private
+//     registry with WithMetrics. The existing Stats() methods are views
+//     over the same instruments.
+//
 //   - NewSimulator asks the production question the batch plane cannot:
 //     what latency and loss do packets see when arrivals are a process in
 //     time? It is a discrete-event, continuous-time queueing simulator over
@@ -84,6 +95,7 @@ package taurus
 
 import (
 	"fmt"
+	"net/http"
 	"time"
 
 	"taurus/internal/cgra"
@@ -99,6 +111,7 @@ import (
 	"taurus/internal/ml"
 	"taurus/internal/model"
 	"taurus/internal/netqueue"
+	"taurus/internal/obs"
 	"taurus/internal/pipeline"
 	"taurus/internal/pisa"
 	"taurus/internal/sched"
@@ -309,6 +322,18 @@ func WithDropOnAnomaly() Option { return func(o *options) { o.dev.DropOnAnomaly 
 // WithShards sets the pipeline's shard count (default 4). NewDevice ignores
 // it — a Device is always a single shard.
 func WithShards(n int) Option { return func(o *options) { o.shards = n } }
+
+// WithMetrics binds the device or pipeline to reg instead of the
+// process-wide default registry, under the given labels instead of the
+// automatic ordinals ({dev=N} for a device, {pipe=N, shard=i} per pipeline
+// shard). Two components given the same registry and the same explicit
+// labels share instruments — their counts merge.
+func WithMetrics(reg *MetricsRegistry, labels ...MetricLabel) Option {
+	return func(o *options) {
+		o.dev.Obs = reg
+		o.dev.ObsLabels = labels
+	}
+}
 
 // DefaultShards is the shard count NewPipeline uses when WithShards is not
 // given.
@@ -625,6 +650,58 @@ func NewFleet(m Deployable, inQ Quantizer, opts ...ControllerOption) (*Fleet, er
 	}
 	return controlplane.NewFleet(m, inQ, o.cp)
 }
+
+// Observability (internal/obs): one registry of named instruments behind
+// every Stats surface, and one bounded journal of control-plane events.
+type (
+	// MetricsRegistry holds named instruments — counters, gauges and
+	// log-linear latency histograms — under stable dotted names
+	// (taurus.device.processed, taurus.pipeline.batch_packets, ...) with
+	// optional key=value labels. Registration is get-or-create; hot-path
+	// updates are atomic and allocation-free. Snapshot() returns every
+	// instrument's current value; WriteJSON serialises the snapshot.
+	MetricsRegistry = obs.Registry
+	// Metric is one instrument in a registry snapshot: its name, labels,
+	// kind, and value (counters/gauges) or count/sum/quantiles (histograms).
+	Metric = obs.Metric
+	// MetricLabel is one key=value dimension on an instrument.
+	MetricLabel = obs.Label
+	// TraceJournal is the bounded ring-buffer journal of control-plane
+	// events: drift detections, retrain spans, graphcheck/tapecheck
+	// verdicts, pushes, rollbacks, tape fallbacks, distfit rounds. Events()
+	// returns the retained window oldest-first; WriteText/WriteJSON render
+	// it.
+	TraceJournal = obs.Tracer
+	// TraceEvent is one journalled event: sequence number, span id (0 =
+	// unspanned), monotonic and wall-clock timestamps, kind, detail.
+	TraceEvent = obs.Event
+)
+
+// NewMetricLabel builds one key=value label for WithMetrics.
+var NewMetricLabel = obs.L
+
+// Metrics returns the process-wide default registry — the one every device,
+// pipeline, controller and fleet binds to unless WithMetrics (or an explicit
+// internal config) overrides it.
+func Metrics() *MetricsRegistry { return obs.Default() }
+
+// Tracer returns the process-wide default trace journal — the one every
+// control plane emits to unless configured otherwise.
+func Tracer() *TraceJournal { return obs.DefaultTracer() }
+
+// NewMetricsRegistry builds a private registry for tests or multi-tenant
+// embedders; pass it to components with WithMetrics.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewTraceJournal builds a private trace journal retaining the last
+// capacity events (0 selects the default, 4096).
+func NewTraceJournal(capacity int) *TraceJournal { return obs.NewTracer(capacity) }
+
+// MetricsHandler serves the default registry and journal over HTTP:
+// GET /metrics (Prometheus text), /metrics.json, /trace (text),
+// /trace.json. Mount it on any mux, or hand it straight to
+// http.ListenAndServe.
+func MetricsHandler() http.Handler { return obs.Handler(obs.Default(), obs.DefaultTracer()) }
 
 // The queueing plane: continuous-time simulation of a deployed traffic
 // plane under an arrival process — the composition of the throughput story
